@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has one benchmark module that regenerates
+it; `pytest benchmarks/ --benchmark-only` runs them all and prints the rows /
+series being reproduced.  Set ``REPRO_FAST=1`` to run reduced problem sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import CaseStudyConfig, case_study_device
+
+
+def fast_mode() -> bool:
+    """Reduced sizes when REPRO_FAST is set (useful on slow machines)."""
+    return os.environ.get("REPRO_FAST", "") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def device():
+    """The case-study device shared by all benchmarks (built once)."""
+    config = CaseStudyConfig(rows=6, cols=6) if fast_mode() else CaseStudyConfig()
+    return case_study_device(config)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return CaseStudyConfig(rows=6, cols=6) if fast_mode() else CaseStudyConfig()

@@ -1,0 +1,108 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. Selection-criterion ablation: Criterion 2 vs Criterion 1 vs the extra
+   "perfect entangler + SWAP-in-3" criterion mentioned in Section V-E.
+2. Depth-prediction ablation: NuOp-style synthesis with and without the
+   analytic layer-count skip (the paper's compile-time optimisation).
+3. Single-qubit duration ablation: the 1Q/2Q duration ratio regime discussed
+   at the end of Section VIII-D.
+"""
+
+import time
+
+import numpy as np
+
+from repro.circuits import bernstein_vazirani
+from repro.compiler.basis_translation import TranslationOptions, translate_circuit
+from repro.compiler.routing import SabreRouter
+from repro.compiler.layout import greedy_subgraph_layout
+from repro.gates import CNOT, SWAP, canonical_gate
+from repro.synthesis.numerical import synthesize_gate
+
+
+def test_ablation_selection_criteria(benchmark, device):
+    """Average basis duration per selection strategy, including the PE+SWAP3 one."""
+
+    def run():
+        return {
+            strategy: device.average_basis_duration(strategy)
+            for strategy in ("criterion1", "criterion2", "pe_and_swap3")
+        }
+
+    durations = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\naverage basis durations (ns): { {k: round(v, 2) for k, v in durations.items()} }")
+    # Criterion 1 is the most permissive and therefore the fastest.
+    assert durations["criterion1"] <= durations["criterion2"] + 1e-6
+    assert durations["criterion1"] <= durations["pe_and_swap3"] + 1e-6
+
+
+def test_ablation_depth_prediction_speedup(benchmark):
+    """The analytic depth skip should not be slower than the incremental search."""
+    basis = canonical_gate(0.24, 0.24, 0.03)
+
+    def with_prediction():
+        return synthesize_gate(SWAP, basis, predicted_layers=3, restarts=3)
+
+    result = benchmark.pedantic(with_prediction, iterations=1, rounds=2)
+    start = time.perf_counter()
+    incremental = synthesize_gate(SWAP, basis, predicted_layers=None, restarts=3)
+    incremental_time = time.perf_counter() - start
+    print(
+        f"\nincremental search: {incremental_time:.2f} s, layers={incremental.n_layers}; "
+        f"predicted search reaches layers={result.n_layers} with fidelity {result.fidelity:.8f}"
+    )
+    assert result.n_layers == incremental.n_layers == 3
+    assert result.fidelity > 1 - 1e-5
+
+
+def test_ablation_single_qubit_duration(benchmark, device):
+    """Sweep the 1Q layer duration: longer 1Q gates erode the nonstandard win."""
+    circuit = bernstein_vazirani(9)
+    layout = greedy_subgraph_layout(circuit, device)
+    routed = SabreRouter(device).run(circuit, layout).circuit
+
+    def run():
+        results = {}
+        for t1q in (0.0, 20.0, 40.0):
+            options = TranslationOptions.for_strategy("criterion2", one_qubit_duration=t1q)
+            ops = translate_circuit(routed, device, "criterion2", options)
+            results[t1q] = sum(op.duration for op in ops if op.kind == "2q")
+        return results
+
+    totals = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\ntotal 2Q-block time vs 1Q duration: { {k: round(v) for k, v in totals.items()} }")
+    assert totals[0.0] < totals[20.0] < totals[40.0]
+
+
+def test_ablation_cnot_synthesis_from_criterion_gates(benchmark, device):
+    """CNOT decomposition fidelity from an actual per-edge Criterion-2 gate."""
+    edge = device.edges()[0]
+    selection = device.basis_gate(edge, "criterion2")
+
+    def run():
+        return synthesize_gate(
+            CNOT, selection.unitary, predicted_layers=selection.cnot_layers, restarts=4
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(
+        f"\nedge {edge}: CNOT in {result.n_layers} layers of the Criterion-2 gate, "
+        f"decomposition fidelity {result.fidelity:.8f}"
+    )
+    assert result.fidelity > 1 - 1e-4
+
+
+def test_ablation_routing_cost(benchmark, device):
+    """SWAP overhead of routing BV across the grid (why SWAP synthesis matters)."""
+    circuit = bernstein_vazirani(29)
+
+    def run():
+        layout = greedy_subgraph_layout(circuit, device)
+        return SabreRouter(device).run(circuit, layout)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    ratio = result.swap_count / max(len(circuit.two_qubit_gates()), 1)
+    print(f"\nbv_29: {result.swap_count} SWAPs inserted for {len(circuit.two_qubit_gates())} CNOTs "
+          f"({ratio:.2f} SWAPs per original 2Q gate)")
+    assert result.swap_count > 0
+    assert np.isfinite(ratio)

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 1 -- the Weyl chamber's named points and PE polyhedron."""
+
+from repro.experiments.figures import figure1_weyl_points
+from repro.weyl.chamber import chamber_volume_fraction
+from repro.weyl.entangling_power import is_perfect_entangler
+
+
+def test_fig1_weyl_points(benchmark):
+    points = benchmark(figure1_weyl_points)
+    print(f"\nWeyl chamber named points: {points}")
+    assert points["CNOT"] == (0.5, 0.0, 0.0)
+    assert points["SWAP"] == (0.5, 0.5, 0.5)
+
+
+def test_fig1_perfect_entangler_volume(benchmark):
+    fraction = benchmark(lambda: chamber_volume_fraction(is_perfect_entangler, 10000))
+    print(f"\nperfect-entangler fraction of the chamber: {fraction:.3f} (theory: 0.5)")
+    assert abs(fraction - 0.5) < 0.03

@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 2 -- nonstandard measured-style trajectory with a 13 ns PE."""
+
+from repro.experiments.figures import figure2_trajectory
+
+
+def test_fig2_trajectory(benchmark):
+    data = benchmark(figure2_trajectory)
+    print(
+        f"\nfirst perfect entangler: {data['first_perfect_entangler_ns']:.1f} ns "
+        f"(paper: 13 ns); RMS deviation from the XY line: {data['deviation_from_xy']:.3f}"
+    )
+    assert 10.0 < data["first_perfect_entangler_ns"] < 16.0
+    assert data["deviation_from_xy"] > 0.02

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 3 -- the decomposition circuit templates."""
+
+from repro.experiments.figures import figure3_decompositions
+
+
+def test_fig3_decompositions(benchmark):
+    data = benchmark.pedantic(figure3_decompositions, iterations=1, rounds=1)
+    print(
+        f"\nSWAP from sqrt(iSWAP): {data['swap_from_sqrt_iswap_layers']} layers, "
+        f"fidelity {data['swap_from_sqrt_iswap_fidelity']:.9f}; "
+        f"CNOT: {data['cnot_from_sqrt_iswap_layers']} layers"
+    )
+    assert data["swap_from_sqrt_iswap_layers"] == 3
+    assert data["cnot_from_sqrt_iswap_layers"] == 2
+    assert data["swap_equals_three_cnots"]

@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 4 -- Weyl-chamber feasibility regions and their volumes."""
+
+from repro.experiments.figures import figure4_regions
+
+
+def test_fig4_regions(benchmark):
+    data = benchmark(lambda: figure4_regions(n_samples=15000))
+    print(
+        f"\nSWAP-in-3-layers feasible fraction: {data['swap3_feasible_fraction']:.3f} "
+        f"(paper: 0.685); CNOT-in-2-layers: {data['cnot2_feasible_fraction']:.3f} (paper: 0.75)"
+    )
+    assert abs(data["swap3_feasible_fraction"] - 0.685) < 0.02
+    assert abs(data["cnot2_feasible_fraction"] - 0.75) < 0.02
+    assert abs(data["cnot2_feasible_fraction_exact"] - 0.75) < 1e-9

@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 5 -- trajectory stability over drive amplitude."""
+
+from repro.experiments.figures import figure5_stability
+
+
+def test_fig5_stability(benchmark):
+    data = benchmark(figure5_stability)
+    print(
+        f"\nfirst-PE durations at xi = {data['amplitudes']}: "
+        f"{[round(d, 2) for d in data['first_pe_durations_ns']]} ns; "
+        f"speed ratio {data['speed_ratio']:.2f} (paper: ~2 when the amplitude doubles)"
+    )
+    assert abs(data["speed_ratio"] - 2.0) < 0.15

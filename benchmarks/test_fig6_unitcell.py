@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 6 -- the transmon-coupler unit cell (zero-ZZ bias search)."""
+
+from repro.experiments.figures import figure6_unitcell
+
+
+def test_fig6_unitcell(benchmark):
+    data = benchmark.pedantic(figure6_unitcell, iterations=1, rounds=1)
+    print(
+        f"\nqubit detuning {data['detuning_ghz']:.2f} GHz; static ZZ at default bias "
+        f"{data['static_zz_at_default_bias_mhz']:.3f} MHz -> at zero-ZZ bias "
+        f"{data['static_zz_at_zero_bias_mhz']:.4f} MHz"
+    )
+    assert abs(data["static_zz_at_zero_bias_mhz"]) <= abs(data["static_zz_at_default_bias_mhz"]) + 1e-9

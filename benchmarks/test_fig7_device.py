@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 7 -- the 10x10 device with alternating qubit frequencies."""
+
+from repro.experiments.figures import figure7_device
+
+
+def test_fig7_device(benchmark, config):
+    data = benchmark(lambda: figure7_device(config))
+    print(
+        f"\n{data['n_qubits']} qubits, {data['n_edges']} edges, "
+        f"{data['low_population_size']} low-frequency / {data['high_population_size']} "
+        f"high-frequency qubits, mean pair detuning {data['mean_pair_detuning_ghz']:.3f} GHz"
+    )
+    assert data["low_population_size"] == data["high_population_size"]
+    assert 1.7 < data["mean_pair_detuning_ghz"] < 2.3

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table I (basis gate / SWAP / CNOT durations & fidelities)."""
+
+from repro.experiments.table1 import format_table1, speedup_over_baseline, table1_rows
+
+
+def test_table1(benchmark, device, config):
+    rows = benchmark(lambda: table1_rows(device=device, config=config))
+    print("\n" + format_table1(rows))
+    speedups = speedup_over_baseline(rows)
+    print(f"basis-gate speedup over baseline: {speedups}")
+    # Headline claim of the paper: ~8x faster nonstandard basis gates.
+    assert 6.5 < speedups["criterion1"] < 9.5
+    assert rows[0].swap_duration > rows[2].swap_duration

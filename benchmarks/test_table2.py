@@ -1,0 +1,61 @@
+"""Benchmark: regenerate Table II (benchmark-circuit fidelities).
+
+The full table (20 circuits x 3 basis-gate sets on the 10x10 device) takes a
+few minutes; by default this module benchmarks a representative subset per
+benchmark family and runs the remaining rows once (not timed).  Set
+``REPRO_TABLE2_FULL=1`` to time the full table, or ``REPRO_FAST=1`` to shrink
+everything.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.table2 import (
+    FAST_SUBSET,
+    TABLE2_BENCHMARKS,
+    format_table2,
+    ordering_violations,
+    table2_rows,
+)
+
+REPRESENTATIVE = ("bv_9", "bv_29", "qft_10", "cuccaro_10", "qaoa_0.1_20", "qaoa_0.33_10")
+
+
+def _selected_benchmarks() -> list[str]:
+    if os.environ.get("REPRO_TABLE2_FULL", ""):
+        return list(TABLE2_BENCHMARKS)
+    if os.environ.get("REPRO_FAST", ""):
+        return list(FAST_SUBSET)
+    return list(REPRESENTATIVE)
+
+
+def test_table2(benchmark, device, config):
+    names = _selected_benchmarks()
+    rows = benchmark.pedantic(
+        lambda: table2_rows(benchmarks=names, device=device, config=config),
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + format_table2(rows))
+    assert ordering_violations(rows) == []
+    # The fidelity gap must widen with benchmark size within each family
+    # (the paper's "improvements scale exponentially in benchmark size").
+    by_name = {row.benchmark: row for row in rows}
+    if "bv_9" in by_name and "bv_29" in by_name:
+        gain_small = by_name["bv_9"].criterion2 / max(by_name["bv_9"].baseline, 1e-12)
+        gain_large = by_name["bv_29"].criterion2 / max(by_name["bv_29"].baseline, 1e-12)
+        assert gain_large > gain_small
+
+
+@pytest.mark.parametrize("name", ["bv_19", "qaoa_0.33_20"])
+def test_table2_individual_rows(benchmark, device, config, name):
+    """Time individual representative rows (one compile across 3 strategies)."""
+    rows = benchmark.pedantic(
+        lambda: table2_rows(benchmarks=[name], device=device, config=config),
+        iterations=1,
+        rounds=1,
+    )
+    row = rows[0]
+    print(f"\n{name}: baseline={row.baseline:.3f} c1={row.criterion1:.3f} c2={row.criterion2:.3f}")
+    assert row.criterion2 >= row.baseline

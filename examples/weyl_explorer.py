@@ -1,0 +1,82 @@
+"""Explore the Weyl-chamber geometry behind the basis-gate criteria (Fig. 4).
+
+Prints, for a handful of well-known and nonstandard gates, their Cartan
+coordinates, entangling power, perfect-entangler status, and how many layers
+they need to synthesize SWAP and CNOT; then estimates the chamber volume
+fractions the paper quotes (68.5 % for SWAP-in-3, 75 % for CNOT-in-2), and
+shows where a fast nonstandard trajectory first satisfies each criterion.
+
+Run with:  python examples/weyl_explorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CartanTrajectory
+from repro.core.regions import (
+    cnot2_feasible_volume_fraction,
+    exact_infeasible_volume_fractions,
+    swap3_feasible_volume_fraction,
+)
+from repro.gates import B_GATE, CNOT, ISWAP, SQRT_ISWAP, SQRT_SWAP, SWAP, canonical_gate
+from repro.hamiltonian.effective import EffectiveEntanglerModel
+from repro.synthesis.depth import (
+    can_synthesize_cnot_in_2_layers,
+    can_synthesize_swap_in_3_layers,
+    minimum_layers,
+    mirror_coordinates,
+)
+from repro.weyl import cartan_coordinates, entangling_power, is_perfect_entangler
+
+GATES = {
+    "CNOT": CNOT,
+    "iSWAP": ISWAP,
+    "sqrt(iSWAP)": SQRT_ISWAP,
+    "sqrt(SWAP)": SQRT_SWAP,
+    "B gate": B_GATE,
+    "SWAP": SWAP,
+    "nonstandard (0.24,0.24,0.03)": canonical_gate(0.24, 0.24, 0.03),
+    "weak entangler (0.1,0.05,0)": canonical_gate(0.1, 0.05, 0.0),
+}
+
+
+def main() -> None:
+    print(f"{'gate':<30} {'coordinates':<22} {'ep':>6} {'PE':>4} {'SWAP layers':>12} {'CNOT layers':>12}")
+    for name, gate in GATES.items():
+        coords = cartan_coordinates(gate)
+        swap_layers = minimum_layers((0.5, 0.5, 0.5), coords)
+        cnot_layers = minimum_layers((0.5, 0.0, 0.0), coords)
+        print(
+            f"{name:<30} {str(tuple(round(c, 3) for c in coords)):<22} "
+            f"{entangling_power(gate):>6.3f} {str(is_perfect_entangler(coords)):>4} "
+            f"{swap_layers:>12} {cnot_layers:>12}"
+        )
+
+    print("\nMirror partners for 2-layer SWAP synthesis (Appendix B):")
+    for name in ("CNOT", "iSWAP", "B gate", "sqrt(SWAP)"):
+        coords = cartan_coordinates(GATES[name])
+        print(f"  {name:<12} -> mirror {tuple(round(c, 3) for c in mirror_coordinates(coords))}")
+
+    print("\nChamber volume fractions (Monte Carlo, 20k samples):")
+    print(f"  SWAP in 3 layers feasible: {swap3_feasible_volume_fraction():.3f}  (paper: 0.685)")
+    print(f"  CNOT in 2 layers feasible: {cnot2_feasible_volume_fraction():.3f}  (paper: 0.75)")
+    exact = exact_infeasible_volume_fractions()
+    print(f"  exact infeasible fractions: {({k: round(v, 4) for k, v in exact.items()})}")
+
+    print("\nWhere a fast nonstandard trajectory first meets each criterion:")
+    model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04)
+    trajectory = CartanTrajectory.from_model(model, max_duration=25, resolution=0.25)
+    t1 = trajectory.first_duration_where(can_synthesize_swap_in_3_layers)
+    t2 = trajectory.first_duration_where(
+        lambda c: can_synthesize_swap_in_3_layers(c) and can_synthesize_cnot_in_2_layers(c)
+    )
+    pe = trajectory.first_perfect_entangler()
+    print(f"  Criterion 1 (SWAP in 3 layers):            {t1:6.2f} ns")
+    print(f"  Criterion 2 (+ CNOT in 2 layers):          {t2:6.2f} ns")
+    print(f"  first perfect entangler:                   {pe:6.2f} ns")
+    print(f"  coordinates at Criterion 2: {np.round(trajectory.coordinates_at(t2), 4)}")
+
+
+if __name__ == "__main__":
+    main()

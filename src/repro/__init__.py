@@ -1,0 +1,51 @@
+"""repro: reproduction of "Let Each Quantum Bit Choose Its Basis Gates".
+
+The package is organised by subsystem:
+
+* :mod:`repro.gates` -- gate matrices and unitary utilities;
+* :mod:`repro.weyl` -- Cartan coordinates, Weyl chamber, entangling power;
+* :mod:`repro.synthesis` -- circuit-depth theory and gate synthesis;
+* :mod:`repro.hamiltonian` -- device Hamiltonians and trajectory generation;
+* :mod:`repro.core` -- Cartan trajectories and basis-gate selection criteria;
+* :mod:`repro.device` -- the simulated 10x10 case-study device;
+* :mod:`repro.calibration` -- QPT/GST-based calibration protocol;
+* :mod:`repro.circuits` -- circuit IR and benchmark generators;
+* :mod:`repro.compiler` -- layout, routing, basis translation, scheduling;
+* :mod:`repro.experiments` -- regeneration of every table and figure.
+
+Quickstart::
+
+    from repro.device import Device
+    from repro.circuits import bernstein_vazirani
+    from repro.compiler import transpile
+
+    device = Device.from_parameters()
+    compiled = transpile(bernstein_vazirani(9), device, strategy="criterion2")
+    print(compiled.fidelity)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    BaselineSqrtIswapStrategy,
+    BasisGateSelection,
+    CartanTrajectory,
+    Criterion1Strategy,
+    Criterion2Strategy,
+    select_basis_gate,
+)
+from repro.device import Device, DeviceParameters
+from repro.weyl import cartan_coordinates
+
+__all__ = [
+    "__version__",
+    "BaselineSqrtIswapStrategy",
+    "BasisGateSelection",
+    "CartanTrajectory",
+    "Criterion1Strategy",
+    "Criterion2Strategy",
+    "select_basis_gate",
+    "Device",
+    "DeviceParameters",
+    "cartan_coordinates",
+]

@@ -1,0 +1,39 @@
+"""Calibration of (possibly nonstandard) two-qubit basis gates (Section VI).
+
+The paper proposes a two-stage protocol:
+
+* an **initial tuneup** that assumes nothing about the trajectory: coarse
+  amplitude/frequency tuning, quantum process tomography (QPT) of every gate
+  along the cropped trajectory, narrowing of candidates with the Section V
+  criteria, and gate set tomography (GST) of the finalists;
+* a cheap daily **retuning** that reuses the initial-tuneup information.
+
+This package simulates that protocol end to end against the effective device
+models: QPT with finite shots (and optional SPAM error), a GST-like
+self-consistent refinement that amplifies coherent errors with repeated-gate
+sequences, a drift model, and the edge-colouring scheduler that calibrates
+non-overlapping pairs in parallel.
+"""
+
+from repro.calibration.tomography import (
+    QptResult,
+    simulate_process_tomography,
+)
+from repro.calibration.gst import GstResult, refine_gate_estimate
+from repro.calibration.protocol import (
+    CalibrationProtocol,
+    CalibrationRecord,
+    RetuneResult,
+)
+from repro.calibration.scheduling import calibration_batches
+
+__all__ = [
+    "QptResult",
+    "simulate_process_tomography",
+    "GstResult",
+    "refine_gate_estimate",
+    "CalibrationProtocol",
+    "CalibrationRecord",
+    "RetuneResult",
+    "calibration_batches",
+]

@@ -1,0 +1,121 @@
+"""A GST-flavoured refinement of a gate estimate.
+
+Full gate set tomography fits every operation (gates, preparations and
+measurements) self-consistently from long "germ" sequences that amplify
+coherent errors.  The essential ingredient for this project is the
+amplification: data from repeated applications ``U, U^2, U^4, U^8`` of the
+gate pins down small coherent deviations far better than single-application
+QPT can.  :func:`refine_gate_estimate` implements exactly that: it fits a
+small coherent correction to an initial (e.g. QPT) estimate against simulated
+repeated-gate data, and reports the error-generator norm -- the quantity the
+paper highlights as the relevant output of GST for retuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+from scipy.linalg import expm
+from scipy.optimize import minimize
+
+from repro.calibration.tomography import TWO_QUBIT_PAULIS, _PREP_STATES
+from repro.gates.unitary import process_fidelity
+
+#: Default repeated-application lengths ("germ powers").
+DEFAULT_SEQUENCE_LENGTHS = (1, 2, 4, 8)
+
+
+@dataclass
+class GstResult:
+    """Outcome of the GST-like refinement."""
+
+    estimated_unitary: np.ndarray
+    initial_unitary: np.ndarray
+    error_generator_norm: float
+    cost: float
+
+    def fidelity_to(self, unitary: np.ndarray) -> float:
+        """Process fidelity between the refined estimate and a reference."""
+        return process_fidelity(self.estimated_unitary, unitary)
+
+
+def _expectation_data(
+    unitary: np.ndarray,
+    lengths: tuple[int, ...],
+    shots: int,
+    rng: np.random.Generator,
+    n_inputs: int = 6,
+    n_paulis: int = 9,
+) -> np.ndarray:
+    """Simulated Pauli expectations after repeated applications of ``unitary``."""
+    inputs = []
+    for ket_a, ket_b in list(product(_PREP_STATES, repeat=2))[:n_inputs]:
+        ket = np.kron(ket_a, ket_b)
+        inputs.append(np.outer(ket, ket.conj()))
+    paulis = TWO_QUBIT_PAULIS[1 : 1 + n_paulis]
+    data = np.zeros((len(lengths), len(inputs), len(paulis)))
+    for li, length in enumerate(lengths):
+        repeated = np.linalg.matrix_power(unitary, length)
+        for k, rho in enumerate(inputs):
+            evolved = repeated @ rho @ repeated.conj().T
+            for i, pauli in enumerate(paulis):
+                expectation = float(np.real(np.trace(pauli @ evolved)))
+                if shots > 0:
+                    p_plus = np.clip((1 + expectation) / 2, 0, 1)
+                    counts = rng.binomial(shots, p_plus)
+                    expectation = 2 * counts / shots - 1
+                data[li, k, i] = expectation
+    return data
+
+
+def _predicted_data(
+    unitary: np.ndarray, lengths: tuple[int, ...], n_inputs: int = 6, n_paulis: int = 9
+) -> np.ndarray:
+    """Noise-free expectations for a candidate gate (model prediction)."""
+    return _expectation_data(unitary, lengths, shots=0, rng=np.random.default_rng(0),
+                             n_inputs=n_inputs, n_paulis=n_paulis)
+
+
+def refine_gate_estimate(
+    true_unitary: np.ndarray,
+    initial_estimate: np.ndarray,
+    shots: int = 4000,
+    lengths: tuple[int, ...] = DEFAULT_SEQUENCE_LENGTHS,
+    rng: np.random.Generator | None = None,
+    max_generators: int = 15,
+) -> GstResult:
+    """Refine ``initial_estimate`` against repeated-gate data from the device.
+
+    The correction is parametrised as ``U = U0 exp(-i sum_a theta_a P_a / 2)``
+    over the 15 non-identity two-qubit Paulis; the thetas are the coherent
+    error-generator coefficients.  The returned ``error_generator_norm`` is
+    the Euclidean norm of the fitted coefficients -- small when QPT already
+    nailed the gate, larger when SPAM or shot noise biased it.
+    """
+    rng = rng if rng is not None else np.random.default_rng(1)
+    true_unitary = np.asarray(true_unitary, dtype=complex)
+    initial_estimate = np.asarray(initial_estimate, dtype=complex)
+    measured = _expectation_data(true_unitary, lengths, shots, rng)
+
+    generators = TWO_QUBIT_PAULIS[1 : 1 + max_generators]
+
+    def candidate(thetas: np.ndarray) -> np.ndarray:
+        generator = sum(t * p for t, p in zip(thetas, generators))
+        return initial_estimate @ expm(-0.5j * generator)
+
+    def cost(thetas: np.ndarray) -> float:
+        predicted = _predicted_data(candidate(thetas), lengths)
+        return float(np.mean((predicted - measured) ** 2))
+
+    x0 = np.zeros(len(generators))
+    result = minimize(cost, x0, method="Powell", options={"maxiter": 2000, "xtol": 1e-6})
+    thetas = result.x
+    refined = candidate(thetas)
+    return GstResult(
+        estimated_unitary=refined,
+        initial_unitary=initial_estimate,
+        error_generator_norm=float(np.linalg.norm(thetas)),
+        cost=float(result.fun),
+    )

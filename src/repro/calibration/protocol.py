@@ -1,0 +1,156 @@
+"""The two-stage calibration protocol of Section VI.
+
+``initial_tuneup`` performs the expensive once-a-month characterisation of an
+edge: coarse tuning to locate the region of interest, QPT of each trajectory
+point in that window, candidate narrowing via the Section V basis-gate
+criteria, and a GST-like refinement of the finalist.  ``retune`` performs the
+cheap daily re-calibration: it re-estimates the trajectory speed (amplitude /
+frequency calibration in the lab) and rescales the stored gate duration,
+reusing everything else from the initial tuneup -- justified by the observed
+day-to-day stability of the measured trajectories (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.calibration.gst import GstResult, refine_gate_estimate
+from repro.calibration.tomography import QptResult, simulate_process_tomography
+from repro.core.basis_selection import BasisGateSelection, select_basis_gate
+from repro.core.trajectory import CartanTrajectory
+from repro.gates.unitary import process_fidelity
+from repro.hamiltonian.effective import EffectiveEntanglerModel
+
+
+@dataclass
+class CalibrationRecord:
+    """Everything learned about one edge during an initial tuneup."""
+
+    strategy: str
+    selection: BasisGateSelection
+    estimated_unitary: np.ndarray
+    true_unitary: np.ndarray
+    qpt_results: list[QptResult] = field(default_factory=list)
+    gst_result: GstResult | None = None
+
+    @property
+    def characterisation_fidelity(self) -> float:
+        """Process fidelity between the final estimate and the true gate."""
+        return process_fidelity(self.estimated_unitary, self.true_unitary)
+
+
+@dataclass
+class RetuneResult:
+    """Outcome of a quick retuning cycle."""
+
+    previous_duration: float
+    retuned_duration: float
+    speed_ratio: float
+    gate_fidelity_after_retune: float
+
+
+@dataclass
+class CalibrationProtocol:
+    """Simulated calibration protocol for one pair of qubits.
+
+    Args:
+        shots: shots per tomography setting.
+        spam_error: preparation/measurement depolarisation used for QPT (the
+            GST stage is insensitive to it by construction).
+        qpt_stride: characterise every ``qpt_stride``-th trajectory point
+            (controller-resolution spacing is rarely needed end to end).
+        run_gst: whether to run the GST-like refinement on the finalist.
+        seed: randomness seed for shot noise.
+    """
+
+    shots: int = 2000
+    spam_error: float = 0.01
+    qpt_stride: int = 4
+    run_gst: bool = True
+    seed: int = 9
+
+    def initial_tuneup(
+        self,
+        model: EffectiveEntanglerModel,
+        strategy: str = "criterion2",
+        max_duration: float | None = None,
+        resolution: float = 1.0,
+    ) -> CalibrationRecord:
+        """Run the full initial-tuneup pipeline on one entangler model."""
+        rng = np.random.default_rng(self.seed)
+
+        # Step 1: coarse tuning -- estimate the region of interest from the
+        # exchange rate (amplitude/frequency calibration in the lab).
+        if max_duration is None:
+            max_duration = 0.7 * np.pi / model.xy_rate
+
+        # Step 2: QPT along the cropped trajectory.
+        durations = np.arange(resolution, max_duration, resolution * self.qpt_stride)
+        qpt_results: list[QptResult] = []
+        estimated_unitaries: list[np.ndarray] = []
+        for duration in durations:
+            true_gate = model.unitary(float(duration))
+            qpt = simulate_process_tomography(
+                true_gate, shots=self.shots, spam_error=self.spam_error, rng=rng
+            )
+            qpt_results.append(qpt)
+            estimated_unitaries.append(qpt.estimated_unitary)
+
+        # Step 3: candidate narrowing with the Section V criteria, applied to
+        # the *estimated* trajectory (what an experimentalist would have).
+        estimated_trajectory = CartanTrajectory.from_unitaries(
+            durations, estimated_unitaries, label="QPT estimate"
+        )
+        selection = select_basis_gate(estimated_trajectory, strategy)
+
+        # Step 4: characterise the selected candidate precisely -- a dedicated
+        # QPT at the selected duration, optionally followed by the GST-like
+        # refinement (the paper's final tuneup step).
+        true_unitary = model.unitary(selection.duration)
+        final_qpt = simulate_process_tomography(
+            true_unitary, shots=self.shots, spam_error=self.spam_error, rng=rng
+        )
+        qpt_results.append(final_qpt)
+        initial_estimate = final_qpt.estimated_unitary
+        gst_result = None
+        estimate = initial_estimate
+        if self.run_gst:
+            gst_result = refine_gate_estimate(
+                true_unitary, initial_estimate, shots=2 * self.shots,
+                rng=np.random.default_rng(self.seed + 1),
+            )
+            estimate = gst_result.estimated_unitary
+
+        return CalibrationRecord(
+            strategy=strategy,
+            selection=selection,
+            estimated_unitary=estimate,
+            true_unitary=true_unitary,
+            qpt_results=qpt_results,
+            gst_result=gst_result,
+        )
+
+    def retune(
+        self,
+        record: CalibrationRecord,
+        drifted_model: EffectiveEntanglerModel,
+        reference_model: EffectiveEntanglerModel,
+    ) -> RetuneResult:
+        """Quick retuning after drift: rescale the stored duration.
+
+        The lab analogue is a 1-5 minute amplitude/frequency calibration; in
+        the simulation the speed ratio comes from comparing the drifted
+        exchange rate to the reference one.
+        """
+        speed_ratio = reference_model.xy_rate / drifted_model.xy_rate
+        new_duration = record.selection.duration * speed_ratio
+        retuned_gate = drifted_model.unitary(new_duration)
+        fidelity = process_fidelity(retuned_gate, record.true_unitary)
+        return RetuneResult(
+            previous_duration=record.selection.duration,
+            retuned_duration=new_duration,
+            speed_ratio=speed_ratio,
+            gate_fidelity_after_retune=fidelity,
+        )

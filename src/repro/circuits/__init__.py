@@ -1,0 +1,35 @@
+"""Quantum-circuit intermediate representation and benchmark generators.
+
+The paper evaluates its basis-gate selection on standard benchmark circuits
+(BV, QFT, the Cuccaro and QFT adders, QAOA); this package provides a small
+gate-level circuit IR, generators for those benchmarks, and an ASAP scheduler
+that turns a circuit plus per-gate durations into per-qubit busy intervals
+(the input to the coherence-limited fidelity model).
+"""
+
+from repro.circuits.circuit import Gate, QuantumCircuit
+from repro.circuits.library import (
+    bernstein_vazirani,
+    cuccaro_adder,
+    ghz_circuit,
+    qaoa_circuit,
+    qft_adder,
+    qft_circuit,
+    random_two_qubit_circuit,
+)
+from repro.circuits.scheduling import ScheduledCircuit, ScheduledOperation, schedule_asap
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "bernstein_vazirani",
+    "cuccaro_adder",
+    "ghz_circuit",
+    "qaoa_circuit",
+    "qft_adder",
+    "qft_circuit",
+    "random_two_qubit_circuit",
+    "ScheduledCircuit",
+    "ScheduledOperation",
+    "schedule_asap",
+]

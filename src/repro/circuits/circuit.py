@@ -1,0 +1,349 @@
+"""A minimal gate-level quantum circuit IR.
+
+The IR is intentionally small: a circuit is an ordered list of named gates on
+integer qubits with optional real parameters.  Matrices for the supported
+gates are available through :meth:`Gate.matrix`, and small circuits can be
+turned into a full unitary for testing with :meth:`QuantumCircuit.unitary`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.gates.constants import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY_1Q,
+    ISWAP,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    S_GATE,
+    SQRT_ISWAP,
+    SWAP,
+    T_GATE,
+)
+from repro.gates.single_qubit import rx, ry, rz, u3
+from repro.gates.two_qubit import controlled_phase, rzz
+
+#: Names of gates that act on two qubits.
+TWO_QUBIT_GATE_NAMES = frozenset(
+    {"cx", "cz", "swap", "iswap", "sqrt_iswap", "cp", "rzz", "unitary2q"}
+)
+
+#: Names of gates that act on one qubit.
+ONE_QUBIT_GATE_NAMES = frozenset(
+    {"h", "x", "y", "z", "s", "t", "sdg", "tdg", "rx", "ry", "rz", "u3", "id"}
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A named gate applied to specific qubits.
+
+    Attributes:
+        name: lower-case gate name (see ``ONE_QUBIT_GATE_NAMES`` /
+            ``TWO_QUBIT_GATE_NAMES``).
+        qubits: qubit indices the gate acts on, in gate order (control first
+            for ``cx`` and ``cp``).
+        params: real gate parameters (rotation angles).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits the gate touches."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit gates."""
+        return self.name in TWO_QUBIT_GATE_NAMES
+
+    def matrix(self) -> np.ndarray:
+        """The gate's unitary matrix (2x2 or 4x4)."""
+        name = self.name
+        if name == "h":
+            return HADAMARD
+        if name == "x":
+            return PAULI_X
+        if name == "y":
+            return PAULI_Y
+        if name == "z":
+            return PAULI_Z
+        if name == "s":
+            return S_GATE
+        if name == "sdg":
+            return S_GATE.conj().T
+        if name == "t":
+            return T_GATE
+        if name == "tdg":
+            return T_GATE.conj().T
+        if name == "id":
+            return IDENTITY_1Q
+        if name == "rx":
+            return rx(self.params[0])
+        if name == "ry":
+            return ry(self.params[0])
+        if name == "rz":
+            return rz(self.params[0])
+        if name == "u3":
+            return u3(*self.params)
+        if name == "cx":
+            return CNOT
+        if name == "cz":
+            return CZ
+        if name == "swap":
+            return SWAP
+        if name == "iswap":
+            return ISWAP
+        if name == "sqrt_iswap":
+            return SQRT_ISWAP
+        if name == "cp":
+            return controlled_phase(self.params[0])
+        if name == "rzz":
+            return rzz(self.params[0])
+        raise ValueError(f"no matrix known for gate {self.name!r}")
+
+    def with_qubits(self, *qubits: int) -> "Gate":
+        """Copy of the gate acting on different qubits."""
+        return Gate(self.name, tuple(qubits), self.params)
+
+
+class QuantumCircuit:
+    """An ordered list of gates on ``n_qubits`` qubits."""
+
+    def __init__(self, n_qubits: int, name: str = ""):
+        if n_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.n_qubits = n_qubits
+        self.name = name
+        self.gates: list[Gate] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a pre-built gate, validating its qubit indices."""
+        for q in gate.qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit {q} out of range for {self.n_qubits}-qubit circuit")
+        if len(set(gate.qubits)) != len(gate.qubits):
+            raise ValueError(f"gate {gate.name} repeats a qubit: {gate.qubits}")
+        self.gates.append(gate)
+        return self
+
+    def add(self, name: str, qubits: Iterable[int], params: Iterable[float] = ()) -> "QuantumCircuit":
+        """Append a gate by name."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Single-qubit helpers.
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("h", [q])
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("x", [q])
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("y", [q])
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("z", [q])
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("s", [q])
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("t", [q])
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("tdg", [q])
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rx", [q], [theta])
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("ry", [q], [theta])
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rz", [q], [theta])
+
+    # Two-qubit helpers.
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cx", [control, target])
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("cz", [a, b])
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", [a, b])
+
+    def cp(self, phi: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cp", [control, target], [phi])
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("rzz", [a, b], [theta])
+
+    def ccx(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
+        """Toffoli gate, expanded into the standard 6-CNOT construction.
+
+        Benchmarks are specified at the 1Q/2Q gate level (as in the paper), so
+        three-qubit gates are expanded eagerly.
+        """
+        c1, c2, t = control1, control2, target
+        self.h(t)
+        self.cx(c2, t)
+        self.tdg(t)
+        self.cx(c1, t)
+        self.t(t)
+        self.cx(c2, t)
+        self.tdg(t)
+        self.cx(c1, t)
+        self.t(c2)
+        self.t(t)
+        self.h(t)
+        self.cx(c1, c2)
+        self.t(c1)
+        self.tdg(c2)
+        self.cx(c1, c2)
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def two_qubit_gates(self) -> list[Gate]:
+        """All two-qubit gates in order."""
+        return [g for g in self.gates if g.is_two_qubit]
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one time step."""
+        frontier = [0] * self.n_qubits
+        depth = 0
+        for gate in self.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+            depth = max(depth, level)
+        return depth
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only two-qubit gates."""
+        frontier = [0] * self.n_qubits
+        depth = 0
+        for gate in self.gates:
+            if not gate.is_two_qubit:
+                continue
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+            depth = max(depth, level)
+        return depth
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable)."""
+        new = QuantumCircuit(self.n_qubits, self.name)
+        new.gates = list(self.gates)
+        return new
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append another circuit (same width) to this one, in place."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("circuit widths differ")
+        for gate in other.gates:
+            self.append(gate)
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Inverse circuit (reverses order and inverts each gate).
+
+        Only gates with simple inverses are supported; parameterised gates
+        negate their angle, self-inverse gates are kept, ``s``/``t`` map to
+        their daggers.
+        """
+        inv = QuantumCircuit(self.n_qubits, f"{self.name}_inv" if self.name else "")
+        mapping = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        for gate in reversed(self.gates):
+            if gate.name in {"rx", "ry", "rz", "cp", "rzz"}:
+                inv.add(gate.name, gate.qubits, [-p for p in gate.params])
+            elif gate.name in mapping:
+                inv.add(mapping[gate.name], gate.qubits)
+            elif gate.name in {"h", "x", "y", "z", "cx", "cz", "swap", "id"}:
+                inv.add(gate.name, gate.qubits)
+            else:
+                raise ValueError(f"cannot invert gate {gate.name!r}")
+        return inv
+
+    # -- simulation (for tests and small examples) -------------------------------
+
+    def unitary(self, max_qubits: int = 10) -> np.ndarray:
+        """Full unitary of the circuit (little circuits only).
+
+        Qubit 0 is the most significant bit of the state index.
+        """
+        if self.n_qubits > max_qubits:
+            raise ValueError(
+                f"refusing to build a dense unitary on {self.n_qubits} qubits"
+            )
+        dim = 2**self.n_qubits
+        total = np.eye(dim, dtype=complex)
+        for gate in self.gates:
+            total = self._embed(gate) @ total
+        return total
+
+    def _embed(self, gate: Gate) -> np.ndarray:
+        """Embed a 1- or 2-qubit gate matrix into the full Hilbert space."""
+        n = self.n_qubits
+        dim = 2**n
+        matrix = gate.matrix()
+        embedded = np.zeros((dim, dim), dtype=complex)
+        if gate.n_qubits == 1:
+            (q,) = gate.qubits
+            for index in range(dim):
+                bit = (index >> (n - 1 - q)) & 1
+                for new_bit in range(2):
+                    amplitude = matrix[new_bit, bit]
+                    if amplitude == 0:
+                        continue
+                    new_index = index & ~(1 << (n - 1 - q)) | (new_bit << (n - 1 - q))
+                    embedded[new_index, index] += amplitude
+            return embedded
+        if gate.n_qubits == 2:
+            q0, q1 = gate.qubits
+            for index in range(dim):
+                b0 = (index >> (n - 1 - q0)) & 1
+                b1 = (index >> (n - 1 - q1)) & 1
+                col = b0 * 2 + b1
+                for row in range(4):
+                    amplitude = matrix[row, col]
+                    if amplitude == 0:
+                        continue
+                    nb0, nb1 = row >> 1, row & 1
+                    new_index = index
+                    new_index = new_index & ~(1 << (n - 1 - q0)) | (nb0 << (n - 1 - q0))
+                    new_index = new_index & ~(1 << (n - 1 - q1)) | (nb1 << (n - 1 - q1))
+                    embedded[new_index, index] += amplitude
+            return embedded
+        raise ValueError("only 1- and 2-qubit gates can be embedded")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<QuantumCircuit{label}: {self.n_qubits} qubits, {len(self.gates)} gates>"

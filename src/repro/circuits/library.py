@@ -1,0 +1,197 @@
+"""Benchmark circuit generators (Section VIII-C / Table II).
+
+The generators mirror the benchmarks of the paper's case study:
+
+* ``bv n`` -- Bernstein-Vazirani on ``n`` qubits (``n - 1`` secret bits plus
+  one ancilla);
+* ``qft n`` -- the quantum Fourier transform;
+* ``cuccaro n`` -- the Cuccaro ripple-carry adder on ``n`` qubits total;
+* ``qaoa p n`` -- one round (p = 1) of QAOA on an Erdos-Renyi graph with edge
+  probability ``p``;
+* ``qft_adder n`` -- the Draper/Ruiz-Perez QFT-based adder.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def bernstein_vazirani(n_qubits: int, secret: str | None = None) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit on ``n_qubits`` (last qubit is the ancilla).
+
+    ``secret`` is a bit string of length ``n_qubits - 1``; the default is the
+    all-ones string, which maximises the number of CNOTs (the hardest case
+    for routing and the one consistent with the paper's scaling study).
+    """
+    if n_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least two qubits")
+    n_secret = n_qubits - 1
+    secret = "1" * n_secret if secret is None else secret
+    if len(secret) != n_secret or any(ch not in "01" for ch in secret):
+        raise ValueError(f"secret must be a bit string of length {n_secret}")
+    circuit = QuantumCircuit(n_qubits, name=f"bv_{n_qubits}")
+    ancilla = n_qubits - 1
+    for q in range(n_secret):
+        circuit.h(q)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(q, ancilla)
+    for q in range(n_secret):
+        circuit.h(q)
+    circuit.h(ancilla)
+    return circuit
+
+
+def qft_circuit(n_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform on ``n_qubits``.
+
+    Uses the textbook construction: a Hadamard on each qubit followed by
+    controlled-phase rotations of angle ``pi / 2^k``, with optional final
+    SWAPs to restore qubit ordering.
+    """
+    if n_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(n_qubits, name=f"qft_{n_qubits}")
+    for target in range(n_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, n_qubits), start=1):
+            circuit.cp(math.pi / (2**offset), control, target)
+    if do_swaps:
+        for q in range(n_qubits // 2):
+            circuit.swap(q, n_qubits - 1 - q)
+    return circuit
+
+
+def qft_adder(n_bits: int) -> QuantumCircuit:
+    """Draper-style adder |a>|b> -> |a>|a+b> using the QFT (Ruiz-Perez et al.).
+
+    Uses ``2 * n_bits`` qubits: the first register holds ``a``, the second is
+    Fourier transformed, phase-rotated conditionally on ``a`` and transformed
+    back.
+    """
+    if n_bits < 1:
+        raise ValueError("adder needs at least one bit per register")
+    n_qubits = 2 * n_bits
+    circuit = QuantumCircuit(n_qubits, name=f"qft_adder_{n_qubits}")
+    a_register = list(range(n_bits))
+    b_register = list(range(n_bits, 2 * n_bits))
+
+    qft_part = qft_circuit(n_bits, do_swaps=False)
+    for gate in qft_part.gates:
+        circuit.add(gate.name, [b_register[q] for q in gate.qubits], gate.params)
+
+    for i, a_qubit in enumerate(a_register):
+        for j, b_qubit in enumerate(b_register):
+            k = i - j
+            if k < 0:
+                continue
+            circuit.cp(math.pi / (2**k), a_qubit, b_qubit)
+
+    inverse_qft = qft_circuit(n_bits, do_swaps=False).inverse()
+    for gate in inverse_qft.gates:
+        circuit.add(gate.name, [b_register[q] for q in gate.qubits], gate.params)
+    return circuit
+
+
+def cuccaro_adder(n_qubits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder using ``n_qubits`` qubits in total.
+
+    The construction uses two ``n``-bit registers, one carry-in and one
+    carry-out qubit (``n_qubits = 2n + 2``); ``n_qubits`` not of that form is
+    rounded down to the largest adder that fits, keeping the requested width
+    (extra qubits stay idle), which matches how benchmark suites scale the
+    "cuccaro n" circuits.
+    """
+    if n_qubits < 4:
+        raise ValueError("the Cuccaro adder needs at least 4 qubits")
+    n_bits = (n_qubits - 2) // 2
+    circuit = QuantumCircuit(n_qubits, name=f"cuccaro_{n_qubits}")
+    carry_in = 0
+    a_register = [1 + 2 * i for i in range(n_bits)]
+    b_register = [2 + 2 * i for i in range(n_bits)]
+    carry_out = 2 * n_bits + 1
+
+    def maj(c: int, b: int, a: int) -> None:
+        circuit.cx(a, b)
+        circuit.cx(a, c)
+        circuit.ccx(c, b, a)
+
+    def uma(c: int, b: int, a: int) -> None:
+        circuit.ccx(c, b, a)
+        circuit.cx(a, c)
+        circuit.cx(c, b)
+
+    maj(carry_in, b_register[0], a_register[0])
+    for i in range(1, n_bits):
+        maj(a_register[i - 1], b_register[i], a_register[i])
+    circuit.cx(a_register[n_bits - 1], carry_out)
+    for i in reversed(range(1, n_bits)):
+        uma(a_register[i - 1], b_register[i], a_register[i])
+    uma(carry_in, b_register[0], a_register[0])
+    return circuit
+
+
+def qaoa_circuit(
+    n_qubits: int,
+    edge_probability: float = 0.1,
+    gamma: float = 0.8,
+    beta: float = 0.4,
+    p_rounds: int = 1,
+    seed: int = 7,
+) -> QuantumCircuit:
+    """One QAOA instance on an Erdos-Renyi graph (MaxCut cost Hamiltonian).
+
+    The paper's benchmarks use ``p = 1`` and edge probabilities 0.1 and 0.33;
+    the circuit is the usual alternation of a ZZ cost layer over the graph's
+    edges and an RX mixer layer.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge probability must be in [0, 1]")
+    graph = nx.gnp_random_graph(n_qubits, edge_probability, seed=seed)
+    circuit = QuantumCircuit(
+        n_qubits, name=f"qaoa_{edge_probability}_{n_qubits}"
+    )
+    for q in range(n_qubits):
+        circuit.h(q)
+    for _ in range(p_rounds):
+        for u, v in sorted(graph.edges()):
+            circuit.rzz(2.0 * gamma, u, v)
+        for q in range(n_qubits):
+            circuit.rx(2.0 * beta, q)
+    circuit.graph = graph  # type: ignore[attr-defined]
+    return circuit
+
+
+def ghz_circuit(n_qubits: int) -> QuantumCircuit:
+    """A GHZ-state preparation circuit (used in examples and tests)."""
+    circuit = QuantumCircuit(n_qubits, name=f"ghz_{n_qubits}")
+    circuit.h(0)
+    for q in range(1, n_qubits):
+        circuit.cx(q - 1, q)
+    return circuit
+
+
+def random_two_qubit_circuit(
+    n_qubits: int, n_gates: int, seed: int = 3
+) -> QuantumCircuit:
+    """A random circuit of CX/CZ/SWAP/CP gates on random pairs (test workload)."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(n_qubits, name=f"random_{n_qubits}_{n_gates}")
+    names = ["cx", "cz", "swap", "cp"]
+    for _ in range(n_gates):
+        a, b = rng.choice(n_qubits, size=2, replace=False)
+        name = names[int(rng.integers(len(names)))]
+        if name == "cp":
+            circuit.cp(float(rng.uniform(0.1, np.pi)), int(a), int(b))
+        else:
+            circuit.add(name, [int(a), int(b)])
+        if rng.random() < 0.5:
+            circuit.rz(float(rng.uniform(0, np.pi)), int(rng.integers(n_qubits)))
+    return circuit

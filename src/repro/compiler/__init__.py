@@ -1,0 +1,38 @@
+"""Compiler: mapping, routing and basis translation onto the device.
+
+The pipeline mirrors the paper's methodology (Section VIII-C):
+
+1. **Layout** -- choose an initial assignment of logical qubits to physical
+   qubits (SABRE-style iterated layout).
+2. **Routing** -- insert SWAP gates so every two-qubit gate acts on coupled
+   qubits (SABRE-style heuristic router).
+3. **Basis translation** -- replace every two-qubit gate with the per-edge
+   basis-gate decomposition (direct decomposition for SWAP/CNOT, lowering to
+   CNOT for other gates under the nonstandard criteria, direct analytic-style
+   decomposition for the baseline sqrt(iSWAP)).
+4. **Scheduling + fidelity** -- ASAP schedule and coherence-limited fidelity.
+"""
+
+from repro.compiler.layout import greedy_subgraph_layout, sabre_layout, trivial_layout
+from repro.compiler.routing import SabreRouter, RoutingResult
+from repro.compiler.basis_translation import (
+    TranslatedOperation,
+    TranslationOptions,
+    lower_to_cnot,
+    translate_circuit,
+)
+from repro.compiler.transpile import CompiledCircuit, transpile
+
+__all__ = [
+    "greedy_subgraph_layout",
+    "sabre_layout",
+    "trivial_layout",
+    "SabreRouter",
+    "RoutingResult",
+    "TranslatedOperation",
+    "TranslationOptions",
+    "lower_to_cnot",
+    "translate_circuit",
+    "CompiledCircuit",
+    "transpile",
+]

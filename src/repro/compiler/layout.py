@@ -1,0 +1,127 @@
+"""Initial layout of logical qubits onto physical qubits.
+
+Three strategies are provided, in increasing order of quality:
+
+* :func:`trivial_layout` -- logical ``i`` onto physical ``i``;
+* :func:`greedy_subgraph_layout` -- place heavily interacting logical qubits
+  on adjacent physical qubits, starting from the centre of the device;
+* :func:`sabre_layout` -- iterate forward/backward routing passes using the
+  final mapping of one pass as the initial mapping of the next (the SABRE
+  layout trick used by the paper via Qiskit's "SABRE" layout method).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def trivial_layout(circuit: QuantumCircuit, device) -> dict[int, int]:
+    """Map logical qubit ``i`` to physical qubit ``i``."""
+    if circuit.n_qubits > device.n_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.n_qubits} qubits but the device has {device.n_qubits}"
+        )
+    return {q: q for q in range(circuit.n_qubits)}
+
+
+def interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
+    """Weighted graph of two-qubit interactions in the circuit."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.n_qubits))
+    for gate in circuit.two_qubit_gates():
+        a, b = gate.qubits
+        if graph.has_edge(a, b):
+            graph[a][b]["weight"] += 1
+        else:
+            graph.add_edge(a, b, weight=1)
+    return graph
+
+
+def greedy_subgraph_layout(
+    circuit: QuantumCircuit, device, seed: int = 0
+) -> dict[int, int]:
+    """Greedy placement of the interaction graph onto the device.
+
+    Logical qubits are placed in decreasing order of interaction weight; each
+    is assigned the free physical qubit minimising the total distance to the
+    already-placed logical qubits it interacts with.
+    """
+    if circuit.n_qubits > device.n_qubits:
+        raise ValueError("circuit does not fit on the device")
+    rng = np.random.default_rng(seed)
+    graph = interaction_graph(circuit)
+    order = sorted(
+        graph.nodes,
+        key=lambda q: sum(d["weight"] for _, _, d in graph.edges(q, data=True)),
+        reverse=True,
+    )
+    # Start near the centre of the device so growth has room in every direction.
+    center = _device_center(device)
+    free = set(range(device.n_qubits))
+    layout: dict[int, int] = {}
+    for logical in order:
+        placed_neighbors = [
+            (other, graph[logical][other]["weight"])
+            for other in graph.neighbors(logical)
+            if other in layout
+        ]
+        if not placed_neighbors:
+            # Choose the free qubit closest to the centre.
+            candidates = sorted(free, key=lambda p: device.distance(p, center))
+            choice = candidates[0]
+        else:
+            def cost(p: int) -> float:
+                return sum(
+                    weight * device.distance(p, layout[other])
+                    for other, weight in placed_neighbors
+                )
+
+            best_cost = min(cost(p) for p in free)
+            best = [p for p in free if cost(p) <= best_cost + 1e-9]
+            choice = int(best[rng.integers(len(best))]) if len(best) > 1 else best[0]
+        layout[logical] = choice
+        free.discard(choice)
+    # Any isolated logical qubits not yet placed (no 2Q gates at all).
+    for logical in range(circuit.n_qubits):
+        if logical not in layout:
+            candidates = sorted(free, key=lambda p: device.distance(p, center))
+            layout[logical] = candidates[0]
+            free.discard(candidates[0])
+    return layout
+
+
+def sabre_layout(
+    circuit: QuantumCircuit, device, router=None, iterations: int = 2, seed: int = 0
+) -> dict[int, int]:
+    """SABRE layout: alternate forward and reverse routing passes.
+
+    Each pass routes the circuit (or its reverse) from the current layout and
+    adopts the *final* mapping as the next initial layout; the reverse pass
+    makes the layout sensitive to the end of the circuit as well as the start.
+    """
+    from repro.compiler.routing import SabreRouter
+
+    router = router if router is not None else SabreRouter(device, seed=seed)
+    layout = greedy_subgraph_layout(circuit, device, seed=seed)
+    reversed_circuit = circuit.copy()
+    reversed_circuit.gates = list(reversed(circuit.gates))
+    for iteration in range(iterations):
+        forward = router.run(circuit, layout)
+        layout = forward.final_layout
+        backward = router.run(reversed_circuit, layout)
+        layout = backward.final_layout
+    return layout
+
+
+def _device_center(device) -> int:
+    """Physical qubit with the smallest eccentricity (centre of the device)."""
+    best_qubit = 0
+    best_ecc = None
+    for q in range(device.n_qubits):
+        ecc = max(device.distance(q, other) for other in range(device.n_qubits))
+        if best_ecc is None or ecc < best_ecc:
+            best_qubit, best_ecc = q, ecc
+    return best_qubit

@@ -1,0 +1,227 @@
+"""SABRE-style heuristic routing (Li, Ding, Xie -- ASPLOS 2019).
+
+Given a circuit over *logical* qubits and an initial layout onto the device's
+physical qubits, insert SWAP gates so that every two-qubit gate acts on
+physically coupled qubits.  The router keeps a *front layer* of gates whose
+per-qubit predecessors have all been executed; when no front gate is
+executable it inserts the SWAP that minimises a distance heuristic with a
+look-ahead term over the next few pending gates and a decay factor that
+discourages ping-ponging the same qubits.
+
+The high SWAP count this pass produces on sparse lattices is exactly why the
+paper prioritises SWAP synthesis when choosing basis gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Gate, QuantumCircuit
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing a circuit onto the device."""
+
+    circuit: QuantumCircuit
+    initial_layout: dict[int, int]
+    final_layout: dict[int, int]
+    swap_count: int
+
+
+@dataclass
+class SabreRouter:
+    """A SABRE-style router over an arbitrary coupling graph.
+
+    Args:
+        device: object exposing ``n_qubits``, ``has_edge(a, b)``,
+            ``neighbors(q)`` and ``distance(a, b)`` (e.g.
+            :class:`repro.device.device.Device`).
+        lookahead_size: number of not-yet-routable two-qubit gates included in
+            the extended (look-ahead) set.
+        lookahead_weight: weight of the extended set in the heuristic.
+        decay_increment: decay added to a qubit each time it is swapped.
+        seed: tie-breaking randomness seed.
+    """
+
+    device: object
+    lookahead_size: int = 20
+    lookahead_weight: float = 0.5
+    decay_increment: float = 0.001
+    seed: int = 17
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self, circuit: QuantumCircuit, initial_layout: dict[int, int]
+    ) -> RoutingResult:
+        """Route ``circuit`` starting from ``initial_layout``.
+
+        The returned circuit acts on *physical* qubit indices and contains the
+        original gates (re-indexed) plus inserted ``swap`` gates.
+        """
+        layout = dict(initial_layout)
+        self._validate_layout(circuit, layout)
+        physical_of = dict(layout)  # logical -> physical
+
+        routed = QuantumCircuit(self.device.n_qubits, name=f"{circuit.name}_routed")
+        remaining = list(circuit.gates)
+        # Per-logical-qubit pointer to the next unexecuted gate index.
+        pending_idx = 0
+        n = len(remaining)
+        executed = [False] * n
+        # Build per-qubit gate order for dependency tracking.
+        per_qubit: dict[int, list[int]] = {q: [] for q in range(circuit.n_qubits)}
+        for i, gate in enumerate(remaining):
+            for q in gate.qubits:
+                per_qubit[q].append(i)
+        next_ptr = {q: 0 for q in range(circuit.n_qubits)}
+
+        def gate_ready(i: int) -> bool:
+            gate = remaining[i]
+            return all(
+                per_qubit[q][next_ptr[q]] == i if next_ptr[q] < len(per_qubit[q]) else False
+                for q in gate.qubits
+            )
+
+        def advance(i: int) -> None:
+            executed[i] = True
+            for q in remaining[i].qubits:
+                next_ptr[q] += 1
+
+        swap_count = 0
+        decay = np.ones(self.device.n_qubits)
+        stall_guard = 0
+        max_stall = 10 * n + 1000
+
+        while not all(executed):
+            progressed = False
+            # Execute everything currently executable (1Q always; 2Q if coupled).
+            for i in range(pending_idx, n):
+                if executed[i] or not gate_ready(i):
+                    continue
+                gate = remaining[i]
+                if not gate.is_two_qubit:
+                    routed.append(gate.with_qubits(*[physical_of[q] for q in gate.qubits]))
+                    advance(i)
+                    progressed = True
+                    continue
+                p0, p1 = physical_of[gate.qubits[0]], physical_of[gate.qubits[1]]
+                if self.device.has_edge(p0, p1):
+                    routed.append(gate.with_qubits(p0, p1))
+                    advance(i)
+                    progressed = True
+            while pending_idx < n and executed[pending_idx]:
+                pending_idx += 1
+            if all(executed):
+                break
+            if progressed:
+                decay[:] = 1.0
+                continue
+
+            stall_guard += 1
+            if stall_guard > max_stall:
+                raise RuntimeError("router failed to make progress (internal error)")
+
+            front = [
+                remaining[i]
+                for i in range(pending_idx, n)
+                if not executed[i] and gate_ready(i) and remaining[i].is_two_qubit
+            ]
+            extended = self._extended_set(remaining, executed, pending_idx, n)
+            best_swap = self._choose_swap(front, extended, physical_of, decay)
+            a_phys, b_phys = best_swap
+            routed.swap(a_phys, b_phys)
+            swap_count += 1
+            decay[a_phys] += self.decay_increment
+            decay[b_phys] += self.decay_increment
+            # Update the logical->physical mapping.
+            inverse = {p: l for l, p in physical_of.items()}
+            la, lb = inverse.get(a_phys), inverse.get(b_phys)
+            if la is not None:
+                physical_of[la] = b_phys
+            if lb is not None:
+                physical_of[lb] = a_phys
+
+        return RoutingResult(
+            circuit=routed,
+            initial_layout=dict(initial_layout),
+            final_layout=dict(physical_of),
+            swap_count=swap_count,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _validate_layout(self, circuit: QuantumCircuit, layout: dict[int, int]) -> None:
+        if len(layout) < circuit.n_qubits:
+            raise ValueError("layout must map every logical qubit")
+        physical = list(layout.values())
+        if len(set(physical)) != len(physical):
+            raise ValueError("layout maps two logical qubits to one physical qubit")
+        for p in physical:
+            if not 0 <= p < self.device.n_qubits:
+                raise ValueError(f"physical qubit {p} outside the device")
+
+    def _extended_set(self, remaining, executed, pending_idx, n) -> list[Gate]:
+        extended: list[Gate] = []
+        for i in range(pending_idx, n):
+            if executed[i] or not remaining[i].is_two_qubit:
+                continue
+            extended.append(remaining[i])
+            if len(extended) >= self.lookahead_size:
+                break
+        return extended
+
+    def _choose_swap(
+        self,
+        front: list[Gate],
+        extended: list[Gate],
+        physical_of: dict[int, int],
+        decay: np.ndarray,
+    ) -> tuple[int, int]:
+        """Pick the SWAP minimising the SABRE heuristic."""
+        if not front:
+            raise RuntimeError("no two-qubit gate in the front layer while stalled")
+        candidate_swaps: set[tuple[int, int]] = set()
+        for gate in front:
+            for logical in gate.qubits:
+                phys = physical_of[logical]
+                for neighbor in self.device.neighbors(phys):
+                    candidate_swaps.add(tuple(sorted((phys, neighbor))))
+
+        def score(swap: tuple[int, int]) -> float:
+            a, b = swap
+            # Apply the swap to a temporary mapping.
+            trial = dict(physical_of)
+            inverse = {p: l for l, p in trial.items()}
+            la, lb = inverse.get(a), inverse.get(b)
+            if la is not None:
+                trial[la] = b
+            if lb is not None:
+                trial[lb] = a
+            front_cost = sum(
+                self.device.distance(trial[g.qubits[0]], trial[g.qubits[1]]) for g in front
+            )
+            front_cost /= max(len(front), 1)
+            extended_cost = 0.0
+            if extended:
+                extended_cost = sum(
+                    self.device.distance(trial[g.qubits[0]], trial[g.qubits[1]])
+                    for g in extended
+                ) / len(extended)
+            return float(
+                max(decay[a], decay[b])
+                * (front_cost + self.lookahead_weight * extended_cost)
+            )
+
+        swaps = sorted(candidate_swaps)
+        scores = np.array([score(s) for s in swaps])
+        best = np.flatnonzero(scores <= scores.min() + 1e-12)
+        choice = int(best[self._rng.integers(len(best))]) if len(best) > 1 else int(best[0])
+        return swaps[choice]

@@ -1,0 +1,52 @@
+"""Core contribution: per-pair basis-gate selection from Cartan trajectories.
+
+This package implements Section V-E of the paper: given the Cartan trajectory
+traced out by a pair's entangling pulse as its duration grows, select the 2Q
+basis gate for that pair according to a configurable criterion:
+
+* **Baseline** -- the sqrt(iSWAP)-equivalent point on the slow, standard
+  trajectory (the comparison point of the case study);
+* **Criterion 1** -- the fastest gate on the trajectory able to synthesize
+  SWAP in three layers;
+* **Criterion 2** -- the fastest gate able to synthesize SWAP in three layers
+  *and* CNOT in two layers.
+
+The framework is deliberately extensible: any predicate over Cartan
+coordinates can serve as a selection criterion (e.g. "fastest perfect
+entangler that gives SWAP in three layers").
+"""
+
+from repro.core.trajectory import CartanTrajectory, TrajectoryPoint
+from repro.core.basis_selection import (
+    BaselineSqrtIswapStrategy,
+    BasisGateSelection,
+    CompositeCriterionStrategy,
+    Criterion1Strategy,
+    Criterion2Strategy,
+    PredicateStrategy,
+    SelectionStrategy,
+    select_basis_gate,
+)
+from repro.core.regions import (
+    cnot2_feasible_volume_fraction,
+    mirror_trajectory,
+    swap2_segments,
+    swap3_feasible_volume_fraction,
+)
+
+__all__ = [
+    "CartanTrajectory",
+    "TrajectoryPoint",
+    "BaselineSqrtIswapStrategy",
+    "BasisGateSelection",
+    "CompositeCriterionStrategy",
+    "Criterion1Strategy",
+    "Criterion2Strategy",
+    "PredicateStrategy",
+    "SelectionStrategy",
+    "select_basis_gate",
+    "cnot2_feasible_volume_fraction",
+    "mirror_trajectory",
+    "swap2_segments",
+    "swap3_feasible_volume_fraction",
+]

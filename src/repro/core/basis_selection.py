@@ -1,0 +1,226 @@
+"""Basis-gate selection strategies (Section V-E of the paper).
+
+Each strategy inspects a pair's Cartan trajectory and returns the duration --
+and hence the gate -- that should be calibrated as that pair's two-qubit basis
+gate.  Criteria 1 and 2 are the two strategies evaluated in the case study;
+the baseline strategy picks the sqrt(iSWAP)-equivalent gate from the standard
+(low-drive) trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.trajectory import CartanTrajectory
+from repro.synthesis.depth import (
+    can_synthesize_cnot_in_2_layers,
+    can_synthesize_swap_in_3_layers,
+)
+from repro.weyl.cartan import canonicalize_coordinates
+from repro.weyl.chamber import WEYL_POINTS, point_distance
+from repro.weyl.entangling_power import is_perfect_entangler
+
+Coords = tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class BasisGateSelection:
+    """The outcome of selecting a basis gate from a trajectory.
+
+    Attributes:
+        strategy: name of the selection strategy.
+        duration: pulse duration of the selected gate (ns).
+        coordinates: canonical Cartan coordinates of the selected gate.
+        unitary: 4x4 unitary of the gate (None when the trajectory carries no
+            gate model).
+        swap_layers: number of layers needed to synthesize SWAP with this gate.
+        cnot_layers: number of layers needed to synthesize CNOT with this gate.
+    """
+
+    strategy: str
+    duration: float
+    coordinates: Coords
+    unitary: np.ndarray | None
+    swap_layers: int
+    cnot_layers: int
+
+
+class SelectionStrategy:
+    """Base class for basis-gate selection strategies."""
+
+    name = "base"
+
+    def predicate(self, coords: Coords) -> bool:
+        """Feasibility predicate the selected gate must satisfy."""
+        raise NotImplementedError
+
+    def select(self, trajectory: CartanTrajectory) -> BasisGateSelection:
+        """Select the fastest gate on ``trajectory`` satisfying the predicate."""
+        duration = trajectory.first_duration_where(self.predicate)
+        if duration is None:
+            raise ValueError(
+                f"strategy {self.name!r} found no suitable gate on trajectory "
+                f"{trajectory.label!r}"
+            )
+        coords = trajectory.coordinates_at(duration)
+        unitary = None
+        if trajectory.gate_model is not None:
+            unitary = trajectory.unitary_at(duration)
+        swap_layers = _swap_layer_count(coords)
+        cnot_layers = 2 if can_synthesize_cnot_in_2_layers(coords) else 3
+        return BasisGateSelection(
+            strategy=self.name,
+            duration=float(duration),
+            coordinates=coords,
+            unitary=unitary,
+            swap_layers=swap_layers,
+            cnot_layers=cnot_layers,
+        )
+
+
+def _swap_layer_count(coords: Coords) -> int:
+    """Layer count for SWAP from a basis gate at ``coords`` (1, 2, 3 or 4)."""
+    from repro.synthesis.depth import (
+        can_synthesize_swap_in_1_layer,
+        can_synthesize_swap_in_2_layers,
+    )
+
+    if can_synthesize_swap_in_1_layer(coords):
+        return 1
+    if can_synthesize_swap_in_2_layers(coords):
+        return 2
+    if can_synthesize_swap_in_3_layers(coords):
+        return 3
+    return 4
+
+
+class Criterion1Strategy(SelectionStrategy):
+    """Criterion 1: fastest gate able to synthesize SWAP in three layers."""
+
+    name = "criterion1"
+
+    def predicate(self, coords: Coords) -> bool:
+        return can_synthesize_swap_in_3_layers(coords)
+
+
+class Criterion2Strategy(SelectionStrategy):
+    """Criterion 2: fastest gate giving SWAP in 3 layers and CNOT in 2."""
+
+    name = "criterion2"
+
+    def predicate(self, coords: Coords) -> bool:
+        return can_synthesize_swap_in_3_layers(coords) and can_synthesize_cnot_in_2_layers(
+            coords
+        )
+
+
+class BaselineSqrtIswapStrategy(SelectionStrategy):
+    """Baseline: the sqrt(iSWAP)-equivalent gate on a standard trajectory.
+
+    On an ideal XY trajectory the first gate able to synthesize SWAP in three
+    layers *is* sqrt(iSWAP); on nearly standard trajectories the selected gate
+    is the closest sampled gate to sqrt(iSWAP).  A tolerance guards against
+    picking a genuinely nonstandard gate by accident.
+    """
+
+    name = "baseline"
+
+    def __init__(self, tolerance: float = 0.08):
+        self.tolerance = tolerance
+
+    def predicate(self, coords: Coords) -> bool:
+        return can_synthesize_swap_in_3_layers(coords)
+
+    def select(self, trajectory: CartanTrajectory) -> BasisGateSelection:
+        selection = super().select(trajectory)
+        target = WEYL_POINTS["SQRT_ISWAP"]
+        distance = point_distance(selection.coordinates, target)
+        if distance > self.tolerance:
+            raise ValueError(
+                "baseline strategy expected a (near-)standard trajectory but the "
+                f"selected gate {selection.coordinates} is {distance:.3f} away from "
+                "sqrt(iSWAP); use Criterion 1/2 for nonstandard trajectories"
+            )
+        return BasisGateSelection(
+            strategy=self.name,
+            duration=selection.duration,
+            coordinates=selection.coordinates,
+            unitary=selection.unitary,
+            swap_layers=selection.swap_layers,
+            cnot_layers=selection.cnot_layers,
+        )
+
+
+class PredicateStrategy(SelectionStrategy):
+    """A custom strategy built from an arbitrary coordinate predicate.
+
+    Example: the paper mentions selecting "the fastest gate on the trajectory
+    that is both a PE and can synthesize SWAP in 3 layers"::
+
+        PredicateStrategy(
+            "pe_and_swap3",
+            lambda c: is_perfect_entangler(c) and can_synthesize_swap_in_3_layers(c),
+        )
+    """
+
+    def __init__(self, name: str, predicate: Callable[[Coords], bool]):
+        self.name = name
+        self._predicate = predicate
+
+    def predicate(self, coords: Coords) -> bool:
+        return self._predicate(canonicalize_coordinates(coords))
+
+
+@dataclass
+class CompositeCriterionStrategy(SelectionStrategy):
+    """Require several target gates to be synthesizable within layer budgets.
+
+    ``targets`` maps a target name to ``(coordinates, max_layers)``; the
+    strategy selects the fastest gate on the trajectory able to synthesize
+    every target within its budget (using the exact region tests for SWAP and
+    CNOT and the numerical oracle otherwise).  This realises the paper's
+    "simultaneous prioritisation of multiple target gates".
+    """
+
+    targets: dict[str, tuple[Coords, int]] = field(default_factory=dict)
+    name: str = "composite"
+
+    def predicate(self, coords: Coords) -> bool:
+        from repro.synthesis.depth import minimum_layers
+
+        for target_coords, max_layers in self.targets.values():
+            target = canonicalize_coordinates(target_coords)
+            if target == WEYL_POINTS["SWAP"]:
+                feasible = _swap_layer_count(coords) <= max_layers
+            elif target == WEYL_POINTS["CNOT"] and max_layers == 2:
+                feasible = can_synthesize_cnot_in_2_layers(coords)
+            else:
+                feasible = minimum_layers(target, coords, max_layers=max_layers) <= max_layers
+            if not feasible:
+                return False
+        return True
+
+
+def select_basis_gate(
+    trajectory: CartanTrajectory, strategy: SelectionStrategy | str
+) -> BasisGateSelection:
+    """Convenience function: select a basis gate with a named strategy."""
+    if isinstance(strategy, str):
+        strategy = {
+            "baseline": BaselineSqrtIswapStrategy(),
+            "criterion1": Criterion1Strategy(),
+            "criterion2": Criterion2Strategy(),
+            "pe_and_swap3": PredicateStrategy(
+                "pe_and_swap3",
+                lambda c: is_perfect_entangler(c) and can_synthesize_swap_in_3_layers(c),
+            ),
+        }[strategy]
+    return strategy.select(trajectory)
+
+
+def available_strategies() -> Sequence[str]:
+    """Names accepted by :func:`select_basis_gate`."""
+    return ("baseline", "criterion1", "criterion2", "pe_and_swap3")

@@ -1,0 +1,192 @@
+"""Cartan trajectories: the path a pair's entangling gate traces in the Weyl
+chamber as the pulse duration grows.
+
+A :class:`CartanTrajectory` is the central data object handed from the
+calibration layer (which measures or simulates it) to the basis-gate
+selection layer (which intersects it with the feasibility regions of
+Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.weyl.cartan import canonicalize_coordinates, cartan_coordinates
+from repro.weyl.entangling_power import entangling_power_from_coordinates, is_perfect_entangler
+
+Coords = tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """A single sampled gate on a Cartan trajectory."""
+
+    duration: float
+    coordinates: Coords
+
+    @property
+    def entangling_power(self) -> float:
+        """Entangling power of the gate at this point."""
+        return entangling_power_from_coordinates(self.coordinates)
+
+
+class CartanTrajectory:
+    """A sampled Cartan trajectory, optionally backed by a gate model.
+
+    Args:
+        durations: monotonically increasing pulse durations (ns).
+        coordinates: canonical Cartan coordinates for each duration,
+            shape ``(n, 3)``.
+        gate_model: optional callable ``duration -> 4x4 unitary``; when
+            provided, crossings can be refined by bisection and the selected
+            basis gate's unitary can be produced exactly.
+        label: free-form description (e.g. "edge (3, 4) @ 0.04 Phi0").
+    """
+
+    def __init__(
+        self,
+        durations: Sequence[float],
+        coordinates: Sequence[Coords] | np.ndarray,
+        gate_model: Callable[[float], np.ndarray] | None = None,
+        label: str = "",
+    ):
+        self.durations = np.asarray(durations, dtype=float)
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.shape != (len(self.durations), 3):
+            raise ValueError(
+                f"coordinates shape {coords.shape} does not match "
+                f"{len(self.durations)} durations"
+            )
+        if len(self.durations) < 2:
+            raise ValueError("a trajectory needs at least two samples")
+        if np.any(np.diff(self.durations) <= 0):
+            raise ValueError("durations must be strictly increasing")
+        self.coordinates = coords
+        self.gate_model = gate_model
+        self.label = label
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        max_duration: float,
+        resolution: float = 1.0,
+        min_duration: float = 0.0,
+        label: str = "",
+    ) -> "CartanTrajectory":
+        """Build a trajectory by sampling an entangler model.
+
+        ``model`` must expose ``coordinates(duration)`` and ``unitary(duration)``
+        (e.g. :class:`repro.hamiltonian.effective.EffectiveEntanglerModel`).
+        """
+        durations = np.arange(min_duration, max_duration + 0.5 * resolution, resolution)
+        if durations[0] == 0.0:
+            durations = durations[1:] if len(durations) > 2 else durations
+        coords = np.array([model.coordinates(float(t)) for t in durations])
+        return cls(durations, coords, gate_model=model.unitary, label=label)
+
+    @classmethod
+    def from_unitaries(
+        cls,
+        durations: Sequence[float],
+        unitaries: Sequence[np.ndarray],
+        label: str = "",
+    ) -> "CartanTrajectory":
+        """Build a trajectory from measured/simulated unitaries (e.g. QPT)."""
+        coords = np.array([cartan_coordinates(u) for u in unitaries])
+        return cls(durations, coords, label=label)
+
+    # -- basic queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.durations)
+
+    def __getitem__(self, index: int) -> TrajectoryPoint:
+        return TrajectoryPoint(
+            duration=float(self.durations[index]),
+            coordinates=canonicalize_coordinates(self.coordinates[index]),
+        )
+
+    def points(self) -> list[TrajectoryPoint]:
+        """All samples as :class:`TrajectoryPoint` objects."""
+        return [self[i] for i in range(len(self))]
+
+    def coordinates_at(self, duration: float) -> Coords:
+        """Coordinates at an arbitrary duration (model if available, else
+        linear interpolation of the sampled coordinates)."""
+        if self.gate_model is not None and hasattr(self.gate_model, "__self__"):
+            model = self.gate_model.__self__
+            if hasattr(model, "coordinates"):
+                return canonicalize_coordinates(model.coordinates(duration))
+        interpolated = [
+            float(np.interp(duration, self.durations, self.coordinates[:, k]))
+            for k in range(3)
+        ]
+        return canonicalize_coordinates(tuple(interpolated))
+
+    def unitary_at(self, duration: float) -> np.ndarray:
+        """Unitary at a duration; requires a gate model."""
+        if self.gate_model is None:
+            raise ValueError("this trajectory has no gate model attached")
+        return self.gate_model(duration)
+
+    # -- crossings -----------------------------------------------------------
+
+    def first_duration_where(
+        self,
+        predicate: Callable[[Coords], bool],
+        refine: bool = True,
+        refine_tolerance: float = 1e-3,
+    ) -> float | None:
+        """First duration at which ``predicate`` becomes true.
+
+        Scans the sampled points; if ``refine`` is set and the trajectory has
+        a continuous description, the crossing is refined by bisection between
+        the last failing and first passing samples.
+        """
+        flags = [predicate(canonicalize_coordinates(c)) for c in self.coordinates]
+        first_index = next((i for i, f in enumerate(flags) if f), None)
+        if first_index is None:
+            return None
+        if first_index == 0 or not refine:
+            return float(self.durations[first_index])
+        low = float(self.durations[first_index - 1])
+        high = float(self.durations[first_index])
+        while high - low > refine_tolerance:
+            mid = 0.5 * (low + high)
+            if predicate(self.coordinates_at(mid)):
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def first_perfect_entangler(self, refine: bool = True) -> float | None:
+        """Duration of the first perfect entangler on the trajectory.
+
+        This reproduces the "13 ns perfect entangler" analysis of Fig. 2.
+        """
+        return self.first_duration_where(is_perfect_entangler, refine=refine)
+
+    def max_entangling_power(self) -> float:
+        """Largest entangling power reached by any sampled point."""
+        return max(
+            entangling_power_from_coordinates(canonicalize_coordinates(c))
+            for c in self.coordinates
+        )
+
+    def deviation_from_xy(self) -> float:
+        """RMS distance of the sampled points from the standard XY line.
+
+        The XY (iSWAP-family) line is ``tx = ty, tz = 0``; standard
+        trajectories stay on it, nonstandard trajectories do not.
+        """
+        deviations = []
+        for c in self.coordinates:
+            tx, ty, tz = canonicalize_coordinates(c)
+            deviations.append(((tx - ty) ** 2 + tz**2))
+        return float(np.sqrt(np.mean(deviations)))

@@ -1,0 +1,31 @@
+"""Simulated superconducting device (Section VIII-C).
+
+A :class:`~repro.device.device.Device` bundles the qubit lattice, per-qubit
+frequencies and coherence times, and the per-edge entangler models from which
+Cartan trajectories and basis gates are derived.  The default configuration is
+the paper's case study: a 10x10 grid whose neighbouring qubits are drawn from
+two frequency populations 2 GHz apart with 5 % standard deviation, all with
+T = 80 us coherence and 20 ns single-qubit gates.
+"""
+
+from repro.device.topology import grid_graph, heavy_hex_graph, linear_graph
+from repro.device.sampling import sample_checkerboard_frequencies
+from repro.device.device import Device, DeviceParameters, EdgeCalibration
+from repro.device.noise import (
+    coherence_limit,
+    circuit_coherence_fidelity,
+    decoherence_error,
+)
+
+__all__ = [
+    "grid_graph",
+    "heavy_hex_graph",
+    "linear_graph",
+    "sample_checkerboard_frequencies",
+    "Device",
+    "DeviceParameters",
+    "EdgeCalibration",
+    "coherence_limit",
+    "circuit_coherence_fidelity",
+    "decoherence_error",
+]

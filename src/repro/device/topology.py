@@ -1,0 +1,99 @@
+"""Device connectivity graphs.
+
+Superconducting devices use sparse connectivity (grid or heavy-hexagonal
+lattices) to keep crosstalk manageable; that sparsity is exactly why routed
+circuits contain so many SWAP gates, and why the paper optimises SWAP
+synthesis first.  Qubits are integer-labelled 0..n-1; for the grid, qubit
+``r * cols + c`` sits at row ``r`` and column ``c`` as in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """Rectangular grid lattice with integer qubit labels (row-major)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(q, q + 1)
+            if r + 1 < rows:
+                graph.add_edge(q, q + cols)
+    graph.graph["rows"] = rows
+    graph.graph["cols"] = cols
+    graph.graph["kind"] = "grid"
+    return graph
+
+
+def linear_graph(n: int) -> nx.Graph:
+    """A 1D chain of ``n`` qubits (useful for small tests and examples)."""
+    return grid_graph(1, n)
+
+
+def heavy_hex_graph(distance: int = 3) -> nx.Graph:
+    """A heavy-hexagonal lattice in the style of IBM devices.
+
+    The construction places "vertex" qubits on a brick-wall hexagon grid and
+    an "edge" qubit in the middle of every hexagon side; connectivity degree
+    is at most three, which is why its edge colouring needs fewer colours
+    than the square grid (Section VI).
+    """
+    if distance < 1:
+        raise ValueError("distance must be positive")
+    rows = 2 * distance + 1
+    cols = 2 * distance + 1
+    base = grid_graph(rows, cols)
+    heavy = nx.Graph()
+    heavy.graph["kind"] = "heavy_hex"
+    # Keep grid nodes; subdivide every edge with an intermediate coupler qubit,
+    # then delete alternating vertical connections to carve out hexagons.
+    next_label = rows * cols
+    for u, v in base.edges():
+        ru, cu = divmod(u, cols)
+        rv, cv = divmod(v, cols)
+        vertical = cu == cv
+        if vertical and ((cu + ru) % 2 == 1):
+            continue  # removed rung: creates the hexagonal holes
+        mid = next_label
+        next_label += 1
+        heavy.add_edge(u, mid)
+        heavy.add_edge(mid, v)
+    heavy.add_nodes_from(range(rows * cols))
+    return heavy
+
+
+def qubit_position(graph: nx.Graph, qubit: int) -> tuple[int, int]:
+    """Row/column position of a qubit on a grid graph."""
+    if graph.graph.get("kind") != "grid":
+        raise ValueError("positions are only defined for grid graphs")
+    cols = graph.graph["cols"]
+    return divmod(qubit, cols)
+
+
+def edge_coloring(graph: nx.Graph) -> dict[tuple[int, int], int]:
+    """Greedy proper edge colouring of the device graph.
+
+    Used to schedule parallel calibration: edges with the same colour share no
+    qubit and can be calibrated simultaneously (Section VI).  A grid needs at
+    most four colours (exact colouring used); other graphs fall back to a
+    greedy colouring of the line graph.
+    """
+    if graph.graph.get("kind") == "grid":
+        cols = graph.graph["cols"]
+        coloring: dict[tuple[int, int], int] = {}
+        for u, v in graph.edges:
+            a, b = sorted((u, v))
+            if b == a + 1:  # horizontal edge: colour by column parity
+                coloring[(a, b)] = (a % cols) % 2
+            else:  # vertical edge: colour by row parity
+                coloring[(a, b)] = 2 + (a // cols) % 2
+        return coloring
+    line = nx.line_graph(graph)
+    coloring = nx.coloring.greedy_color(line, strategy="largest_first")
+    return {tuple(sorted(edge)): color for edge, color in coloring.items()}

@@ -1,0 +1,38 @@
+"""Regeneration code for every table and figure of the paper's evaluation.
+
+Each function returns plain Python data (rows / series) so it can be asserted
+against in tests, timed in the benchmark harness, and printed in the same
+shape the paper reports.
+"""
+
+from repro.experiments.config import CaseStudyConfig, case_study_device
+from repro.experiments.table1 import Table1Row, table1_rows, format_table1
+from repro.experiments.table2 import Table2Row, table2_rows, format_table2, TABLE2_BENCHMARKS
+from repro.experiments.figures import (
+    figure1_weyl_points,
+    figure2_trajectory,
+    figure3_decompositions,
+    figure4_regions,
+    figure5_stability,
+    figure6_unitcell,
+    figure7_device,
+)
+
+__all__ = [
+    "CaseStudyConfig",
+    "case_study_device",
+    "Table1Row",
+    "table1_rows",
+    "format_table1",
+    "Table2Row",
+    "table2_rows",
+    "format_table2",
+    "TABLE2_BENCHMARKS",
+    "figure1_weyl_points",
+    "figure2_trajectory",
+    "figure3_decompositions",
+    "figure4_regions",
+    "figure5_stability",
+    "figure6_unitcell",
+    "figure7_device",
+]

@@ -1,0 +1,57 @@
+"""Shared configuration for the case-study experiments (Section VIII)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.device.device import Device, DeviceParameters
+
+
+@dataclass(frozen=True)
+class CaseStudyConfig:
+    """Parameters of the paper's case study.
+
+    ``rows``/``cols`` can be reduced (e.g. to a 6x6 grid) for quicker runs;
+    the benchmark harness honours the ``REPRO_FAST`` environment variable via
+    :func:`fast_mode`.
+    """
+
+    rows: int = 10
+    cols: int = 10
+    coherence_time_us: float = 80.0
+    single_qubit_gate_ns: float = 20.0
+    baseline_amplitude: float = 0.005
+    nonstandard_amplitude: float = 0.04
+    seed: int = 53
+    strategies: tuple[str, ...] = ("baseline", "criterion1", "criterion2")
+
+    def device_parameters(self) -> DeviceParameters:
+        """Translate the config into device parameters."""
+        return DeviceParameters(
+            rows=self.rows,
+            cols=self.cols,
+            coherence_time_us=self.coherence_time_us,
+            single_qubit_gate_ns=self.single_qubit_gate_ns,
+            baseline_amplitude=self.baseline_amplitude,
+            nonstandard_amplitude=self.nonstandard_amplitude,
+            seed=self.seed,
+        )
+
+
+@lru_cache(maxsize=4)
+def _cached_device(config: CaseStudyConfig) -> Device:
+    return Device.from_parameters(config.device_parameters())
+
+
+def case_study_device(config: CaseStudyConfig | None = None) -> Device:
+    """The (cached) simulated device for a given configuration."""
+    config = config if config is not None else CaseStudyConfig()
+    return _cached_device(config)
+
+
+def fast_mode() -> bool:
+    """True when the REPRO_FAST environment variable requests reduced sizes."""
+    import os
+
+    return os.environ.get("REPRO_FAST", "") not in ("", "0", "false", "False")

@@ -1,0 +1,137 @@
+"""Table I: basis-gate and synthesized SWAP/CNOT durations and fidelities.
+
+For each basis-gate strategy (baseline, Criterion 1, Criterion 2) the table
+reports the average over all 180 edges of:
+
+* the selected basis gate's duration and coherence-limited fidelity;
+* the duration and coherence-limited fidelity of the SWAP synthesized from it
+  (``layers * t_basis + (layers + 1) * t_1q``);
+* the same for CNOT.
+
+Paper reference values (Table I): baseline 83.04 / 329.1 / 226.1 ns with
+99.884 / 99.541 / 99.684 % fidelity; Criterion 1 10.15 / 110.5 / 110.5 ns;
+Criterion 2 10.76 / 112.3 / 81.51 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.device import Device
+from repro.device.noise import coherence_limit
+from repro.experiments.config import CaseStudyConfig, case_study_device
+from repro.synthesis.library import layered_duration
+
+#: Values reported in the paper, for side-by-side comparison in reports.
+PAPER_TABLE1 = {
+    "baseline": {"basis": 83.04, "swap": 329.1, "cnot": 226.1},
+    "criterion1": {"basis": 10.15, "swap": 110.5, "cnot": 110.5},
+    "criterion2": {"basis": 10.76, "swap": 112.3, "cnot": 81.51},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I (averages over all device edges)."""
+
+    strategy: str
+    basis_duration: float
+    basis_fidelity: float
+    swap_duration: float
+    swap_fidelity: float
+    cnot_duration: float
+    cnot_fidelity: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Row as a plain dictionary (for printing / serialisation)."""
+        return {
+            "strategy": self.strategy,  # type: ignore[dict-item]
+            "basis_duration_ns": self.basis_duration,
+            "basis_fidelity": self.basis_fidelity,
+            "swap_duration_ns": self.swap_duration,
+            "swap_fidelity": self.swap_fidelity,
+            "cnot_duration_ns": self.cnot_duration,
+            "cnot_fidelity": self.cnot_fidelity,
+        }
+
+
+def table1_rows(
+    device: Device | None = None, config: CaseStudyConfig | None = None
+) -> list[Table1Row]:
+    """Compute Table I for the case-study device."""
+    config = config if config is not None else CaseStudyConfig()
+    device = device if device is not None else case_study_device(config)
+    coherence = device.coherence_time_ns
+    t1q = device.single_qubit_duration
+
+    rows: list[Table1Row] = []
+    for strategy in config.strategies:
+        selections = device.basis_gates(strategy)
+        basis_durations = []
+        swap_durations = []
+        cnot_durations = []
+        for selection in selections.values():
+            basis_durations.append(selection.duration)
+            swap_durations.append(
+                layered_duration(selection.swap_layers, selection.duration, t1q)
+            )
+            cnot_durations.append(
+                layered_duration(selection.cnot_layers, selection.duration, t1q)
+            )
+
+        def avg_fidelity(durations: list[float]) -> float:
+            errors = [
+                coherence_limit(2, [coherence] * 2, [coherence] * 2, d) for d in durations
+            ]
+            return float(1.0 - np.mean(errors))
+
+        rows.append(
+            Table1Row(
+                strategy=strategy,
+                basis_duration=float(np.mean(basis_durations)),
+                basis_fidelity=avg_fidelity(basis_durations),
+                swap_duration=float(np.mean(swap_durations)),
+                swap_fidelity=avg_fidelity(swap_durations),
+                cnot_duration=float(np.mean(cnot_durations)),
+                cnot_fidelity=avg_fidelity(cnot_durations),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Format Table I like the paper (duration on top, fidelity below)."""
+    lines = [
+        f"{'Basis':<12} {'2Q basis gate':>18} {'SWAP':>18} {'CNOT':>18}",
+        "-" * 70,
+    ]
+    for row in rows:
+        paper = PAPER_TABLE1.get(row.strategy, {})
+        lines.append(
+            f"{row.strategy:<12} "
+            f"{row.basis_duration:>13.2f} ns {row.swap_duration:>13.1f} ns "
+            f"{row.cnot_duration:>13.1f} ns"
+        )
+        lines.append(
+            f"{'':<12} {row.basis_fidelity * 100:>15.3f}% {row.swap_fidelity * 100:>15.3f}% "
+            f"{row.cnot_fidelity * 100:>15.3f}%"
+        )
+        if paper:
+            lines.append(
+                f"{'  (paper)':<12} {paper['basis']:>13.2f} ns {paper['swap']:>13.1f} ns "
+                f"{paper['cnot']:>13.2f} ns"
+            )
+    return "\n".join(lines)
+
+
+def speedup_over_baseline(rows: list[Table1Row]) -> dict[str, float]:
+    """Basis-gate speedups relative to the baseline (the paper quotes ~8x)."""
+    by_name = {row.strategy: row for row in rows}
+    baseline = by_name["baseline"].basis_duration
+    return {
+        name: baseline / row.basis_duration
+        for name, row in by_name.items()
+        if name != "baseline"
+    }

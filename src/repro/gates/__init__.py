@@ -1,0 +1,104 @@
+"""Gate and unitary substrate.
+
+This package provides the raw linear-algebra building blocks used throughout
+the reproduction: standard single-qubit and two-qubit gate matrices, the
+canonical (Cartan) two-qubit gate ``CAN(tx, ty, tz)``, random unitary
+generation, and fidelity/distance metrics between unitaries.
+
+Everything here works on plain ``numpy`` arrays so it can be reused by the
+Weyl-chamber analysis (:mod:`repro.weyl`), the synthesis code
+(:mod:`repro.synthesis`) and the Hamiltonian simulator
+(:mod:`repro.hamiltonian`).
+"""
+
+from repro.gates.constants import (
+    B_GATE,
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY_1Q,
+    IDENTITY_2Q,
+    ISWAP,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    SQRT_ISWAP,
+    SQRT_SWAP,
+    SQRT_SWAP_DAG,
+    SWAP,
+    S_GATE,
+    T_GATE,
+)
+from repro.gates.single_qubit import (
+    phase_gate,
+    rx,
+    ry,
+    rz,
+    u3,
+    random_su2,
+    zyz_angles,
+)
+from repro.gates.two_qubit import (
+    canonical_gate,
+    controlled_phase,
+    fsim,
+    random_su4,
+    random_two_qubit_gate,
+    rxx,
+    ryy,
+    rzz,
+    xy_gate,
+)
+from repro.gates.unitary import (
+    average_gate_fidelity,
+    closest_unitary,
+    is_hermitian,
+    is_unitary,
+    kron,
+    process_fidelity,
+    unitary_distance,
+    unitary_equal_up_to_phase,
+)
+
+__all__ = [
+    "B_GATE",
+    "CNOT",
+    "CZ",
+    "HADAMARD",
+    "IDENTITY_1Q",
+    "IDENTITY_2Q",
+    "ISWAP",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "SQRT_ISWAP",
+    "SQRT_SWAP",
+    "SQRT_SWAP_DAG",
+    "SWAP",
+    "S_GATE",
+    "T_GATE",
+    "phase_gate",
+    "rx",
+    "ry",
+    "rz",
+    "u3",
+    "random_su2",
+    "zyz_angles",
+    "canonical_gate",
+    "controlled_phase",
+    "fsim",
+    "random_su4",
+    "random_two_qubit_gate",
+    "rxx",
+    "ryy",
+    "rzz",
+    "xy_gate",
+    "average_gate_fidelity",
+    "closest_unitary",
+    "is_hermitian",
+    "is_unitary",
+    "kron",
+    "process_fidelity",
+    "unitary_distance",
+    "unitary_equal_up_to_phase",
+]

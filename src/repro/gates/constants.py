@@ -1,0 +1,114 @@
+"""Standard gate matrices used throughout the reproduction.
+
+All matrices are plain ``numpy.ndarray`` objects with ``complex128`` dtype.
+Two-qubit gates use the usual little-endian ordering where the basis states
+are ``|q1 q0>`` = ``|00>, |01>, |10>, |11>``; because every gate here is
+symmetric under qubit exchange or explicitly documented, the ordering only
+matters for :data:`CNOT` (control = first qubit, target = second qubit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 2x2 identity.
+IDENTITY_1Q = np.eye(2, dtype=complex)
+
+#: 4x4 identity.
+IDENTITY_2Q = np.eye(4, dtype=complex)
+
+#: Pauli X.
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+#: Pauli Y.
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+#: Pauli Z.
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+#: Hadamard gate.
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+
+#: S (phase) gate, sqrt(Z).
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+
+#: T gate, fourth root of Z.
+T_GATE = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+#: CNOT with the first qubit as control and the second as target.
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+#: Controlled-Z gate (symmetric in its qubits).
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+#: SWAP gate.
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+#: iSWAP gate.
+ISWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1j, 0],
+        [0, 1j, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+#: Square root of the iSWAP gate.
+SQRT_ISWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1 / np.sqrt(2), 1j / np.sqrt(2), 0],
+        [0, 1j / np.sqrt(2), 1 / np.sqrt(2), 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+#: Square root of the SWAP gate.
+SQRT_SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, (1 + 1j) / 2, (1 - 1j) / 2, 0],
+        [0, (1 - 1j) / 2, (1 + 1j) / 2, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+#: Hermitian conjugate of the square root of SWAP.
+SQRT_SWAP_DAG = SQRT_SWAP.conj().T.copy()
+
+#: The B gate (Zhang et al. 2004): midpoint of the CNOT-iSWAP segment in the
+#: Weyl chamber; any two-qubit gate can be synthesized from two B gates.
+#: Cartan coordinates (1/2, 1/4, 0).
+B_GATE = None  # filled in below to avoid a circular import at module load
+
+
+def _build_b_gate() -> np.ndarray:
+    """Construct the B gate as ``exp(-i*pi/2*(1/2*XX + 1/4*YY))``."""
+    xx = np.kron(PAULI_X, PAULI_X)
+    yy = np.kron(PAULI_Y, PAULI_Y)
+    from scipy.linalg import expm
+
+    return expm(-1j * np.pi / 2 * (0.5 * xx + 0.25 * yy))
+
+
+B_GATE = _build_b_gate()

@@ -1,0 +1,125 @@
+"""Single-qubit gates, parametrisations and decompositions."""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.gates.constants import PAULI_X, PAULI_Y, PAULI_Z
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta`` radians."""
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta`` radians."""
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta`` radians."""
+    p = cmath.exp(-1j * theta / 2)
+    return np.array([[p, 0], [0, p.conjugate()]], dtype=complex)
+
+
+def phase_gate(lam: float) -> np.ndarray:
+    """Diagonal phase gate ``diag(1, exp(i*lam))``."""
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit unitary in the U3 parametrisation.
+
+    ``u3(theta, phi, lam) = Rz(phi) Ry(theta) Rz(lam)`` up to global phase,
+    following the common convention::
+
+        [[cos(t/2),               -e^{i lam} sin(t/2)],
+         [e^{i phi} sin(t/2),  e^{i(phi+lam)} cos(t/2)]]
+    """
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def su2_from_params(params: np.ndarray) -> np.ndarray:
+    """Build an SU(2) matrix from three Euler angles ``(alpha, beta, gamma)``.
+
+    Uses the ZYZ decomposition ``Rz(alpha) Ry(beta) Rz(gamma)``.  This is the
+    parametrisation used by the numerical synthesis optimiser because it is
+    smooth and covers SU(2) (up to global phase).
+    """
+    alpha, beta, gamma = params
+    return rz(alpha) @ ry(beta) @ rz(gamma)
+
+
+def zyz_angles(u: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary into ZYZ Euler angles plus a global phase.
+
+    Returns ``(alpha, beta, gamma, phase)`` such that
+    ``exp(i*phase) * Rz(alpha) @ Ry(beta) @ Rz(gamma)`` equals ``u``.
+    """
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got shape {u.shape}")
+    det = np.linalg.det(u)
+    phase = cmath.phase(det) / 2
+    su = u * cmath.exp(-1j * phase)
+    # su = [[a, b], [-b*, a*]] with |a|^2 + |b|^2 = 1
+    a = su[0, 0]
+    b = su[0, 1]
+    beta = 2 * math.atan2(abs(b), abs(a))
+    # With u = Rz(alpha) Ry(beta) Rz(gamma):
+    #   a = cos(beta/2) e^{-i(alpha+gamma)/2},  b = -sin(beta/2) e^{-i(alpha-gamma)/2}
+    if abs(a) < 1e-12:
+        # beta = pi; only the difference alpha - gamma matters.
+        alpha_plus_gamma = 0.0
+        alpha_minus_gamma = -2 * cmath.phase(-b) if abs(b) > 0 else 0.0
+    elif abs(b) < 1e-12:
+        alpha_plus_gamma = -2 * cmath.phase(a)
+        alpha_minus_gamma = 0.0
+    else:
+        alpha_plus_gamma = -2 * cmath.phase(a)
+        alpha_minus_gamma = -2 * cmath.phase(-b)
+    alpha = (alpha_plus_gamma + alpha_minus_gamma) / 2
+    gamma = (alpha_plus_gamma - alpha_minus_gamma) / 2
+    return alpha, beta, gamma, phase
+
+
+def random_su2(rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a Haar-random SU(2) matrix."""
+    rng = rng if rng is not None else np.random.default_rng()
+    z = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, r = np.linalg.qr(z)
+    d = np.diagonal(r)
+    q = q * (d / np.abs(d))
+    # Normalise determinant to +1.
+    det = np.linalg.det(q)
+    return q / np.sqrt(det)
+
+
+def bloch_rotation(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotation by ``angle`` about an arbitrary Bloch-sphere ``axis``."""
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0:
+        raise ValueError("rotation axis must be non-zero")
+    nx, ny, nz = axis / norm
+    generator = nx * PAULI_X + ny * PAULI_Y + nz * PAULI_Z
+    return (
+        math.cos(angle / 2) * np.eye(2, dtype=complex)
+        - 1j * math.sin(angle / 2) * generator
+    )

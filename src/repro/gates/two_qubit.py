@@ -1,0 +1,139 @@
+"""Two-qubit gates and parametrised families.
+
+The central object of the paper is the *canonical gate*
+
+    ``CAN(tx, ty, tz) = exp(-i * pi/2 * (tx X (x) X + ty Y (x) Y + tz Z (x) Z))``
+
+whose coordinates ``(tx, ty, tz)`` are exactly the Cartan (Weyl-chamber)
+coordinates used throughout the paper: CNOT/CZ sit at ``(1/2, 0, 0)``, iSWAP
+at ``(1/2, 1/2, 0)``, SWAP at ``(1/2, 1/2, 1/2)`` and the B gate at
+``(1/2, 1/4, 0)``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.gates.constants import PAULI_X, PAULI_Y, PAULI_Z
+
+_XX = np.kron(PAULI_X, PAULI_X)
+_YY = np.kron(PAULI_Y, PAULI_Y)
+_ZZ = np.kron(PAULI_Z, PAULI_Z)
+
+
+def canonical_gate(tx: float, ty: float = 0.0, tz: float = 0.0) -> np.ndarray:
+    """Canonical two-qubit gate with Cartan coordinates ``(tx, ty, tz)``.
+
+    The coordinates follow the paper's convention in which the Weyl chamber
+    spans ``tx in [0, 1]`` and ``ty, tz in [0, 1/2]``; see Fig. 1 of the paper.
+    """
+    if hasattr(tx, "__len__") and ty == 0.0 and tz == 0.0:
+        tx, ty, tz = tx  # allow canonical_gate((tx, ty, tz))
+    generator = tx * _XX + ty * _YY + tz * _ZZ
+    return expm(-1j * math.pi / 2 * generator)
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Ising XX interaction ``exp(-i*theta/2 * X(x)X)``."""
+    return expm(-1j * theta / 2 * _XX)
+
+
+def ryy(theta: float) -> np.ndarray:
+    """Ising YY interaction ``exp(-i*theta/2 * Y(x)Y)``."""
+    return expm(-1j * theta / 2 * _YY)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Ising ZZ interaction ``exp(-i*theta/2 * Z(x)Z)``.
+
+    This is the native two-qubit gate appearing in QAOA cost layers; it is
+    locally equivalent to a controlled-phase of angle ``theta``.
+    """
+    return expm(-1j * theta / 2 * _ZZ)
+
+
+def controlled_phase(phi: float) -> np.ndarray:
+    """Controlled-phase gate ``diag(1, 1, 1, exp(i*phi))``.
+
+    ``controlled_phase(pi)`` is CZ.  These are the ``CRZ``-style gates that
+    dominate the QFT benchmarks.
+    """
+    return np.diag([1, 1, 1, cmath.exp(1j * phi)]).astype(complex)
+
+
+def xy_gate(theta: float) -> np.ndarray:
+    """XY(theta) interaction: partial iSWAP.
+
+    ``xy_gate(pi)`` is iSWAP and ``xy_gate(pi/2)`` is sqrt(iSWAP).  The XY
+    family is the *standard* trajectory in the paper: the straight line from
+    the identity to iSWAP in the Weyl chamber.
+    """
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, 1j * s, 0],
+            [0, 1j * s, c, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    )
+
+
+def fsim(theta: float, phi: float) -> np.ndarray:
+    """The fSim gate: XY(2*theta) exchange followed by a controlled phase.
+
+    This is Google's parametrised gate family; the paper's related work (Lao
+    et al.) restricts itself to this family whereas the paper itself handles
+    fully general nonstandard gates.
+    """
+    c = math.cos(theta)
+    s = math.sin(theta)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, cmath.exp(-1j * phi)],
+        ],
+        dtype=complex,
+    )
+
+
+def random_su4(rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a Haar-random SU(4) matrix."""
+    rng = rng if rng is not None else np.random.default_rng()
+    z = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    q, r = np.linalg.qr(z)
+    d = np.diagonal(r)
+    q = q * (d / np.abs(d))
+    det = np.linalg.det(q)
+    return q * det ** (-1 / 4)
+
+
+def random_two_qubit_gate(
+    rng: np.random.Generator | None = None,
+    coords: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Sample a random two-qubit gate.
+
+    If ``coords`` is given, the gate is a random member of the local
+    equivalence class with those Cartan coordinates (i.e. the canonical gate
+    dressed with Haar-random single-qubit gates on both sides); otherwise the
+    gate is Haar random over SU(4).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    if coords is None:
+        return random_su4(rng)
+    from repro.gates.single_qubit import random_su2
+
+    core = canonical_gate(*coords)
+    k1 = np.kron(random_su2(rng), random_su2(rng))
+    k2 = np.kron(random_su2(rng), random_su2(rng))
+    return k1 @ core @ k2

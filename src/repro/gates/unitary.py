@@ -1,0 +1,83 @@
+"""Generic unitary-matrix utilities and fidelity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kron(*matrices: np.ndarray) -> np.ndarray:
+    """Kronecker product of an arbitrary number of matrices, left to right."""
+    if not matrices:
+        raise ValueError("kron requires at least one matrix")
+    out = np.asarray(matrices[0], dtype=complex)
+    for m in matrices[1:]:
+        out = np.kron(out, np.asarray(m, dtype=complex))
+    return out
+
+
+def is_unitary(u: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return True if ``u`` is unitary to within ``atol``."""
+    u = np.asarray(u, dtype=complex)
+    if u.ndim != 2 or u.shape[0] != u.shape[1]:
+        return False
+    ident = np.eye(u.shape[0])
+    return bool(np.allclose(u.conj().T @ u, ident, atol=atol))
+
+
+def is_hermitian(h: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return True if ``h`` is Hermitian to within ``atol``."""
+    h = np.asarray(h, dtype=complex)
+    if h.ndim != 2 or h.shape[0] != h.shape[1]:
+        return False
+    return bool(np.allclose(h, h.conj().T, atol=atol))
+
+
+def closest_unitary(a: np.ndarray) -> np.ndarray:
+    """Project a matrix onto the closest unitary (in Frobenius norm).
+
+    Used when a numerically integrated propagator picks up small leakage or
+    integration error and we want the best unitary description of the gate.
+    """
+    v, _, wh = np.linalg.svd(np.asarray(a, dtype=complex))
+    return v @ wh
+
+
+def process_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Process (entanglement) fidelity between two unitaries of equal dim.
+
+    ``F_pro = |tr(U^dag V)|^2 / d^2`` which is insensitive to global phase.
+    """
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    d = u.shape[0]
+    return float(abs(np.trace(u.conj().T @ v)) ** 2 / d**2)
+
+
+def average_gate_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Average gate fidelity between two unitaries.
+
+    ``F_avg = (d * F_pro + 1) / (d + 1)``.
+    """
+    d = np.asarray(u).shape[0]
+    return float((d * process_fidelity(u, v) + 1) / (d + 1))
+
+
+def unitary_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """Phase-insensitive distance in [0, 1]: ``1 - |tr(U^dag V)| / d``."""
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    d = u.shape[0]
+    return float(1.0 - abs(np.trace(u.conj().T @ v)) / d)
+
+
+def unitary_equal_up_to_phase(u: np.ndarray, v: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return True if ``u`` equals ``v`` up to a global phase."""
+    return unitary_distance(u, v) < atol
+
+
+def remove_global_phase(u: np.ndarray) -> np.ndarray:
+    """Rescale a unitary so its determinant is +1 (special unitary form)."""
+    u = np.asarray(u, dtype=complex)
+    d = u.shape[0]
+    det = np.linalg.det(u)
+    return u * det ** (-1.0 / d)

@@ -1,0 +1,38 @@
+"""Hamiltonian models of the case-study entangling architecture (Section VIII).
+
+Two levels of modelling are provided, mirroring the paper's own choice of a
+"simplified effective Hamiltonian ... that models the device using fewer
+parameters while still capturing all of the essential physics":
+
+* :mod:`repro.hamiltonian.transmon` -- the three-mode model of Appendix A
+  (two fixed-frequency transmons capacitively coupled through a tunable
+  coupler, each kept to a few levels), used for spectrum diagnostics, static
+  ZZ computation, zero-ZZ bias search and leakage validation.
+* :mod:`repro.hamiltonian.effective` -- a fast two-qubit effective model of
+  the parametrically activated interaction; drive amplitude sets the exchange
+  rate linearly, and drive amplitudes beyond the strong-drive threshold
+  introduce a coherent deviation of the Cartan trajectory (the "nonstandard"
+  trajectories of the case study).
+* :mod:`repro.hamiltonian.evolution` -- generic time-dependent propagator
+  integration and computational-subspace projection with leakage tracking.
+"""
+
+from repro.hamiltonian.effective import EffectiveEntanglerModel, EntanglerParameters
+from repro.hamiltonian.evolution import (
+    evolve_propagator,
+    project_to_computational_subspace,
+)
+from repro.hamiltonian.operators import annihilation, creation, number_operator
+from repro.hamiltonian.transmon import TransmonCouplerSystem, TransmonCouplerParameters
+
+__all__ = [
+    "EffectiveEntanglerModel",
+    "EntanglerParameters",
+    "evolve_propagator",
+    "project_to_computational_subspace",
+    "annihilation",
+    "creation",
+    "number_operator",
+    "TransmonCouplerSystem",
+    "TransmonCouplerParameters",
+]

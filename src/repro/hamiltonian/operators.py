@@ -1,0 +1,62 @@
+"""Bosonic operators and tensor-product helpers for the device Hamiltonians."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def annihilation(levels: int) -> np.ndarray:
+    """Truncated bosonic annihilation operator on ``levels`` levels."""
+    if levels < 2:
+        raise ValueError("need at least two levels")
+    op = np.zeros((levels, levels), dtype=complex)
+    for n in range(1, levels):
+        op[n - 1, n] = np.sqrt(n)
+    return op
+
+
+def creation(levels: int) -> np.ndarray:
+    """Truncated bosonic creation operator on ``levels`` levels."""
+    return annihilation(levels).conj().T
+
+
+def number_operator(levels: int) -> np.ndarray:
+    """Number operator ``a^dag a`` on ``levels`` levels."""
+    return np.diag(np.arange(levels, dtype=float)).astype(complex)
+
+
+def embed(operator: np.ndarray, position: int, dims: list[int]) -> np.ndarray:
+    """Embed a single-mode operator into a multi-mode tensor-product space.
+
+    ``dims`` lists the local dimension of every mode; ``position`` is the
+    index of the mode the operator acts on.
+    """
+    if not 0 <= position < len(dims):
+        raise ValueError(f"position {position} out of range for {len(dims)} modes")
+    if operator.shape != (dims[position], dims[position]):
+        raise ValueError(
+            f"operator shape {operator.shape} does not match mode dimension "
+            f"{dims[position]}"
+        )
+    result = np.eye(1, dtype=complex)
+    for index, dim in enumerate(dims):
+        factor = operator if index == position else np.eye(dim, dtype=complex)
+        result = np.kron(result, factor)
+    return result
+
+
+def basis_state(index: int, dim: int) -> np.ndarray:
+    """Column basis vector ``|index>`` in a ``dim``-dimensional space."""
+    state = np.zeros(dim, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def multi_mode_state(indices: list[int], dims: list[int]) -> np.ndarray:
+    """Tensor-product basis state ``|i0, i1, ...>`` for the given mode dims."""
+    if len(indices) != len(dims):
+        raise ValueError("one index per mode is required")
+    state = np.array([1.0 + 0j])
+    for index, dim in zip(indices, dims):
+        state = np.kron(state, basis_state(index, dim))
+    return state

@@ -1,0 +1,133 @@
+"""Closed-form gate identities used by the compiler's lowering pass.
+
+These are the textbook decompositions that convert the two-qubit gates
+appearing in the benchmark circuits (controlled-phase rotations from QFT,
+ZZ interactions from QAOA, SWAPs from routing) into CNOTs plus single-qubit
+rotations.  The compiler lowers every circuit to {CNOT, SWAP} + 1Q first and
+then translates CNOT/SWAP into the per-edge basis gates, mirroring the
+"minimalist" strategy of Section VII of the paper.
+
+Each helper returns a list of ``(kind, qubits, matrix)`` tuples where ``kind``
+is ``"1q"`` or ``"2q"``, ``qubits`` is a tuple of local qubit indices (0 is
+the first/control qubit, 1 the second/target qubit) and ``matrix`` is the
+gate matrix.  :func:`fragment_unitary` recomposes a fragment into a 4x4
+unitary so every identity can be verified exactly in the tests.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Iterable
+
+import numpy as np
+
+from repro.gates.constants import CNOT, CZ, HADAMARD, SWAP
+from repro.gates.single_qubit import rz
+from repro.gates.two_qubit import controlled_phase, rzz
+
+Fragment = list[tuple[str, tuple[int, ...], np.ndarray]]
+
+
+def fragment_unitary(fragment: Iterable[tuple[str, tuple[int, ...], np.ndarray]]) -> np.ndarray:
+    """Compose a two-qubit fragment into its 4x4 unitary.
+
+    Qubit 0 is the most significant bit (consistent with ``np.kron(q0, q1)``).
+    """
+    total = np.eye(4, dtype=complex)
+    for kind, qubits, matrix in fragment:
+        if kind == "1q":
+            (qubit,) = qubits
+            if qubit == 0:
+                full = np.kron(matrix, np.eye(2))
+            else:
+                full = np.kron(np.eye(2), matrix)
+        elif kind == "2q":
+            if tuple(qubits) == (0, 1):
+                full = matrix
+            elif tuple(qubits) == (1, 0):
+                full = SWAP @ matrix @ SWAP
+            else:
+                raise ValueError(f"invalid qubit pair {qubits!r}")
+        else:
+            raise ValueError(f"unknown fragment element kind {kind!r}")
+        total = full @ total
+    return total
+
+
+def swap_to_cnot() -> Fragment:
+    """SWAP as three alternating CNOTs (Fig. 3(c) of the paper)."""
+    return [
+        ("2q", (0, 1), CNOT),
+        ("2q", (1, 0), CNOT),
+        ("2q", (0, 1), CNOT),
+    ]
+
+
+def cnot_circuit_from_cz() -> Fragment:
+    """CNOT as a CZ conjugated by Hadamards on the target qubit."""
+    return [
+        ("1q", (1,), HADAMARD),
+        ("2q", (0, 1), CZ),
+        ("1q", (1,), HADAMARD),
+    ]
+
+
+def cz_circuit_from_cnot() -> Fragment:
+    """CZ as a CNOT conjugated by Hadamards on the target qubit."""
+    return [
+        ("1q", (1,), HADAMARD),
+        ("2q", (0, 1), CNOT),
+        ("1q", (1,), HADAMARD),
+    ]
+
+
+def controlled_phase_to_cnot(phi: float) -> Fragment:
+    """Controlled-phase of angle ``phi`` as two CNOTs and Z rotations.
+
+    ``CP(phi) = (Rz(phi/2) x Rz(phi/2)) CNOT (I x Rz(-phi/2)) CNOT`` up to a
+    global phase.  These are the CRZ-style gates of the QFT benchmarks.
+    """
+    return [
+        ("1q", (0,), rz(phi / 2)),
+        ("1q", (1,), rz(phi / 2)),
+        ("2q", (0, 1), CNOT),
+        ("1q", (1,), rz(-phi / 2)),
+        ("2q", (0, 1), CNOT),
+    ]
+
+
+def rzz_to_cnot(theta: float) -> Fragment:
+    """ZZ interaction of angle ``theta`` as two CNOTs around a Z rotation.
+
+    These are the cost-layer gates of the QAOA benchmarks.
+    """
+    return [
+        ("2q", (0, 1), CNOT),
+        ("1q", (1,), rz(theta)),
+        ("2q", (0, 1), CNOT),
+    ]
+
+
+def verify_identity(fragment: Fragment, target: np.ndarray, atol: float = 1e-9) -> bool:
+    """Check a fragment reproduces ``target`` up to global phase."""
+    built = fragment_unitary(fragment)
+    overlap = np.trace(built.conj().T @ np.asarray(target, dtype=complex)) / 4.0
+    return bool(abs(abs(overlap) - 1.0) < atol)
+
+
+def controlled_phase_reference(phi: float) -> np.ndarray:
+    """Reference matrix for the controlled-phase gate (for tests)."""
+    return controlled_phase(phi)
+
+
+def rzz_reference(theta: float) -> np.ndarray:
+    """Reference matrix for the ZZ interaction (for tests)."""
+    return rzz(theta)
+
+
+def global_phase_of(fragment: Fragment, target: np.ndarray) -> complex:
+    """Global phase by which the fragment differs from ``target``."""
+    built = fragment_unitary(fragment)
+    target = np.asarray(target, dtype=complex)
+    overlap = np.trace(built.conj().T @ target) / 4.0
+    return cmath.exp(1j * cmath.phase(overlap))

@@ -1,0 +1,62 @@
+"""Weyl-chamber analysis of two-qubit gates.
+
+This package implements Section II-B of the paper: the geometric
+characterisation of two-qubit gates by their Cartan (Weyl-chamber)
+coordinates, the KAK decomposition, Makhlin local invariants, local
+equivalence tests, entangling power and the perfect-entangler criterion.
+
+Coordinates follow the paper's convention: ``CAN(tx, ty, tz) =
+exp(-i*pi/2*(tx XX + ty YY + tz ZZ))`` so CNOT/CZ = (1/2, 0, 0), iSWAP =
+(1/2, 1/2, 0), SWAP = (1/2, 1/2, 1/2), B = (1/2, 1/4, 0).
+"""
+
+from repro.weyl.cartan import (
+    MAGIC_BASIS,
+    canonicalize_coordinates,
+    cartan_coordinates,
+    coordinates_close,
+    in_weyl_chamber,
+)
+from repro.weyl.chamber import (
+    WEYL_POINTS,
+    chamber_volume_fraction,
+    named_point,
+    point_distance,
+    random_chamber_point,
+    sample_chamber_points,
+)
+from repro.weyl.entangling_power import (
+    entangling_power,
+    entangling_power_from_coordinates,
+    is_perfect_entangler,
+    is_special_perfect_entangler,
+)
+from repro.weyl.invariants import (
+    local_invariants,
+    local_invariants_from_coordinates,
+    locally_equivalent,
+)
+from repro.weyl.kak import KakDecomposition, kak_decompose
+
+__all__ = [
+    "MAGIC_BASIS",
+    "canonicalize_coordinates",
+    "cartan_coordinates",
+    "coordinates_close",
+    "in_weyl_chamber",
+    "WEYL_POINTS",
+    "chamber_volume_fraction",
+    "named_point",
+    "point_distance",
+    "random_chamber_point",
+    "sample_chamber_points",
+    "entangling_power",
+    "entangling_power_from_coordinates",
+    "is_perfect_entangler",
+    "is_special_perfect_entangler",
+    "local_invariants",
+    "local_invariants_from_coordinates",
+    "locally_equivalent",
+    "KakDecomposition",
+    "kak_decompose",
+]

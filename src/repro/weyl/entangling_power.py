@@ -1,0 +1,80 @@
+"""Entangling power and perfect-entangler tests (Section II-C of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.weyl.cartan import cartan_coordinates
+
+
+def entangling_power_from_coordinates(coords: tuple[float, float, float]) -> float:
+    """Entangling power ``ep`` of the gate with the given Cartan coordinates.
+
+    ``ep(U) in [0, 2/9]`` is the average linear entropy produced by ``U``
+    acting on all separable input states (Zanardi et al.).  In terms of the
+    Cartan coordinates ``(tx, ty, tz)`` (paper's units) the closed form is::
+
+        ep = 2/9 * (1 - prod_i cos^2(pi t_i) - prod_i sin^2(pi t_i))
+
+    Checks: identity and SWAP give 0; CNOT, iSWAP and all special perfect
+    entanglers give the maximum 2/9; sqrt(SWAP) gives 1/6.
+    """
+    angles = [np.pi * c for c in coords]
+    cos_sq = float(np.prod([np.cos(a) ** 2 for a in angles]))
+    sin_sq = float(np.prod([np.sin(a) ** 2 for a in angles]))
+    return float(2.0 / 9.0 * (1.0 - cos_sq - sin_sq))
+
+
+def entangling_power(u: np.ndarray) -> float:
+    """Entangling power of an arbitrary two-qubit unitary."""
+    return entangling_power_from_coordinates(cartan_coordinates(u))
+
+
+def is_perfect_entangler(
+    coords_or_unitary: tuple[float, float, float] | np.ndarray,
+    atol: float = 1e-9,
+) -> bool:
+    """Return True if the gate can create a maximally entangled state.
+
+    The perfect entanglers form a polyhedron that is exactly half of the Weyl
+    chamber, with vertices CNOT, iSWAP, sqrt(SWAP), sqrt(SWAP)^dag and the two
+    images of sqrt(iSWAP).  For canonical coordinates the membership test is::
+
+        tx + ty >= 1/2  and  tx - ty <= 1/2  and  ty + tz <= 1/2
+    """
+    coords = _as_coords(coords_or_unitary)
+    tx, ty, tz = coords
+    return (
+        tx + ty >= 0.5 - atol
+        and tx - ty <= 0.5 + atol
+        and ty + tz <= 0.5 + atol
+    )
+
+
+def is_special_perfect_entangler(
+    coords_or_unitary: tuple[float, float, float] | np.ndarray,
+    atol: float = 1e-7,
+) -> bool:
+    """Return True for gates with maximal entangling power 2/9.
+
+    In the Weyl chamber these are the points on the segment from CNOT
+    ``(1/2, 0, 0)`` to iSWAP ``(1/2, 1/2, 0)``; the B gate is its midpoint.
+    """
+    coords = _as_coords(coords_or_unitary)
+    ep = entangling_power_from_coordinates(coords)
+    return abs(ep - 2.0 / 9.0) < atol
+
+
+def _as_coords(
+    coords_or_unitary: tuple[float, float, float] | np.ndarray
+) -> tuple[float, float, float]:
+    """Accept either canonical coordinates or a 4x4 unitary."""
+    arr = np.asarray(coords_or_unitary)
+    if arr.shape == (3,):
+        return float(arr[0]), float(arr[1]), float(arr[2])
+    if arr.shape == (4, 4):
+        return cartan_coordinates(arr)
+    raise ValueError(
+        "expected a coordinate triple or a 4x4 unitary, got shape "
+        f"{arr.shape}"
+    )

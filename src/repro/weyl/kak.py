@@ -1,0 +1,259 @@
+"""Full KAK (Cartan) decomposition of two-qubit gates.
+
+Given ``U in U(4)``, find single-qubit gates ``a1, a0, b1, b0``, canonical
+coordinates ``(tx, ty, tz)`` and a global phase such that::
+
+    U = exp(i*phase) * (a1 (x) a0) * CAN(tx, ty, tz) * (b1 (x) b0)
+
+The algorithm is the standard magic-basis construction: in the magic basis a
+local gate becomes a real orthogonal matrix, so writing the magic-basis image
+of ``U`` as ``O1 * D * O2`` with ``O1, O2 in SO(4)`` and ``D`` diagonal
+unitary yields the local gates and the interaction content.  The simultaneous
+orthogonal diagonalisation of the real and imaginary parts of ``m m^T`` does
+the heavy lifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates.two_qubit import canonical_gate
+from repro.gates.unitary import unitary_distance
+from repro.weyl.cartan import MAGIC_BASIS, canonicalize_coordinates, cartan_coordinates
+
+
+@dataclass
+class KakDecomposition:
+    """Result of :func:`kak_decompose`.
+
+    Attributes:
+        coordinates: canonical Cartan coordinates ``(tx, ty, tz)``.
+        a1, a0: single-qubit gates applied *after* the canonical gate on
+            qubit 1 (most-significant) and qubit 0.
+        b1, b0: single-qubit gates applied *before* the canonical gate.
+        global_phase: scalar phase ``exp(i*phi)``.
+        fidelity: reconstruction fidelity ``1 - distance`` as a sanity value.
+    """
+
+    coordinates: tuple[float, float, float]
+    a1: np.ndarray
+    a0: np.ndarray
+    b1: np.ndarray
+    b0: np.ndarray
+    global_phase: complex
+    fidelity: float
+
+    def unitary(self) -> np.ndarray:
+        """Rebuild the full 4x4 unitary from the decomposition."""
+        core = canonical_gate(*self.coordinates)
+        return (
+            self.global_phase
+            * np.kron(self.a1, self.a0)
+            @ core
+            @ np.kron(self.b1, self.b0)
+        )
+
+
+def _simultaneous_orthogonal_diagonalization(
+    real_part: np.ndarray, imag_part: np.ndarray, atol: float = 1e-9
+) -> np.ndarray:
+    """Find a real orthogonal matrix diagonalising two commuting symmetric
+    real matrices.
+
+    Eigenvectors of ``real_part`` are computed first; inside each (nearly)
+    degenerate eigenspace the restriction of ``imag_part`` is diagonalised.
+    """
+    _, vectors = np.linalg.eigh(real_part)
+    eigenvalues = np.diag(vectors.T @ real_part @ vectors)
+    order = np.argsort(eigenvalues)
+    vectors = vectors[:, order]
+    eigenvalues = eigenvalues[order]
+
+    result = np.array(vectors)
+    start = 0
+    n = len(eigenvalues)
+    while start < n:
+        end = start + 1
+        while end < n and abs(eigenvalues[end] - eigenvalues[start]) < 1e-6:
+            end += 1
+        if end - start > 1:
+            block = result[:, start:end]
+            sub = block.T @ imag_part @ block
+            sub = (sub + sub.T) / 2
+            _, sub_vectors = np.linalg.eigh(sub)
+            result[:, start:end] = block @ sub_vectors
+        start = end
+    return result
+
+
+def _so4_fix(o: np.ndarray) -> np.ndarray:
+    """Flip one column sign if needed so that ``det(o) = +1``."""
+    if np.linalg.det(o) < 0:
+        o = o.copy()
+        o[:, 0] = -o[:, 0]
+    return o
+
+
+def _magic_to_local(o: np.ndarray) -> tuple[np.ndarray, np.ndarray, complex]:
+    """Convert an SO(4) matrix (magic basis) to a pair of SU(2) gates.
+
+    Returns ``(g1, g0, phase)`` such that ``M o M^dag = phase * (g1 (x) g0)``.
+    """
+    u = MAGIC_BASIS @ o @ MAGIC_BASIS.conj().T
+    return _factor_local_unitary(u)
+
+
+def _factor_local_unitary(u: np.ndarray) -> tuple[np.ndarray, np.ndarray, complex]:
+    """Factor a (numerically) local two-qubit unitary into a tensor product.
+
+    Uses the partial-trace / largest-block trick: reshape ``u`` into a 2x2x2x2
+    tensor and extract the Kronecker factors from the entry of largest
+    magnitude.  Returns gates normalised to determinant one and the residual
+    global phase.
+    """
+    u = np.asarray(u, dtype=complex)
+    tensor = u.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    # tensor[i*2+k, j*2+l] = u[i*2+j? ] -- after this reshape, the local
+    # structure u = g1 (x) g0 means tensor = vec(g1) * vec(g0)^T (rank one).
+    idx = np.unravel_index(np.argmax(np.abs(tensor)), tensor.shape)
+    g1_vec = tensor[:, idx[1]]
+    g0_vec = tensor[idx[0], :]
+    scale = tensor[idx[0], idx[1]]
+    g1 = g1_vec.reshape(2, 2)
+    g0 = (g0_vec / scale).reshape(2, 2)
+    # Normalise both factors to SU(2) and collect the global phase.
+    phase = 1.0 + 0.0j
+    for name in ("g1", "g0"):
+        g = g1 if name == "g1" else g0
+        det = np.linalg.det(g)
+        if abs(det) < 1e-12:
+            raise ValueError("matrix is not a tensor product of single-qubit gates")
+        correction = det ** (-0.5)
+        if name == "g1":
+            g1 = g * correction
+        else:
+            g0 = g * correction
+        phase /= correction
+    # Determine the overall phase by comparing one large element.
+    rebuilt = np.kron(g1, g0)
+    ref = np.unravel_index(np.argmax(np.abs(rebuilt)), rebuilt.shape)
+    phase = u[ref] / rebuilt[ref]
+    return g1, g0, phase
+
+
+def kak_decompose(u: np.ndarray) -> KakDecomposition:
+    """Compute the KAK decomposition of an arbitrary two-qubit unitary."""
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 unitary, got shape {u.shape}")
+    det = np.linalg.det(u)
+    u_su = u * det ** (-0.25)
+
+    m = MAGIC_BASIS.conj().T @ u_su @ MAGIC_BASIS
+    gamma = m @ m.T
+    # gamma is complex symmetric unitary; its real and imaginary parts commute
+    # and are simultaneously diagonalised by a real orthogonal matrix.
+    p = _simultaneous_orthogonal_diagonalization(np.real(gamma), np.imag(gamma))
+    p = _so4_fix(p)
+    diag = p.T @ gamma @ p
+    phases = np.angle(np.diag(diag))
+    # Square root of the diagonal part (half angles).
+    half = np.exp(1j * phases / 2)
+    # Adjust the branch so that the product of half-phases matches det(m)=+-1.
+    d_half = np.diag(half)
+    o2 = d_half.conj() @ p.T @ m
+    # o2 should be real orthogonal up to numerical error; enforce it.
+    o2 = np.real_if_close(o2, tol=1e6)
+    o2 = np.real(o2)
+    # Re-orthogonalise for numerical hygiene.
+    q, r = np.linalg.qr(o2)
+    o2 = q * np.sign(np.diag(r))
+
+    coordinates = cartan_coordinates(u)
+    core = canonical_gate(*coordinates)
+
+    a1, a0, _ = _magic_to_local(_so4_fix(p))
+    b1, b0, _ = _magic_to_local(_so4_fix(o2))
+
+    # The locals recovered from the orthogonal factors reproduce U only up to
+    # the Weyl-group element relating the raw diagonal phases to the canonical
+    # coordinates.  Rather than tracking that bookkeeping explicitly we fix the
+    # residual local freedom numerically: solve for the best single-qubit
+    # corrections with a short optimisation.
+    decomposition = _refine_locals(u, coordinates, a1, a0, b1, b0)
+    reconstructed = decomposition.unitary()
+    distance = unitary_distance(reconstructed, u)
+    decomposition.fidelity = 1.0 - distance
+    _ = core  # core retained for readability; reconstruction uses coordinates
+    return decomposition
+
+
+def _refine_locals(
+    u: np.ndarray,
+    coordinates: tuple[float, float, float],
+    a1: np.ndarray,
+    a0: np.ndarray,
+    b1: np.ndarray,
+    b0: np.ndarray,
+) -> KakDecomposition:
+    """Numerically polish the local gates of a KAK decomposition.
+
+    The closed-form bookkeeping that maps the raw orthogonal factors onto the
+    canonical chamber representative is error prone; a six-parameter-per-side
+    optimisation started from the analytic guess converges in a few dozen
+    iterations and guarantees a faithful reconstruction.
+    """
+    from scipy.optimize import minimize
+
+    from repro.gates.single_qubit import su2_from_params
+
+    core = canonical_gate(*coordinates)
+
+    def build(params: np.ndarray) -> np.ndarray:
+        c_a1 = su2_from_params(params[0:3]) @ a1
+        c_a0 = su2_from_params(params[3:6]) @ a0
+        c_b1 = b1 @ su2_from_params(params[6:9])
+        c_b0 = b0 @ su2_from_params(params[9:12])
+        return np.kron(c_a1, c_a0) @ core @ np.kron(c_b1, c_b0)
+
+    def cost(params: np.ndarray) -> float:
+        return unitary_distance(build(params), u)
+
+    best = None
+    rng = np.random.default_rng(7)
+    for attempt in range(12):
+        x0 = np.zeros(12) if attempt == 0 else rng.uniform(-np.pi, np.pi, 12)
+        res = minimize(cost, x0, method="L-BFGS-B")
+        if best is None or res.fun < best.fun:
+            best = res
+        if best.fun < 1e-10:
+            break
+    if best.fun > 1e-10:
+        # Final polish with a derivative-free method from the best point found.
+        polished = minimize(
+            cost, best.x, method="Nelder-Mead",
+            options={"maxiter": 4000, "fatol": 1e-14, "xatol": 1e-10},
+        )
+        if polished.fun < best.fun:
+            best = polished
+    params = best.x
+    final_a1 = su2_from_params(params[0:3]) @ a1
+    final_a0 = su2_from_params(params[3:6]) @ a0
+    final_b1 = b1 @ su2_from_params(params[6:9])
+    final_b0 = b0 @ su2_from_params(params[9:12])
+    synthesized = np.kron(final_a1, final_a0) @ core @ np.kron(final_b1, final_b0)
+    # Global phase: align the largest element.
+    ref = np.unravel_index(np.argmax(np.abs(synthesized)), synthesized.shape)
+    phase = u[ref] / synthesized[ref]
+    coordinates = canonicalize_coordinates(coordinates)
+    return KakDecomposition(
+        coordinates=coordinates,
+        a1=final_a1,
+        a0=final_a0,
+        b1=final_b1,
+        b0=final_b0,
+        global_phase=phase,
+        fidelity=0.0,
+    )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.device import Device, DeviceParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(2022)
+
+
+@pytest.fixture(scope="session")
+def small_device() -> Device:
+    """A 4x4 grid device -- fast enough for compiler tests."""
+    params = DeviceParameters(rows=4, cols=4, seed=53)
+    return Device.from_parameters(params)
+
+
+@pytest.fixture(scope="session")
+def case_device() -> Device:
+    """The full 10x10 case-study device (built once per session)."""
+    from repro.experiments.config import CaseStudyConfig, case_study_device
+
+    return case_study_device(CaseStudyConfig())
+
+
+def random_chamber_coords(rng: np.random.Generator) -> tuple[float, float, float]:
+    """Uniform random canonical coordinates inside the Weyl chamber."""
+    while True:
+        tx = rng.uniform(0, 1)
+        ty = rng.uniform(0, 0.5)
+        tz = rng.uniform(0, 0.5)
+        if tz <= ty <= min(tx, 1 - tx):
+            return float(tx), float(ty), float(tz)

@@ -1,0 +1,100 @@
+"""Tests for the calibration stack: QPT, GST-like refinement, protocol."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    CalibrationProtocol,
+    calibration_batches,
+    refine_gate_estimate,
+    simulate_process_tomography,
+)
+from repro.calibration.scheduling import calibration_rounds_for_device, validate_batches
+from repro.calibration.tomography import choi_to_unitary, ptm_to_choi, unitary_to_ptm
+from repro.device.topology import grid_graph, heavy_hex_graph
+from repro.gates import CNOT, SQRT_ISWAP, canonical_gate, random_su4
+from repro.gates.unitary import process_fidelity
+from repro.hamiltonian.effective import EffectiveEntanglerModel
+
+
+class TestQpt:
+    def test_exact_ptm_roundtrip(self, rng):
+        gate = random_su4(rng)
+        recovered = choi_to_unitary(ptm_to_choi(unitary_to_ptm(gate)))
+        assert process_fidelity(recovered, gate) == pytest.approx(1.0, abs=1e-9)
+
+    def test_infinite_shot_limit_recovers_gate(self):
+        result = simulate_process_tomography(CNOT, shots=0)
+        assert result.fidelity_to(CNOT) == pytest.approx(1.0, abs=1e-9)
+
+    def test_finite_shots_give_high_fidelity_estimate(self, rng):
+        gate = canonical_gate(0.24, 0.24, 0.03)
+        result = simulate_process_tomography(gate, shots=1500, rng=rng)
+        assert result.fidelity_to(gate) > 0.995
+
+    def test_spam_error_biases_the_estimate(self, rng):
+        gate = SQRT_ISWAP
+        clean = simulate_process_tomography(gate, shots=0, spam_error=0.0)
+        spammy = simulate_process_tomography(gate, shots=0, spam_error=0.05, rng=rng)
+        assert spammy.fidelity_to(gate) < clean.fidelity_to(gate)
+
+    def test_ptm_shape(self):
+        result = simulate_process_tomography(CNOT, shots=200)
+        assert result.pauli_transfer_matrix.shape == (16, 16)
+
+
+class TestGstRefinement:
+    def test_refinement_improves_a_biased_estimate(self):
+        true_gate = canonical_gate(0.25, 0.25, 0.03)
+        # Simulate a QPT estimate with a small coherent bias.
+        biased = true_gate @ canonical_gate(0.01, 0.0, 0.0)
+        initial_fidelity = process_fidelity(biased, true_gate)
+        result = refine_gate_estimate(true_gate, biased, shots=0, lengths=(1, 2, 4))
+        assert result.fidelity_to(true_gate) >= initial_fidelity - 1e-9
+        assert result.fidelity_to(true_gate) > 0.9999
+        assert result.error_generator_norm >= 0
+
+    def test_refinement_keeps_an_already_good_estimate(self):
+        true_gate = SQRT_ISWAP
+        result = refine_gate_estimate(true_gate, true_gate, shots=0, lengths=(1, 2))
+        assert result.fidelity_to(true_gate) > 1 - 1e-6
+        assert result.error_generator_norm < 0.2
+
+
+class TestProtocol:
+    def test_initial_tuneup_end_to_end(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04)
+        protocol = CalibrationProtocol(shots=800, qpt_stride=6, run_gst=False)
+        record = protocol.initial_tuneup(model, strategy="criterion2")
+        assert record.strategy == "criterion2"
+        assert 8 < record.selection.duration < 14
+        assert record.characterisation_fidelity > 0.99
+        assert len(record.qpt_results) > 3
+
+    def test_retune_after_drift(self):
+        reference = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04)
+        protocol = CalibrationProtocol(shots=400, qpt_stride=8, run_gst=False)
+        record = protocol.initial_tuneup(reference, strategy="criterion1")
+        # 2 % drift in the exchange rate (e.g. amplitude drift overnight).
+        drifted = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04 * 1.02)
+        result = protocol.retune(record, drifted, reference)
+        # The strong-drive suppression makes the rate slightly non-linear in
+        # the amplitude, so the ratio is close to (but not exactly) 1/1.02.
+        assert result.speed_ratio == pytest.approx(1 / 1.02, rel=5e-3)
+        assert result.retuned_duration < record.selection.duration
+        assert result.gate_fidelity_after_retune > 0.999
+
+
+class TestScheduling:
+    def test_grid_calibration_needs_four_rounds(self):
+        graph = grid_graph(10, 10)
+        batches = calibration_batches(graph)
+        assert len(batches) == 4
+        assert validate_batches(batches)
+        assert sum(len(b) for b in batches) == graph.number_of_edges()
+
+    def test_heavy_hex_needs_no_more_rounds_than_grid(self):
+        assert calibration_rounds_for_device(heavy_hex_graph(2)) <= 4
+
+    def test_validate_batches_detects_conflicts(self):
+        assert not validate_batches([[(0, 1), (1, 2)]])

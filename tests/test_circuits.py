@@ -1,0 +1,229 @@
+"""Tests for the circuit IR, benchmark library and scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Gate,
+    QuantumCircuit,
+    bernstein_vazirani,
+    cuccaro_adder,
+    ghz_circuit,
+    qaoa_circuit,
+    qft_adder,
+    qft_circuit,
+    random_two_qubit_circuit,
+    schedule_asap,
+)
+from repro.circuits.circuit import TWO_QUBIT_GATE_NAMES
+
+
+class TestCircuitIR:
+    def test_builders_and_counts(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.3, 2).swap(1, 2).cp(0.5, 0, 2)
+        assert len(circuit) == 5
+        assert circuit.count_ops() == {"h": 1, "cx": 1, "rz": 1, "swap": 1, "cp": 1}
+        assert len(circuit.two_qubit_gates()) == 3
+
+    def test_validation(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.cx(0, 5)
+        with pytest.raises(ValueError):
+            circuit.cx(0, 0)
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_depth(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2).cx(0, 1).cx(1, 2)
+        assert circuit.depth() == 3
+        assert circuit.two_qubit_depth() == 2
+
+    def test_gate_matrix_lookup(self):
+        assert np.allclose(Gate("cx", (0, 1)).matrix()[2:, 2:], [[0, 1], [1, 0]])
+        with pytest.raises(ValueError):
+            Gate("nonexistent", (0,)).matrix()
+
+    def test_ghz_unitary_prepares_ghz_state(self):
+        circuit = ghz_circuit(3)
+        state = circuit.unitary() @ np.eye(8)[:, 0]
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = expected[-1] = 1 / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_ccx_expansion_is_a_toffoli(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        unitary = circuit.unitary()
+        toffoli = np.eye(8, dtype=complex)
+        toffoli[6, 6] = toffoli[7, 7] = 0
+        toffoli[6, 7] = toffoli[7, 6] = 1
+        overlap = abs(np.trace(unitary.conj().T @ toffoli)) / 8
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_inverse_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cp(0.4, 0, 1).rz(0.3, 1).t(0)
+        identity = circuit.unitary() @ circuit.inverse().unitary()
+        assert abs(abs(np.trace(identity)) / 4 - 1) < 1e-9
+
+    def test_compose_and_copy(self):
+        a = ghz_circuit(3)
+        b = a.copy()
+        b.compose(a.inverse() if False else ghz_circuit(3))
+        assert len(b) == 2 * len(a)
+        assert len(a) == 3
+
+    def test_unitary_refuses_large_circuits(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(12).unitary()
+
+
+class TestBenchmarkLibrary:
+    def test_bernstein_vazirani_structure(self):
+        circuit = bernstein_vazirani(9)
+        counts = circuit.count_ops()
+        assert counts["cx"] == 8  # all-ones secret
+        assert circuit.n_qubits == 9
+        sparse = bernstein_vazirani(9, secret="10000001")
+        assert sparse.count_ops()["cx"] == 2
+        with pytest.raises(ValueError):
+            bernstein_vazirani(9, secret="111")
+
+    def test_qft_gate_counts(self):
+        circuit = qft_circuit(10)
+        counts = circuit.count_ops()
+        assert counts["h"] == 10
+        assert counts["cp"] == 45
+        assert counts["swap"] == 5
+        no_swaps = qft_circuit(10, do_swaps=False)
+        assert "swap" not in no_swaps.count_ops()
+
+    def test_qft_unitary_matches_dft(self):
+        n = 3
+        circuit = qft_circuit(n, do_swaps=True)
+        unitary = circuit.unitary()
+        dim = 2**n
+        dft = np.array(
+            [[np.exp(2j * np.pi * j * k / dim) for k in range(dim)] for j in range(dim)]
+        ) / np.sqrt(dim)
+        overlap = abs(np.trace(unitary.conj().T @ dft)) / dim
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_cuccaro_adder_adds_correctly(self):
+        """Simulate the 6-qubit (2-bit) Cuccaro adder on basis states."""
+        circuit = cuccaro_adder(6)
+        unitary = circuit.unitary()
+        n_bits = 2
+        for a in range(4):
+            for b in range(4):
+                index = 0
+                # Layout: qubit0 = carry-in, then a_i, b_i interleaved, last = carry-out.
+                bits = {0: 0, 5: 0}
+                for i in range(n_bits):
+                    bits[1 + 2 * i] = (a >> i) & 1
+                    bits[2 + 2 * i] = (b >> i) & 1
+                for qubit, value in bits.items():
+                    index |= value << (circuit.n_qubits - 1 - qubit)
+                column = unitary[:, index]
+                out_index = int(np.argmax(np.abs(column)))
+                assert abs(column[out_index]) == pytest.approx(1.0, abs=1e-9)
+                total = a + b
+                # Read back the sum bits (stored in the b register) + carry out.
+                result = 0
+                for i in range(n_bits):
+                    bit = (out_index >> (circuit.n_qubits - 1 - (2 + 2 * i))) & 1
+                    result |= bit << i
+                carry = (out_index >> (circuit.n_qubits - 1 - 5)) & 1
+                result |= carry << n_bits
+                assert result == total
+
+    def test_qft_adder_adds_correctly(self):
+        circuit = qft_adder(2)
+        unitary = circuit.unitary()
+        n_bits = 2
+        for a in range(4):
+            for b in range(4):
+                index = 0
+                for i in range(n_bits):  # a register: qubits 0..n-1 (MSB first)
+                    index |= ((a >> (n_bits - 1 - i)) & 1) << (circuit.n_qubits - 1 - i)
+                for i in range(n_bits):  # b register: qubits n..2n-1
+                    index |= ((b >> (n_bits - 1 - i)) & 1) << (
+                        circuit.n_qubits - 1 - (n_bits + i)
+                    )
+                column = unitary[:, index]
+                out_index = int(np.argmax(np.abs(column)))
+                assert abs(column[out_index]) == pytest.approx(1.0, abs=1e-6)
+                b_out = 0
+                for i in range(n_bits):
+                    bit = (out_index >> (circuit.n_qubits - 1 - (n_bits + i))) & 1
+                    b_out |= bit << (n_bits - 1 - i)
+                assert b_out == (a + b) % 4
+
+    def test_cuccaro_gate_level_content(self):
+        circuit = cuccaro_adder(10)
+        counts = circuit.count_ops()
+        assert counts["cx"] > 20
+        assert "ccx" not in counts  # Toffolis are expanded
+
+    def test_qaoa_structure(self):
+        circuit = qaoa_circuit(10, edge_probability=0.33, seed=7)
+        counts = circuit.count_ops()
+        assert counts["h"] == 10
+        assert counts["rx"] == 10
+        assert counts.get("rzz", 0) == circuit.graph.number_of_edges()
+        denser = qaoa_circuit(20, edge_probability=0.33, seed=7)
+        sparser = qaoa_circuit(20, edge_probability=0.1, seed=7)
+        assert denser.count_ops()["rzz"] > sparser.count_ops().get("rzz", 0)
+
+    def test_qaoa_validates_probability(self):
+        with pytest.raises(ValueError):
+            qaoa_circuit(5, edge_probability=1.5)
+
+    def test_random_circuit_only_uses_known_gates(self):
+        circuit = random_two_qubit_circuit(5, 30)
+        for gate in circuit.gates:
+            assert gate.name in TWO_QUBIT_GATE_NAMES or gate.name in {"rz"}
+
+
+class TestScheduling:
+    def test_parallel_gates_overlap(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2)
+        schedule = schedule_asap(circuit, lambda g: 100.0)
+        ops = schedule.operations
+        assert ops[0].start == ops[1].start == 0.0
+        assert ops[2].start == 100.0
+        assert schedule.total_duration == 200.0
+
+    def test_qubit_busy_spans_include_idle_time(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(1, 2).cx(0, 1)
+        schedule = schedule_asap(circuit, lambda g: 10.0 if g.n_qubits == 1 else 100.0)
+        spans = schedule.qubit_busy_spans()
+        # Qubit 0: h at t=0 (10 ns) then waits for qubit 1 until t=100, cx ends at 200.
+        assert spans[0] == pytest.approx(200.0)
+        assert spans[1] == pytest.approx(200.0)
+        assert spans[2] == pytest.approx(100.0)
+
+    def test_active_durations_exclude_idle_time(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(1, 2).cx(0, 1)
+        schedule = schedule_asap(circuit, lambda g: 10.0 if g.n_qubits == 1 else 100.0)
+        active = schedule.qubit_active_durations()
+        assert active[0] == pytest.approx(110.0)
+
+    def test_negative_duration_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        with pytest.raises(ValueError):
+            schedule_asap(circuit, lambda g: -1.0)
+
+    def test_operations_on_qubit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(1)
+        schedule = schedule_asap(circuit, lambda g: 1.0)
+        assert len(schedule.operations_on(0)) == 2
+        assert len(schedule.operations_on(1)) == 2

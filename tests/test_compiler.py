@@ -1,0 +1,212 @@
+"""Tests for layout, routing, basis translation and transpilation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, bernstein_vazirani, ghz_circuit, qaoa_circuit
+from repro.compiler import (
+    SabreRouter,
+    TranslationOptions,
+    greedy_subgraph_layout,
+    lower_to_cnot,
+    sabre_layout,
+    translate_circuit,
+    transpile,
+    trivial_layout,
+)
+from repro.compiler.basis_translation import target_coordinates
+from repro.compiler.transpile import compare_strategies
+from repro.device import Device, DeviceParameters
+
+
+@pytest.fixture(scope="module")
+def chain_device():
+    """A 1x3 chain device, small enough for exact unitary checks."""
+    return Device.from_parameters(DeviceParameters(rows=1, cols=3, seed=53))
+
+
+class TestLayout:
+    def test_trivial_layout(self, small_device):
+        circuit = ghz_circuit(5)
+        layout = trivial_layout(circuit, small_device)
+        assert layout == {q: q for q in range(5)}
+        with pytest.raises(ValueError):
+            trivial_layout(ghz_circuit(20), small_device)
+
+    def test_greedy_layout_places_interacting_qubits_adjacently(self, small_device):
+        circuit = ghz_circuit(6)
+        layout = greedy_subgraph_layout(circuit, small_device)
+        assert len(set(layout.values())) == 6
+        distances = [
+            small_device.distance(layout[g.qubits[0]], layout[g.qubits[1]])
+            for g in circuit.two_qubit_gates()
+        ]
+        assert np.mean(distances) < 2.0
+
+    def test_sabre_layout_is_valid(self, small_device):
+        circuit = qaoa_circuit(8, 0.4, seed=3)
+        layout = sabre_layout(circuit, small_device, iterations=1)
+        assert len(layout) == circuit.n_qubits
+        assert len(set(layout.values())) == circuit.n_qubits
+
+
+class TestRouting:
+    def test_no_swaps_needed_for_adjacent_gates(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = SabreRouter(small_device).run(circuit, {0: 0, 1: 1})
+        assert result.swap_count == 0
+        assert result.circuit.count_ops().get("swap", 0) == 0
+
+    def test_distant_gate_requires_swaps(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = SabreRouter(small_device).run(circuit, {0: 0, 1: 15})
+        assert result.swap_count >= 5  # distance 6 needs at least 5 swaps
+
+    def test_all_original_gates_survive_routing(self, small_device):
+        circuit = qaoa_circuit(8, 0.4, seed=3)
+        layout = greedy_subgraph_layout(circuit, small_device)
+        result = SabreRouter(small_device).run(circuit, layout)
+        original_2q = len(circuit.two_qubit_gates())
+        routed_counts = result.circuit.count_ops()
+        routed_2q_excluding_swaps = sum(
+            v for k, v in routed_counts.items() if k in {"cx", "cz", "cp", "rzz"}
+        )
+        assert routed_2q_excluding_swaps == sum(
+            1 for g in circuit.two_qubit_gates() if g.name != "swap"
+        )
+        assert original_2q <= routed_2q_excluding_swaps + routed_counts.get("swap", 0)
+
+    def test_routed_gates_respect_connectivity(self, small_device):
+        circuit = qaoa_circuit(10, 0.4, seed=5)
+        layout = greedy_subgraph_layout(circuit, small_device)
+        result = SabreRouter(small_device).run(circuit, layout)
+        for gate in result.circuit.two_qubit_gates():
+            assert small_device.has_edge(*gate.qubits)
+
+    def test_routing_preserves_semantics_on_a_chain(self, chain_device):
+        """Routed circuit equals the original up to the final qubit permutation."""
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 2).rz(0.3, 2).cx(1, 2)
+        layout = {0: 0, 1: 1, 2: 2}
+        result = SabreRouter(chain_device).run(circuit, layout)
+        assert result.swap_count >= 1
+        routed_unitary = result.circuit.unitary(max_qubits=4)
+        original_unitary = circuit.unitary()
+        # Undo the relabelling produced by routing: append SWAPs that map the
+        # final layout back to the initial one.
+        fix = QuantumCircuit(3)
+        current = dict(result.final_layout)
+        while current != layout:
+            for logical, physical in sorted(current.items()):
+                if layout[logical] != physical:
+                    other = next(l for l, p in current.items() if p == layout[logical])
+                    fix.swap(physical, layout[logical])
+                    current[logical], current[other] = layout[logical], physical
+                    break
+        total = fix.unitary() @ routed_unitary
+        overlap = abs(np.trace(total.conj().T @ original_unitary)) / 8
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_layout_validation(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        router = SabreRouter(small_device)
+        with pytest.raises(ValueError):
+            router.run(circuit, {0: 0})
+        with pytest.raises(ValueError):
+            router.run(circuit, {0: 0, 1: 0})
+        with pytest.raises(ValueError):
+            router.run(circuit, {0: 0, 1: 99})
+
+
+class TestBasisTranslation:
+    def test_lower_to_cnot_preserves_unitary(self):
+        circuit = QuantumCircuit(3)
+        circuit.cp(0.7, 0, 1).rzz(0.4, 1, 2).cz(0, 2).swap(0, 1)
+        lowered = lower_to_cnot(circuit)
+        names = set(lowered.count_ops())
+        assert names <= {"cx", "swap", "h", "rz"}
+        overlap = abs(np.trace(lowered.unitary().conj().T @ circuit.unitary())) / 8
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_target_coordinates(self):
+        from repro.circuits.circuit import Gate
+
+        assert target_coordinates(Gate("swap", (0, 1))) == (0.5, 0.5, 0.5)
+        assert target_coordinates(Gate("cx", (0, 1))) == (0.5, 0.0, 0.0)
+        assert target_coordinates(Gate("cp", (0, 1), (np.pi,)))[0] == pytest.approx(0.5)
+        assert target_coordinates(Gate("rzz", (0, 1), (0.4,)))[0] == pytest.approx(0.4 / np.pi)
+        with pytest.raises(ValueError):
+            target_coordinates(Gate("magic", (0, 1)))
+
+    def test_translation_layer_counts(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1).cx(0, 1)
+        ops = translate_circuit(circuit, small_device, "criterion2")
+        two_q = [op for op in ops if op.kind == "2q"]
+        assert two_q[0].layers == 3  # SWAP
+        assert two_q[1].layers == 2  # CNOT under Criterion 2
+        ops_c1 = translate_circuit(circuit, small_device, "criterion1")
+        assert [op.layers for op in ops_c1 if op.kind == "2q"] == [3, 3]
+
+    def test_baseline_decomposes_cp_directly(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.cp(np.pi / 4, 0, 1)
+        baseline_ops = translate_circuit(circuit, small_device, "baseline")
+        baseline_2q = [op for op in baseline_ops if op.kind == "2q"]
+        assert len(baseline_2q) == 1  # direct decomposition
+        assert baseline_2q[0].layers == 2
+        criterion_ops = translate_circuit(circuit, small_device, "criterion2")
+        criterion_2q = [op for op in criterion_ops if op.kind == "2q"]
+        assert len(criterion_2q) == 2  # lowered to two CNOTs first
+
+    def test_single_qubit_absorption(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(1)
+        ops = translate_circuit(circuit, small_device, "criterion2")
+        one_q = [op for op in ops if op.kind == "1q"]
+        assert all(op.duration == 0.0 for op in one_q)
+        options = TranslationOptions.for_strategy("criterion2")
+        options.absorb_single_qubit_gates = False
+        ops_no_absorb = translate_circuit(circuit, small_device, "criterion2", options)
+        assert any(op.duration > 0 for op in ops_no_absorb if op.kind == "1q")
+
+    def test_isolated_single_qubit_gates_cost_one_layer(self, small_device):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        ops = translate_circuit(circuit, small_device, "criterion2")
+        assert all(op.kind == "1q" for op in ops)
+        assert all(op.duration == small_device.single_qubit_duration for op in ops)
+
+
+class TestTranspile:
+    def test_transpile_end_to_end(self, small_device):
+        compiled = transpile(bernstein_vazirani(5), small_device, strategy="criterion2")
+        assert 0 < compiled.fidelity < 1
+        assert compiled.total_duration > 0
+        assert compiled.two_qubit_layer_count >= 2 * 4  # 4 CNOTs, 2 layers each
+        summary = compiled.summary()
+        assert set(summary) == {"swap_count", "two_qubit_layers", "duration_ns", "fidelity"}
+
+    def test_strategy_ordering_on_benchmarks(self, small_device):
+        for circuit in (bernstein_vazirani(7), qaoa_circuit(8, 0.33, seed=7)):
+            results = compare_strategies(circuit, small_device)
+            assert results["criterion2"].fidelity >= results["criterion1"].fidelity
+            assert results["criterion1"].fidelity > results["baseline"].fidelity
+            # All strategies share the same routing.
+            assert (
+                results["criterion2"].swap_count
+                == results["baseline"].swap_count
+                == results["criterion1"].swap_count
+            )
+
+    def test_criterion_durations_are_much_shorter(self, small_device):
+        results = compare_strategies(bernstein_vazirani(7), small_device)
+        assert results["criterion2"].total_duration < 0.5 * results["baseline"].total_duration
+
+    def test_fidelity_uses_device_coherence_time(self, small_device):
+        compiled = transpile(ghz_circuit(4), small_device, strategy="criterion2")
+        better = compiled.coherence_limited_fidelity(coherence_time_ns=10 * 80000.0)
+        assert better > compiled.fidelity

@@ -1,0 +1,181 @@
+"""Tests for Cartan trajectories and basis-gate selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BaselineSqrtIswapStrategy,
+    CartanTrajectory,
+    CompositeCriterionStrategy,
+    Criterion1Strategy,
+    Criterion2Strategy,
+    PredicateStrategy,
+    select_basis_gate,
+)
+from repro.core.basis_selection import available_strategies
+from repro.core.regions import (
+    cnot2_feasible_volume_fraction,
+    exact_infeasible_volume_fractions,
+    mirror_trajectory,
+    swap2_segments,
+    swap3_feasible_volume_fraction,
+)
+from repro.hamiltonian.effective import EffectiveEntanglerModel
+from repro.synthesis.depth import can_synthesize_swap_in_3_layers
+from repro.weyl.entangling_power import is_perfect_entangler
+
+
+@pytest.fixture(scope="module")
+def baseline_model():
+    return EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.005)
+
+
+@pytest.fixture(scope="module")
+def nonstandard_model():
+    return EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04)
+
+
+@pytest.fixture(scope="module")
+def baseline_trajectory(baseline_model):
+    return CartanTrajectory.from_model(baseline_model, max_duration=150, resolution=1.0)
+
+
+@pytest.fixture(scope="module")
+def nonstandard_trajectory(nonstandard_model):
+    return CartanTrajectory.from_model(nonstandard_model, max_duration=25, resolution=0.25)
+
+
+class TestTrajectory:
+    def test_basic_properties(self, baseline_trajectory):
+        assert len(baseline_trajectory) > 100
+        point = baseline_trajectory[10]
+        assert point.duration == baseline_trajectory.durations[10]
+        assert 0 <= point.entangling_power <= 2 / 9 + 1e-9
+
+    def test_requires_monotone_durations(self):
+        with pytest.raises(ValueError):
+            CartanTrajectory([1.0, 1.0], [(0, 0, 0), (0.1, 0, 0)])
+        with pytest.raises(ValueError):
+            CartanTrajectory([1.0], [(0, 0, 0)])
+        with pytest.raises(ValueError):
+            CartanTrajectory([1.0, 2.0], [(0, 0, 0)])
+
+    def test_first_duration_where_with_refinement(self, baseline_trajectory):
+        crossing = baseline_trajectory.first_duration_where(can_synthesize_swap_in_3_layers)
+        assert crossing == pytest.approx(83.04, abs=0.05)
+        coarse = baseline_trajectory.first_duration_where(
+            can_synthesize_swap_in_3_layers, refine=False
+        )
+        assert coarse >= crossing
+
+    def test_first_duration_where_none_when_never_true(self, baseline_trajectory):
+        assert baseline_trajectory.first_duration_where(lambda c: c[2] > 0.4) is None
+
+    def test_first_perfect_entangler(self, nonstandard_trajectory):
+        pe = nonstandard_trajectory.first_perfect_entangler()
+        assert pe is not None
+        assert 8 < pe < 13
+
+    def test_deviation_from_xy(self, baseline_trajectory, nonstandard_trajectory):
+        assert baseline_trajectory.deviation_from_xy() == pytest.approx(0.0, abs=1e-9)
+        assert nonstandard_trajectory.deviation_from_xy() > 0.01
+
+    def test_from_unitaries_constructor(self, baseline_model):
+        durations = [10.0, 20.0, 30.0]
+        unitaries = [baseline_model.unitary(t) for t in durations]
+        trajectory = CartanTrajectory.from_unitaries(durations, unitaries)
+        assert trajectory.coordinates.shape == (3, 3)
+        with pytest.raises(ValueError):
+            trajectory.unitary_at(15.0)  # no gate model attached
+
+    def test_coordinates_at_interpolates(self, baseline_model):
+        durations = np.array([10.0, 20.0, 30.0])
+        coords = [baseline_model.coordinates(t) for t in durations]
+        trajectory = CartanTrajectory(durations, coords)
+        mid = trajectory.coordinates_at(15.0)
+        assert coords[0][0] < mid[0] < coords[1][0]
+
+
+class TestSelectionStrategies:
+    def test_baseline_selects_sqrt_iswap(self, baseline_trajectory):
+        selection = select_basis_gate(baseline_trajectory, "baseline")
+        assert selection.duration == pytest.approx(83.04, abs=0.1)
+        assert selection.coordinates == pytest.approx((0.25, 0.25, 0.0), abs=1e-3)
+        assert selection.swap_layers == 3
+        assert selection.cnot_layers == 2
+        assert selection.unitary is not None
+
+    def test_criterion1_is_fastest(self, nonstandard_trajectory):
+        c1 = select_basis_gate(nonstandard_trajectory, "criterion1")
+        c2 = select_basis_gate(nonstandard_trajectory, "criterion2")
+        assert c1.duration <= c2.duration
+        assert can_synthesize_swap_in_3_layers(c1.coordinates)
+        assert c1.swap_layers == 3
+
+    def test_criterion2_gives_two_layer_cnot(self, nonstandard_trajectory):
+        c2 = select_basis_gate(nonstandard_trajectory, "criterion2")
+        assert c2.cnot_layers == 2
+
+    def test_criterion_gates_are_about_8x_faster(self, baseline_trajectory, nonstandard_trajectory):
+        baseline = select_basis_gate(baseline_trajectory, "baseline")
+        c1 = select_basis_gate(nonstandard_trajectory, "criterion1")
+        assert 7.0 < baseline.duration / c1.duration < 9.0
+
+    def test_baseline_rejects_nonstandard_trajectory(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04, static_zz=0.05)
+        trajectory = CartanTrajectory.from_model(model, max_duration=25, resolution=0.25)
+        with pytest.raises(ValueError):
+            BaselineSqrtIswapStrategy(tolerance=0.02).select(trajectory)
+
+    def test_strategy_error_when_no_gate_found(self):
+        coords = [(0.01 * k, 0.0, 0.0) for k in range(1, 6)]
+        trajectory = CartanTrajectory(list(range(1, 6)), coords)
+        with pytest.raises(ValueError):
+            Criterion1Strategy().select(trajectory)
+
+    def test_predicate_strategy_pe_and_swap3(self, nonstandard_trajectory):
+        strategy = PredicateStrategy(
+            "pe_and_swap3",
+            lambda c: is_perfect_entangler(c) and can_synthesize_swap_in_3_layers(c),
+        )
+        selection = strategy.select(nonstandard_trajectory)
+        assert is_perfect_entangler(selection.coordinates)
+        named = select_basis_gate(nonstandard_trajectory, "pe_and_swap3")
+        assert named.duration == pytest.approx(selection.duration)
+
+    def test_composite_strategy_matches_criterion2(self, nonstandard_trajectory):
+        composite = CompositeCriterionStrategy(
+            targets={
+                "swap": ((0.5, 0.5, 0.5), 3),
+                "cnot": ((0.5, 0.0, 0.0), 2),
+            },
+            name="swap3_cnot2",
+        )
+        selection = composite.select(nonstandard_trajectory)
+        reference = Criterion2Strategy().select(nonstandard_trajectory)
+        assert selection.duration == pytest.approx(reference.duration, abs=0.05)
+
+    def test_available_strategies_listed(self):
+        assert set(available_strategies()) >= {"baseline", "criterion1", "criterion2"}
+
+
+class TestRegionSummaries:
+    def test_volume_fractions_match_paper(self):
+        assert swap3_feasible_volume_fraction(8000) == pytest.approx(0.685, abs=0.03)
+        assert cnot2_feasible_volume_fraction(8000) == pytest.approx(0.75, abs=0.03)
+
+    def test_exact_fractions(self):
+        exact = exact_infeasible_volume_fractions()
+        assert exact["cnot2_infeasible"] == pytest.approx(0.25, abs=1e-9)
+        assert exact["swap3_infeasible"] == pytest.approx(0.315, abs=0.002)
+
+    def test_swap2_segments_endpoints(self):
+        segments = swap2_segments(n_points=5)
+        assert np.allclose(segments["B_to_sqrt_swap"][0], (0.5, 0.25, 0.0))
+        assert np.allclose(segments["B_to_sqrt_swap"][-1], (0.25, 0.25, 0.25))
+        assert np.allclose(segments["B_to_sqrt_swap_dag"][-1], (0.75, 0.25, 0.25))
+
+    def test_mirror_trajectory_shape(self):
+        coords = np.array([(0.1, 0.08, 0.01), (0.2, 0.18, 0.02)])
+        mirrored = mirror_trajectory(coords)
+        assert mirrored.shape == coords.shape

@@ -1,0 +1,160 @@
+"""Tests for the device model: topology, sampling, noise, Device."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    Device,
+    DeviceParameters,
+    circuit_coherence_fidelity,
+    coherence_limit,
+    decoherence_error,
+    grid_graph,
+    heavy_hex_graph,
+    linear_graph,
+    sample_checkerboard_frequencies,
+)
+from repro.device.noise import coherence_limited_gate_fidelity
+from repro.device.sampling import frequency_populations, pair_detunings
+from repro.device.topology import edge_coloring, qubit_position
+
+
+class TestTopology:
+    def test_grid_graph_counts(self):
+        graph = grid_graph(10, 10)
+        assert graph.number_of_nodes() == 100
+        assert graph.number_of_edges() == 180  # 2 * 10 * 9
+
+    def test_linear_graph(self):
+        graph = linear_graph(5)
+        assert graph.number_of_edges() == 4
+
+    def test_qubit_position(self):
+        graph = grid_graph(4, 5)
+        assert qubit_position(graph, 0) == (0, 0)
+        assert qubit_position(graph, 7) == (1, 2)
+
+    def test_grid_requires_positive_dims(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 5)
+
+    def test_edge_coloring_of_grid_uses_four_colors(self):
+        graph = grid_graph(10, 10)
+        coloring = edge_coloring(graph)
+        assert max(coloring.values()) + 1 <= 4
+        # Proper colouring: edges sharing a qubit have different colours.
+        for (a, b), color in coloring.items():
+            for (c, d), other in coloring.items():
+                if (a, b) != (c, d) and {a, b} & {c, d}:
+                    assert color != other or (a, b) == (c, d)
+                    break
+
+    def test_heavy_hex_graph_low_degree(self):
+        graph = heavy_hex_graph(2)
+        degrees = [d for _, d in graph.degree()]
+        assert max(degrees) <= 3
+
+
+class TestSampling:
+    def test_checkerboard_alternates_populations(self, rng):
+        graph = grid_graph(6, 6)
+        freqs = sample_checkerboard_frequencies(graph, rng=rng)
+        for a, b in graph.edges:
+            assert abs(freqs[a] - freqs[b]) > 0.5  # far detuned neighbours
+
+    def test_population_split_is_even(self, rng):
+        graph = grid_graph(6, 6)
+        freqs = sample_checkerboard_frequencies(graph, rng=rng)
+        populations = frequency_populations(freqs)
+        assert len(populations["low"]) == len(populations["high"]) == 18
+
+    def test_pair_detunings_near_two_ghz(self, rng):
+        graph = grid_graph(8, 8)
+        freqs = sample_checkerboard_frequencies(graph, rng=rng)
+        detunings = list(pair_detunings(graph, freqs).values())
+        assert np.mean(detunings) == pytest.approx(2.0, abs=0.3)
+
+    def test_invalid_means_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_checkerboard_frequencies(grid_graph(2, 2), low_mean=5.0, high_mean=4.0, rng=rng)
+
+
+class TestNoise:
+    def test_decoherence_error_limits(self):
+        assert decoherence_error(0.0, 80000.0) == 0.0
+        assert decoherence_error(80000.0, 80000.0) == pytest.approx(1 - np.exp(-1))
+        with pytest.raises(ValueError):
+            decoherence_error(-1.0, 80000.0)
+        with pytest.raises(ValueError):
+            decoherence_error(1.0, 0.0)
+
+    def test_circuit_fidelity_is_product(self):
+        spans = {0: 100.0, 1: 200.0}
+        expected = np.exp(-100 / 80000) * np.exp(-200 / 80000)
+        assert circuit_coherence_fidelity(spans, 80000.0) == pytest.approx(expected)
+        assert circuit_coherence_fidelity([100.0, 200.0], 80000.0) == pytest.approx(expected)
+
+    def test_coherence_limit_increases_with_duration(self):
+        short = coherence_limit(2, [80000] * 2, [80000] * 2, 10.0)
+        long = coherence_limit(2, [80000] * 2, [80000] * 2, 300.0)
+        assert 0 < short < long < 1
+
+    def test_coherence_limit_two_qubits_worse_than_one(self):
+        one = coherence_limit(1, [80000], [80000], 100.0)
+        two = coherence_limit(2, [80000] * 2, [80000] * 2, 100.0)
+        assert two > one
+
+    def test_coherence_limit_validates_inputs(self):
+        with pytest.raises(ValueError):
+            coherence_limit(3, [1, 1, 1], [1, 1, 1], 1.0)
+        with pytest.raises(ValueError):
+            coherence_limit(2, [1], [1], 1.0)
+
+    def test_coherence_limited_gate_fidelity_matches_paper_scale(self):
+        # Baseline basis gate: 83.04 ns at T = 80 us should be ~99.87-99.9 %.
+        fidelity = coherence_limited_gate_fidelity(83.04, 80000.0)
+        assert fidelity == pytest.approx(0.9988, abs=0.0004)
+
+
+class TestDevice:
+    def test_device_structure(self, small_device):
+        assert small_device.n_qubits == 16
+        assert len(small_device.edges()) == 24
+        assert small_device.has_edge(0, 1)
+        assert not small_device.has_edge(0, 5)
+        assert small_device.distance(0, 15) == 6
+        assert small_device.neighbors(5) == [1, 4, 6, 9]
+
+    def test_entangler_model_validates_edges(self, small_device):
+        with pytest.raises(ValueError):
+            small_device.entangler_model((0, 5), 0.04)
+
+    def test_basis_gate_selection_and_caching(self, small_device):
+        first = small_device.basis_gate((0, 1), "criterion2")
+        second = small_device.basis_gate((1, 0), "criterion2")
+        assert first is second  # cached, order-insensitive
+        assert first.swap_layers == 3
+        assert first.cnot_layers == 2
+
+    def test_criteria_are_much_faster_than_baseline(self, small_device):
+        baseline = small_device.average_basis_duration("baseline")
+        criterion1 = small_device.average_basis_duration("criterion1")
+        criterion2 = small_device.average_basis_duration("criterion2")
+        assert 6.0 < baseline / criterion1 < 10.0
+        assert criterion1 <= criterion2 < baseline
+
+    def test_amplitude_for_strategy(self, small_device):
+        assert small_device.amplitude_for_strategy("baseline") == pytest.approx(0.005)
+        assert small_device.amplitude_for_strategy("criterion1") == pytest.approx(0.04)
+
+    def test_device_parameters_conversions(self):
+        params = DeviceParameters(coherence_time_us=80.0)
+        assert params.coherence_time_ns == 80000.0
+
+    def test_deviation_scales_are_positive_and_reproducible(self, small_device):
+        other = Device.from_parameters(DeviceParameters(rows=4, cols=4, seed=53))
+        for edge in small_device.edges():
+            assert small_device.deviation_scale(edge) > 0
+            assert small_device.deviation_scale(edge) == pytest.approx(
+                other.deviation_scale(edge)
+            )

@@ -1,0 +1,137 @@
+"""Tests for the experiment regeneration code (tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CaseStudyConfig,
+    figure1_weyl_points,
+    figure2_trajectory,
+    figure3_decompositions,
+    figure4_regions,
+    figure5_stability,
+    figure6_unitcell,
+    figure7_device,
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+from repro.experiments.table1 import PAPER_TABLE1, speedup_over_baseline
+from repro.experiments.table2 import FAST_SUBSET, ordering_violations
+
+
+@pytest.fixture(scope="module")
+def table1(case_device):
+    return table1_rows(device=case_device)
+
+
+class TestTable1:
+    def test_three_rows(self, table1):
+        assert [row.strategy for row in table1] == ["baseline", "criterion1", "criterion2"]
+
+    def test_baseline_matches_paper_closely(self, table1):
+        baseline = table1[0]
+        assert baseline.basis_duration == pytest.approx(PAPER_TABLE1["baseline"]["basis"], rel=0.05)
+        assert baseline.swap_duration == pytest.approx(PAPER_TABLE1["baseline"]["swap"], rel=0.05)
+        assert baseline.cnot_duration == pytest.approx(PAPER_TABLE1["baseline"]["cnot"], rel=0.05)
+
+    def test_criteria_match_paper_closely(self, table1):
+        for row in table1[1:]:
+            paper = PAPER_TABLE1[row.strategy]
+            assert row.basis_duration == pytest.approx(paper["basis"], rel=0.10)
+            assert row.swap_duration == pytest.approx(paper["swap"], rel=0.10)
+            assert row.cnot_duration == pytest.approx(paper["cnot"], rel=0.10)
+
+    def test_headline_8x_speedup(self, table1):
+        speedups = speedup_over_baseline(table1)
+        assert 7.0 < speedups["criterion1"] < 9.0
+        assert 7.0 < speedups["criterion2"] < 9.0
+
+    def test_fidelity_ordering(self, table1):
+        baseline, criterion1, criterion2 = table1
+        assert criterion1.basis_fidelity > baseline.basis_fidelity
+        assert criterion2.cnot_fidelity > criterion1.cnot_fidelity
+        assert all(0.99 < row.swap_fidelity < 1.0 for row in table1)
+
+    def test_formatting_contains_all_strategies(self, table1):
+        text = format_table1(table1)
+        for name in ("baseline", "criterion1", "criterion2", "paper"):
+            assert name in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self, case_device):
+        return table2_rows(benchmarks=list(FAST_SUBSET)[:4], device=case_device)
+
+    def test_fidelities_in_range_and_ordered(self, rows):
+        for row in rows:
+            assert 0 <= row.baseline <= row.criterion1 + 0.02
+            assert row.criterion1 <= row.criterion2 + 0.02
+            assert 0 < row.criterion2 <= 1
+        assert ordering_violations(rows) == []
+
+    def test_bv9_is_high_fidelity(self, rows):
+        by_name = {row.benchmark: row for row in rows}
+        assert by_name["bv_9"].criterion2 > 0.85
+        assert by_name["bv_9"].criterion2 > by_name["bv_9"].baseline
+
+    def test_unknown_benchmark_rejected(self, case_device):
+        with pytest.raises(KeyError):
+            table2_rows(benchmarks=["nonexistent"], device=case_device)
+
+    def test_formatting(self, rows):
+        text = format_table2(rows)
+        assert "Benchmark" in text and "paper" in text
+        assert all(row.benchmark in text for row in rows)
+
+
+class TestFigures:
+    def test_figure1_points(self):
+        points = figure1_weyl_points()
+        assert points["CNOT"] == (0.5, 0.0, 0.0)
+        assert points["SWAP"] == (0.5, 0.5, 0.5)
+
+    def test_figure2_thirteen_ns_perfect_entangler(self):
+        data = figure2_trajectory()
+        assert data["first_perfect_entangler_ns"] == pytest.approx(13.0, abs=1.5)
+        assert data["deviation_from_xy"] > 0.02  # visibly nonstandard
+        assert data["max_entangling_power"] > 0.2
+
+    def test_figure3_decomposition_templates(self):
+        data = figure3_decompositions()
+        assert data["swap_from_sqrt_iswap_layers"] == 3
+        assert data["cnot_from_sqrt_iswap_layers"] == 2
+        assert data["swap_from_sqrt_iswap_fidelity"] > 1 - 1e-6
+        assert data["swap_equals_three_cnots"] is True
+
+    def test_figure4_region_volumes(self):
+        data = figure4_regions(n_samples=8000)
+        assert data["swap3_feasible_fraction"] == pytest.approx(0.685, abs=0.03)
+        assert data["cnot2_feasible_fraction"] == pytest.approx(0.75, abs=0.03)
+        assert data["swap3_feasible_fraction_exact"] == pytest.approx(0.685, abs=0.001)
+        assert data["cnot2_feasible_fraction_exact"] == pytest.approx(0.75, abs=1e-9)
+
+    def test_figure5_speed_doubles_with_amplitude(self):
+        data = figure5_stability()
+        assert data["speed_ratio"] == pytest.approx(2.0, rel=0.05)
+
+    def test_figure6_zero_zz_bias(self):
+        data = figure6_unitcell()
+        assert data["detuning_ghz"] == pytest.approx(2.0, abs=0.01)
+        assert abs(data["static_zz_at_zero_bias_mhz"]) <= abs(
+            data["static_zz_at_default_bias_mhz"]
+        ) + 1e-9
+
+    def test_figure7_device_statistics(self, case_device):
+        data = figure7_device()
+        assert data["n_qubits"] == 100
+        assert data["n_edges"] == 180
+        assert data["low_population_size"] == 50
+        assert data["mean_pair_detuning_ghz"] == pytest.approx(2.0, abs=0.1)
+
+    def test_config_round_trip(self):
+        config = CaseStudyConfig(rows=6, cols=6)
+        params = config.device_parameters()
+        assert params.rows == 6 and params.cols == 6

@@ -1,0 +1,93 @@
+"""Tests for the standard gate matrices."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    B_GATE,
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY_2Q,
+    ISWAP,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    SQRT_ISWAP,
+    SQRT_SWAP,
+    SQRT_SWAP_DAG,
+    SWAP,
+    S_GATE,
+    T_GATE,
+    is_unitary,
+    unitary_equal_up_to_phase,
+)
+
+ALL_GATES = {
+    "CNOT": CNOT,
+    "CZ": CZ,
+    "SWAP": SWAP,
+    "ISWAP": ISWAP,
+    "SQRT_ISWAP": SQRT_ISWAP,
+    "SQRT_SWAP": SQRT_SWAP,
+    "SQRT_SWAP_DAG": SQRT_SWAP_DAG,
+    "B": B_GATE,
+    "H": HADAMARD,
+    "X": PAULI_X,
+    "Y": PAULI_Y,
+    "Z": PAULI_Z,
+    "S": S_GATE,
+    "T": T_GATE,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GATES))
+def test_all_constants_are_unitary(name):
+    assert is_unitary(ALL_GATES[name])
+
+
+def test_pauli_algebra():
+    assert np.allclose(PAULI_X @ PAULI_Y, 1j * PAULI_Z)
+    assert np.allclose(PAULI_Y @ PAULI_Z, 1j * PAULI_X)
+    assert np.allclose(PAULI_Z @ PAULI_X, 1j * PAULI_Y)
+    for p in (PAULI_X, PAULI_Y, PAULI_Z):
+        assert np.allclose(p @ p, np.eye(2))
+
+
+def test_self_inverse_gates():
+    for gate in (CNOT, CZ, SWAP, HADAMARD, PAULI_X, PAULI_Y, PAULI_Z):
+        assert np.allclose(gate @ gate, np.eye(gate.shape[0]))
+
+
+def test_square_roots():
+    assert np.allclose(SQRT_ISWAP @ SQRT_ISWAP, ISWAP)
+    assert np.allclose(SQRT_SWAP @ SQRT_SWAP, SWAP)
+    assert np.allclose(SQRT_SWAP_DAG, SQRT_SWAP.conj().T)
+    assert np.allclose(S_GATE @ S_GATE, PAULI_Z)
+    assert np.allclose(T_GATE @ T_GATE, S_GATE)
+
+
+def test_cnot_cz_related_by_hadamard():
+    h_on_target = np.kron(np.eye(2), HADAMARD)
+    assert np.allclose(h_on_target @ CZ @ h_on_target, CNOT)
+
+
+def test_iswap_not_locally_cnot():
+    # iSWAP and CNOT have different traces of gamma; a simple distinguishing
+    # check is that no global phase makes them equal.
+    assert not unitary_equal_up_to_phase(ISWAP, CNOT)
+
+
+def test_b_gate_squares_to_special_class():
+    # The B gate is a special perfect entangler and is not self-inverse.
+    assert not np.allclose(B_GATE @ B_GATE, IDENTITY_2Q)
+    assert is_unitary(B_GATE)
+
+
+def test_swap_exchanges_basis_states():
+    ket01 = np.zeros(4)
+    ket01[1] = 1.0
+    ket10 = np.zeros(4)
+    ket10[2] = 1.0
+    assert np.allclose(SWAP @ ket01, ket10)
+    assert np.allclose(SWAP @ ket10, ket01)

@@ -1,0 +1,98 @@
+"""Tests for single-qubit gates and decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import HADAMARD, PAULI_X, PAULI_Y, PAULI_Z, is_unitary, rx, ry, rz, u3
+from repro.gates.single_qubit import (
+    bloch_rotation,
+    phase_gate,
+    random_su2,
+    su2_from_params,
+    zyz_angles,
+)
+
+
+@pytest.mark.parametrize("rotation", [rx, ry, rz])
+def test_rotations_are_unitary_and_periodic(rotation):
+    for theta in (0.0, 0.3, np.pi, 2.5 * np.pi):
+        gate = rotation(theta)
+        assert is_unitary(gate)
+    # A rotation by 4*pi is the identity exactly.
+    assert np.allclose(rotation(4 * np.pi), np.eye(2))
+
+
+def test_rotation_generators():
+    theta = 0.37
+    assert np.allclose(rx(theta), np.cos(theta / 2) * np.eye(2) - 1j * np.sin(theta / 2) * PAULI_X)
+    assert np.allclose(ry(theta), np.cos(theta / 2) * np.eye(2) - 1j * np.sin(theta / 2) * PAULI_Y)
+    assert np.allclose(rz(theta), np.cos(theta / 2) * np.eye(2) - 1j * np.sin(theta / 2) * PAULI_Z)
+
+
+def test_u3_special_cases():
+    assert np.allclose(u3(0, 0, 0), np.eye(2))
+    # u3(pi/2, 0, pi) is the Hadamard up to global phase.
+    h = u3(np.pi / 2, 0, np.pi)
+    overlap = abs(np.trace(h.conj().T @ HADAMARD)) / 2
+    assert overlap == pytest.approx(1.0, abs=1e-12)
+
+
+def test_phase_gate_diagonal():
+    gate = phase_gate(0.7)
+    assert gate[0, 0] == 1
+    assert gate[1, 1] == pytest.approx(np.exp(0.7j))
+
+
+def test_su2_from_params_covers_group(rng):
+    for _ in range(20):
+        params = rng.uniform(-np.pi, np.pi, 3)
+        gate = su2_from_params(params)
+        assert is_unitary(gate)
+        assert np.linalg.det(gate) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_random_su2_has_unit_determinant(rng):
+    for _ in range(10):
+        gate = random_su2(rng)
+        assert is_unitary(gate)
+        assert np.linalg.det(gate) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_zyz_roundtrip_random(rng):
+    for _ in range(25):
+        gate = random_su2(rng)
+        alpha, beta, gamma, phase = zyz_angles(gate)
+        rebuilt = np.exp(1j * phase) * rz(alpha) @ ry(beta) @ rz(gamma)
+        assert np.allclose(rebuilt, gate, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    alpha=st.floats(-np.pi, np.pi),
+    beta=st.floats(0.0, np.pi),
+    gamma=st.floats(-np.pi, np.pi),
+)
+def test_zyz_roundtrip_property(alpha, beta, gamma):
+    gate = rz(alpha) @ ry(beta) @ rz(gamma)
+    a, b, c, phase = zyz_angles(gate)
+    rebuilt = np.exp(1j * phase) * rz(a) @ ry(b) @ rz(c)
+    assert np.allclose(rebuilt, gate, atol=1e-7)
+
+
+def test_bloch_rotation_matches_axis_rotations():
+    theta = 1.1
+    assert np.allclose(bloch_rotation([1, 0, 0], theta), rx(theta))
+    assert np.allclose(bloch_rotation([0, 1, 0], theta), ry(theta))
+    assert np.allclose(bloch_rotation([0, 0, 1], theta), rz(theta))
+
+
+def test_bloch_rotation_rejects_zero_axis():
+    with pytest.raises(ValueError):
+        bloch_rotation([0, 0, 0], 1.0)
+
+
+def test_zyz_rejects_wrong_shape():
+    with pytest.raises(ValueError):
+        zyz_angles(np.eye(3))

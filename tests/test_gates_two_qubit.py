@@ -1,0 +1,91 @@
+"""Tests for two-qubit gate families."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    CZ,
+    ISWAP,
+    SQRT_ISWAP,
+    canonical_gate,
+    controlled_phase,
+    fsim,
+    is_unitary,
+    random_su4,
+    random_two_qubit_gate,
+    rxx,
+    ryy,
+    rzz,
+    unitary_equal_up_to_phase,
+    xy_gate,
+)
+from repro.weyl import cartan_coordinates
+
+
+def test_canonical_gate_reaches_named_points():
+    assert cartan_coordinates(canonical_gate(0.5, 0.0, 0.0)) == pytest.approx((0.5, 0, 0))
+    assert cartan_coordinates(canonical_gate(0.5, 0.5, 0.0)) == pytest.approx((0.5, 0.5, 0))
+    assert cartan_coordinates(canonical_gate(0.5, 0.5, 0.5)) == pytest.approx((0.5, 0.5, 0.5))
+    assert cartan_coordinates(canonical_gate(0.3, 0.2, 0.1)) == pytest.approx((0.3, 0.2, 0.1))
+
+
+def test_canonical_gate_accepts_tuple():
+    assert np.allclose(canonical_gate((0.3, 0.2, 0.1)), canonical_gate(0.3, 0.2, 0.1))
+
+
+def test_canonical_gate_is_unitary():
+    assert is_unitary(canonical_gate(0.37, 0.21, 0.08))
+
+
+def test_xy_gate_endpoints():
+    assert unitary_equal_up_to_phase(xy_gate(np.pi), ISWAP)
+    assert unitary_equal_up_to_phase(xy_gate(np.pi / 2), SQRT_ISWAP)
+    assert np.allclose(xy_gate(0.0), np.eye(4))
+
+
+def test_controlled_phase_endpoints():
+    assert np.allclose(controlled_phase(np.pi), CZ)
+    assert np.allclose(controlled_phase(0.0), np.eye(4))
+
+
+def test_controlled_phase_coordinates_scale_linearly():
+    for phi in (0.3, 1.0, 2.0, np.pi):
+        coords = cartan_coordinates(controlled_phase(phi))
+        assert coords[0] == pytest.approx(phi / (2 * np.pi), abs=1e-9)
+        assert coords[1] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_rzz_locally_equivalent_to_controlled_phase_of_twice_the_angle():
+    theta = 0.77
+    assert cartan_coordinates(rzz(theta)) == pytest.approx(
+        cartan_coordinates(controlled_phase(2 * theta)), abs=1e-9
+    )
+    assert cartan_coordinates(rzz(theta))[0] == pytest.approx(theta / np.pi, abs=1e-9)
+
+
+def test_ising_interactions_commute_pairwise():
+    a, b = rxx(0.4), ryy(0.7)
+    assert np.allclose(a @ b, b @ a)
+
+
+def test_fsim_reduces_to_xy_and_cphase():
+    theta, phi = 0.45, 0.0
+    assert is_unitary(fsim(theta, phi))
+    # fsim(0, phi) is a pure controlled phase (of angle -phi).
+    coords = cartan_coordinates(fsim(0.0, 1.1))
+    assert coords[1] == pytest.approx(0.0, abs=1e-9)
+    assert coords[2] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_random_su4_properties(rng):
+    for _ in range(10):
+        gate = random_su4(rng)
+        assert is_unitary(gate)
+        assert np.linalg.det(gate) == pytest.approx(1.0, abs=1e-8)
+
+
+def test_random_two_qubit_gate_with_fixed_class(rng):
+    coords = (0.31, 0.17, 0.05)
+    for _ in range(5):
+        gate = random_two_qubit_gate(rng, coords=coords)
+        assert cartan_coordinates(gate) == pytest.approx(coords, abs=1e-7)

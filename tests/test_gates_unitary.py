@@ -1,0 +1,89 @@
+"""Tests for unitary utilities and fidelity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import (
+    CNOT,
+    SWAP,
+    average_gate_fidelity,
+    closest_unitary,
+    is_hermitian,
+    is_unitary,
+    kron,
+    process_fidelity,
+    random_su4,
+    unitary_distance,
+    unitary_equal_up_to_phase,
+)
+from repro.gates.unitary import remove_global_phase
+
+
+def test_kron_multiple_factors():
+    x = np.array([[0, 1], [1, 0]])
+    result = kron(x, np.eye(2), x)
+    assert result.shape == (8, 8)
+    assert np.allclose(result, np.kron(x, np.kron(np.eye(2), x)))
+
+
+def test_kron_requires_arguments():
+    with pytest.raises(ValueError):
+        kron()
+
+
+def test_is_unitary_and_hermitian():
+    assert is_unitary(CNOT)
+    assert is_hermitian(CNOT)  # CNOT is also Hermitian
+    assert not is_unitary(np.array([[1, 1], [0, 1]]))
+    assert not is_hermitian(np.array([[0, 1], [0, 0]]))
+    assert not is_unitary(np.ones((2, 3)))
+
+
+def test_fidelities_of_identical_gates():
+    assert process_fidelity(CNOT, CNOT) == pytest.approx(1.0)
+    assert average_gate_fidelity(CNOT, CNOT) == pytest.approx(1.0)
+    assert unitary_distance(CNOT, CNOT) == pytest.approx(0.0)
+
+
+def test_fidelity_is_phase_insensitive(rng):
+    u = random_su4(rng)
+    assert process_fidelity(u, np.exp(0.7j) * u) == pytest.approx(1.0)
+    assert unitary_equal_up_to_phase(u, np.exp(-1.1j) * u)
+
+
+def test_average_vs_process_fidelity_relation(rng):
+    u, v = random_su4(rng), random_su4(rng)
+    f_pro = process_fidelity(u, v)
+    f_avg = average_gate_fidelity(u, v)
+    assert f_avg == pytest.approx((4 * f_pro + 1) / 5)
+
+
+def test_closest_unitary_restores_unitarity(rng):
+    u = random_su4(rng)
+    noisy = u + 0.01 * (rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))
+    projected = closest_unitary(noisy)
+    assert is_unitary(projected)
+    assert process_fidelity(projected, u) > 0.99
+
+
+def test_remove_global_phase_gives_special_unitary(rng):
+    u = np.exp(0.3j) * random_su4(rng)
+    su = remove_global_phase(u)
+    assert np.linalg.det(su) == pytest.approx(1.0, abs=1e-8)
+
+
+def test_distance_between_distinct_gates_positive():
+    assert unitary_distance(CNOT, SWAP) > 0.1
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fidelity_bounds_property(seed):
+    rng = np.random.default_rng(seed)
+    u, v = random_su4(rng), random_su4(rng)
+    f = process_fidelity(u, v)
+    d = unitary_distance(u, v)
+    assert 0.0 <= f <= 1.0 + 1e-9
+    assert -1e-9 <= d <= 1.0 + 1e-9

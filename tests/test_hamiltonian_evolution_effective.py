@@ -1,0 +1,150 @@
+"""Tests for time evolution and the effective entangler model."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.gates import ISWAP, SQRT_ISWAP, is_unitary, unitary_equal_up_to_phase
+from repro.hamiltonian.effective import (
+    BASELINE_DRIVE_AMPLITUDE,
+    NONSTANDARD_DRIVE_AMPLITUDE,
+    EffectiveEntanglerModel,
+    EntanglerParameters,
+)
+from repro.hamiltonian.evolution import (
+    evolve_propagator,
+    project_to_computational_subspace,
+    rotating_frame,
+)
+from repro.weyl import cartan_coordinates
+
+
+class TestEvolution:
+    def test_constant_hamiltonian_matches_expm(self, rng):
+        h = rng.normal(size=(4, 4))
+        h = (h + h.T) / 2
+        assert np.allclose(evolve_propagator(h, 0.7), expm(-1j * h * 0.7))
+
+    def test_time_dependent_evolution_accuracy(self):
+        # H(t) = f(t) * X with f integrable analytically: U = exp(-i X int f).
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        omega = 2.0
+
+        def hamiltonian(t):
+            return np.cos(omega * t) * x
+
+        duration = 1.3
+        propagator = evolve_propagator(hamiltonian, duration, max_step=0.001)
+        exact = expm(-1j * x * np.sin(omega * duration) / omega)
+        assert np.allclose(propagator, exact, atol=1e-5)
+
+    def test_zero_duration_is_identity(self):
+        assert np.allclose(evolve_propagator(lambda t: np.eye(2), 0.0), np.eye(2))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            evolve_propagator(np.eye(2), -1.0)
+
+    def test_projection_and_leakage(self):
+        # A 5-level propagator that mixes a little population out of the
+        # computational subspace {0, 1, 2, 3}.
+        h = np.zeros((5, 5))
+        h[3, 4] = h[4, 3] = 0.3
+        propagator = expm(-1j * h)
+        block, leakage = project_to_computational_subspace(propagator, [0, 1, 2, 3])
+        assert is_unitary(block)
+        assert 0 < leakage < 0.1
+
+    def test_projection_of_block_diagonal_has_no_leakage(self):
+        u = np.kron(np.eye(2), ISWAP)
+        full = np.zeros((8, 8), dtype=complex)
+        full[:4, :4] = ISWAP
+        full[4:, 4:] = np.eye(4)
+        block, leakage = project_to_computational_subspace(full, [0, 1, 2, 3])
+        assert leakage == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(block, ISWAP)
+        _ = u
+
+    def test_rotating_frame_removes_diagonal_phase(self):
+        h_frame = np.diag([0.0, 1.0])
+        lab = expm(-1j * h_frame * 2.0)
+        rotated = rotating_frame(lab, h_frame, 2.0)
+        assert np.allclose(rotated, np.eye(2))
+
+
+class TestEffectiveModel:
+    def test_baseline_trajectory_is_standard_xy(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, BASELINE_DRIVE_AMPLITUDE)
+        assert model.zz_rate == pytest.approx(0.0)
+        assert not model.is_nonstandard
+        # At the sqrt(iSWAP) time the gate is locally sqrt(iSWAP).
+        t_sqrt = np.pi / (4 * model.xy_rate)
+        assert cartan_coordinates(model.unitary(t_sqrt)) == pytest.approx(
+            (0.25, 0.25, 0.0), abs=1e-7
+        )
+        t_iswap = np.pi / (2 * model.xy_rate)
+        assert unitary_equal_up_to_phase(
+            model.unitary(t_iswap), ISWAP
+        ) or cartan_coordinates(model.unitary(t_iswap)) == pytest.approx((0.5, 0.5, 0.0), abs=1e-7)
+
+    def test_speed_scales_linearly_with_drive(self):
+        slow = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.005)
+        fast = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.010)
+        assert fast.linear_exchange_rate == pytest.approx(2 * slow.linear_exchange_rate)
+
+    def test_strong_drive_induces_deviation(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, NONSTANDARD_DRIVE_AMPLITUDE)
+        assert model.is_nonstandard
+        assert model.zz_rate > 0
+        coords = model.coordinates(10.0)
+        assert coords[2] > 0.01  # visible ZZ component
+
+    def test_weak_drive_has_no_strong_drive_excess(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.008)
+        assert model.drive_excess == 0.0
+
+    def test_closed_form_coordinates_match_unitary_extraction(self):
+        model = EffectiveEntanglerModel.for_pair(3.3, 5.1, 0.04, deviation_scale=1.2)
+        for duration in (3.0, 8.0, 15.0):
+            closed = model.coordinates(duration)
+            extracted = cartan_coordinates(model.unitary(duration))
+            assert closed == pytest.approx(extracted, abs=1e-7)
+
+    def test_detuning_slows_the_gate(self):
+        near = EffectiveEntanglerModel.for_pair(3.2, 5.0, 0.005)
+        far = EffectiveEntanglerModel.for_pair(3.2, 5.6, 0.005)
+        assert near.xy_rate > far.xy_rate
+
+    def test_static_zz_systematic_offsets_trajectory(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.005, static_zz=0.01)
+        assert model.is_nonstandard
+        assert model.coordinates(20.0)[2] > 0
+
+    def test_leakage_estimate_small_and_monotone(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04)
+        assert 0 <= model.leakage_estimate(5.0) <= model.leakage_estimate(50.0) < 1e-3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EffectiveEntanglerModel(EntanglerParameters(qubit_a_freq=4.0, qubit_b_freq=4.0))
+        with pytest.raises(ValueError):
+            EffectiveEntanglerModel(EntanglerParameters(drive_amplitude=-0.01))
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.005)
+        with pytest.raises(ValueError):
+            model.unitary(-1.0)
+
+    def test_duration_grid_respects_resolution(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.005)
+        grid = model.duration_grid(10.0, resolution=1.0)
+        assert np.allclose(np.diff(grid), 1.0)
+        with pytest.raises(ValueError):
+            model.duration_grid(1.0, min_duration=2.0)
+
+    def test_sqrt_iswap_reference_duration_is_83ns(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.005)
+        t_sqrt = np.pi / (4 * model.xy_rate)
+        assert t_sqrt == pytest.approx(83.04, rel=1e-6)
+        assert unitary_equal_up_to_phase(
+            model.unitary(t_sqrt) @ model.unitary(t_sqrt), ISWAP, atol=1e-7
+        ) or cartan_coordinates(model.unitary(2 * t_sqrt)) == pytest.approx((0.5, 0.5, 0.0), abs=1e-7)
+        _ = SQRT_ISWAP

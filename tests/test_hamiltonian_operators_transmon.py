@@ -1,0 +1,115 @@
+"""Tests for bosonic operators and the three-mode transmon-coupler model."""
+
+import numpy as np
+import pytest
+
+from repro.gates.unitary import is_hermitian
+from repro.hamiltonian.operators import (
+    annihilation,
+    basis_state,
+    creation,
+    embed,
+    multi_mode_state,
+    number_operator,
+)
+from repro.hamiltonian.transmon import TransmonCouplerParameters, TransmonCouplerSystem
+
+TWO_PI = 2 * np.pi
+
+
+class TestOperators:
+    def test_commutation_relation_truncated(self):
+        levels = 6
+        a = annihilation(levels)
+        commutator = a @ creation(levels) - creation(levels) @ a
+        # Exact on all but the highest level (truncation artefact).
+        assert np.allclose(np.diag(commutator)[:-1], 1.0)
+
+    def test_number_operator_matches_adag_a(self):
+        levels = 4
+        assert np.allclose(
+            number_operator(levels), creation(levels) @ annihilation(levels)
+        )
+
+    def test_annihilation_requires_two_levels(self):
+        with pytest.raises(ValueError):
+            annihilation(1)
+
+    def test_embed_places_operator_on_correct_mode(self):
+        op = number_operator(2)
+        full = embed(op, 1, [2, 2, 2])
+        assert full.shape == (8, 8)
+        # |010> has one excitation on mode 1.
+        state = multi_mode_state([0, 1, 0], [2, 2, 2])
+        assert np.vdot(state, full @ state) == pytest.approx(1.0)
+        state0 = multi_mode_state([1, 0, 0], [2, 2, 2])
+        assert np.vdot(state0, full @ state0) == pytest.approx(0.0)
+
+    def test_embed_validates_inputs(self):
+        with pytest.raises(ValueError):
+            embed(number_operator(2), 5, [2, 2])
+        with pytest.raises(ValueError):
+            embed(number_operator(3), 0, [2, 2])
+
+    def test_basis_state(self):
+        state = basis_state(2, 4)
+        assert state[2] == 1.0 and np.sum(np.abs(state)) == 1.0
+
+    def test_multi_mode_state_validates_length(self):
+        with pytest.raises(ValueError):
+            multi_mode_state([0, 1], [2, 2, 2])
+
+
+class TestTransmonCouplerSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return TransmonCouplerSystem()
+
+    def test_hamiltonian_is_hermitian(self, system):
+        assert is_hermitian(system.static_hamiltonian())
+
+    def test_dimensions(self, system):
+        assert system.static_hamiltonian().shape == (27, 27)
+        assert system.dims == [3, 3, 3]
+
+    def test_dressed_energies_are_labelled_completely(self, system):
+        energies = system.dressed_energies()
+        assert len(energies) == 27
+        assert energies[(0, 0, 0)] == min(energies.values())
+
+    def test_qubit_frequencies_near_bare_values(self, system):
+        energies = system.dressed_energies()
+        omega_a = energies[(1, 0, 0)] - energies[(0, 0, 0)]
+        omega_b = energies[(0, 1, 0)] - energies[(0, 0, 0)]
+        assert omega_a == pytest.approx(system.params.qubit_a_freq, rel=0.02)
+        assert omega_b == pytest.approx(system.params.qubit_b_freq, rel=0.02)
+
+    def test_static_zz_is_small_but_nonzero(self, system):
+        zz = system.static_zz()
+        assert abs(zz) > 0
+        assert abs(zz) < TWO_PI * 0.01  # well below 10 MHz
+
+    def test_zero_zz_bias_reduces_crosstalk(self, system):
+        default_zz = abs(system.static_zz())
+        bias = system.find_zero_zz_bias()
+        assert min(system.params.qubit_a_freq, system.params.qubit_b_freq) < bias < max(
+            system.params.qubit_a_freq, system.params.qubit_b_freq
+        )
+        assert abs(system.static_zz(bias)) <= default_zz + 1e-9
+
+    def test_driven_hamiltonian_is_time_dependent(self, system):
+        drive = system.driven_hamiltonian(drive_amplitude=TWO_PI * 0.02, drive_frequency=TWO_PI * 2.0)
+        h0 = drive(0.0)
+        h_quarter = drive(0.125)  # quarter period of a 2 GHz modulation
+        assert is_hermitian(h0)
+        assert not np.allclose(h0, h_quarter)
+
+    def test_computational_indices(self, system):
+        indices = system.computational_indices()
+        assert len(indices) == 4
+        assert len(set(indices)) == 4
+        assert all(0 <= i < 27 for i in indices)
+
+    def test_detuning_property(self):
+        params = TransmonCouplerParameters(qubit_a_freq=TWO_PI * 3.0, qubit_b_freq=TWO_PI * 5.0)
+        assert params.detuning == pytest.approx(TWO_PI * 2.0)

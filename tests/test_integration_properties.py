@@ -1,0 +1,117 @@
+"""End-to-end integration tests and cross-module property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import ghz_circuit
+from repro.compiler import transpile
+from repro.core import CartanTrajectory, select_basis_gate
+from repro.gates import CNOT, SWAP
+from repro.gates.unitary import average_gate_fidelity
+from repro.hamiltonian.effective import EffectiveEntanglerModel
+from repro.synthesis.depth import mirror_coordinates
+from repro.synthesis.library import DecompositionLibrary
+from repro.synthesis.numerical import synthesize_gate
+from repro.weyl.cartan import canonicalize_coordinates, cartan_coordinates, in_weyl_chamber
+from repro.weyl.entangling_power import entangling_power_from_coordinates
+
+
+class TestEndToEnd:
+    """The paper's whole story on a single pair of qubits."""
+
+    def test_select_then_synthesize_swap_and_cnot(self):
+        # 1. Simulate the fast nonstandard trajectory for a pair.
+        model = EffectiveEntanglerModel.for_pair(3.15, 5.23, 0.04, deviation_scale=1.1)
+        trajectory = CartanTrajectory.from_model(model, max_duration=25, resolution=0.25)
+        # 2. Select a basis gate with Criterion 2.
+        selection = select_basis_gate(trajectory, "criterion2")
+        assert selection.duration < 15
+        # 3. Synthesize SWAP and CNOT from the selected (nonstandard) gate and
+        #    verify the decomposition fidelity is essentially perfect.
+        basis = selection.unitary
+        swap_synth = synthesize_gate(SWAP, basis, predicted_layers=selection.swap_layers, restarts=6)
+        cnot_synth = synthesize_gate(CNOT, basis, predicted_layers=selection.cnot_layers, restarts=6)
+        assert swap_synth.n_layers == 3
+        assert cnot_synth.n_layers == 2
+        assert swap_synth.fidelity > 1 - 1e-5
+        assert cnot_synth.fidelity > 1 - 1e-5
+        # 4. The synthesized circuits really implement SWAP and CNOT.
+        assert average_gate_fidelity(swap_synth.unitary(), SWAP) > 1 - 1e-5
+        assert average_gate_fidelity(cnot_synth.unitary(), CNOT) > 1 - 1e-5
+
+    def test_decomposition_library_for_selected_gate(self):
+        model = EffectiveEntanglerModel.for_pair(3.2, 5.2, 0.04)
+        trajectory = CartanTrajectory.from_model(model, max_duration=25, resolution=0.25)
+        selection = select_basis_gate(trajectory, "criterion1")
+        library = DecompositionLibrary(
+            selection.unitary, basis_duration=selection.duration, one_qubit_duration=20.0
+        )
+        assert library.layers_for("swap") == 3
+        # Criterion 1 does not guarantee a 2-layer CNOT.
+        assert library.layers_for("cnot") in (2, 3)
+        assert library.duration_for("swap") == pytest.approx(
+            3 * selection.duration + 4 * 20.0
+        )
+
+    def test_compile_ghz_on_small_device(self, small_device):
+        compiled = transpile(ghz_circuit(6), small_device, strategy="criterion2")
+        baseline = transpile(ghz_circuit(6), small_device, strategy="baseline")
+        assert compiled.fidelity > baseline.fidelity
+        assert compiled.fidelity > 0.9
+
+
+def chamber_coords():
+    return st.tuples(
+        st.floats(0.0, 1.0), st.floats(0.0, 0.5), st.floats(0.0, 0.5)
+    ).map(canonicalize_coordinates)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(coords=chamber_coords())
+    def test_canonicalized_points_are_in_chamber(self, coords):
+        assert in_weyl_chamber(coords)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coords=chamber_coords())
+    def test_entangling_power_bounds(self, coords):
+        ep = entangling_power_from_coordinates(coords)
+        assert -1e-12 <= ep <= 2 / 9 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(coords=chamber_coords())
+    def test_mirror_is_involution_property(self, coords):
+        from repro.weyl.cartan import coordinates_close
+
+        assert coordinates_close(
+            mirror_coordinates(mirror_coordinates(coords)), coords, atol=1e-7
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(coords=chamber_coords(), seed=st.integers(0, 1000))
+    def test_coordinates_survive_local_dressing(self, coords, seed):
+        from repro.gates.single_qubit import random_su2
+        from repro.gates.two_qubit import canonical_gate
+        from repro.weyl.cartan import coordinates_close
+
+        rng = np.random.default_rng(seed)
+        gate = (
+            np.kron(random_su2(rng), random_su2(rng))
+            @ canonical_gate(*coords)
+            @ np.kron(random_su2(rng), random_su2(rng))
+        )
+        assert coordinates_close(cartan_coordinates(gate), coords, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        duration=st.floats(1.0, 40.0),
+        amplitude=st.floats(0.002, 0.06),
+        detuning=st.floats(1.2, 2.8),
+    )
+    def test_effective_model_unitarity_property(self, duration, amplitude, detuning):
+        model = EffectiveEntanglerModel.for_pair(3.2, 3.2 + detuning, amplitude)
+        gate = model.unitary(duration)
+        assert np.allclose(gate.conj().T @ gate, np.eye(4), atol=1e-9)
+        assert in_weyl_chamber(model.coordinates(duration))

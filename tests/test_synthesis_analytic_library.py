@@ -1,0 +1,100 @@
+"""Tests for analytic identities and the decomposition library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import CNOT, CZ, ISWAP, SQRT_ISWAP, SWAP, canonical_gate
+from repro.gates.two_qubit import controlled_phase, rzz
+from repro.synthesis.analytic import (
+    cnot_circuit_from_cz,
+    controlled_phase_to_cnot,
+    cz_circuit_from_cnot,
+    fragment_unitary,
+    rzz_to_cnot,
+    swap_to_cnot,
+    verify_identity,
+)
+from repro.synthesis.library import DecompositionLibrary, layered_duration
+
+
+class TestAnalyticIdentities:
+    def test_swap_equals_three_cnots(self):
+        assert verify_identity(swap_to_cnot(), SWAP)
+
+    def test_cnot_cz_hadamard_identities(self):
+        assert verify_identity(cnot_circuit_from_cz(), CNOT)
+        assert verify_identity(cz_circuit_from_cnot(), CZ)
+
+    @settings(max_examples=25, deadline=None)
+    @given(phi=st.floats(0.01, np.pi))
+    def test_controlled_phase_lowering_property(self, phi):
+        assert verify_identity(controlled_phase_to_cnot(phi), controlled_phase(phi))
+
+    @settings(max_examples=25, deadline=None)
+    @given(theta=st.floats(0.01, np.pi))
+    def test_rzz_lowering_property(self, theta):
+        assert verify_identity(rzz_to_cnot(theta), rzz(theta))
+
+    def test_fragment_unitary_qubit_order(self):
+        # A CNOT with swapped qubit roles must differ from the plain CNOT.
+        reversed_cnot = fragment_unitary([("2q", (1, 0), CNOT)])
+        assert not np.allclose(reversed_cnot, CNOT)
+        assert np.allclose(reversed_cnot, SWAP @ CNOT @ SWAP)
+
+    def test_fragment_unitary_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fragment_unitary([("3q", (0, 1, 2), np.eye(8))])
+
+
+class TestLayeredDuration:
+    def test_matches_paper_accounting(self):
+        # Baseline: 3 layers of 83.04 ns + 4 single-qubit layers of 20 ns.
+        assert layered_duration(3, 83.04, 20.0) == pytest.approx(329.12)
+        assert layered_duration(2, 83.04, 20.0) == pytest.approx(226.08)
+        assert layered_duration(2, 10.76, 20.0) == pytest.approx(81.52)
+
+    def test_zero_layers_is_a_single_1q_layer(self):
+        assert layered_duration(0, 100.0, 20.0) == 20.0
+
+    def test_rejects_negative_layers(self):
+        with pytest.raises(ValueError):
+            layered_duration(-1, 10.0, 20.0)
+
+    def test_monotone_in_layers(self):
+        durations = [layered_duration(n, 50.0, 20.0) for n in range(5)]
+        assert durations == sorted(durations)
+
+
+class TestDecompositionLibrary:
+    def test_baseline_sqrt_iswap_library(self):
+        library = DecompositionLibrary(SQRT_ISWAP, basis_duration=83.04)
+        assert library.layers_for("swap") == 3
+        assert library.layers_for("cnot") == 2
+        assert library.duration_for("swap") == pytest.approx(329.12)
+        assert library.duration_for("cnot") == pytest.approx(226.08)
+
+    def test_nonstandard_basis_library(self):
+        basis = canonical_gate(0.25, 0.25, 0.03)
+        library = DecompositionLibrary(basis, basis_duration=10.76)
+        assert library.layers_for("swap") == 3
+        assert library.layers_for("cnot") == 2
+
+    def test_add_target_and_summary(self):
+        library = DecompositionLibrary(SQRT_ISWAP, basis_duration=83.04)
+        library.add_target("iswap", ISWAP)
+        summary = library.summary()
+        assert set(summary) == {"swap", "cnot", "iswap"}
+        assert summary["iswap"]["layers"] == 2
+
+    def test_unknown_target_raises(self):
+        library = DecompositionLibrary(SQRT_ISWAP, basis_duration=83.04)
+        with pytest.raises(KeyError):
+            library.layers_for("toffoli")
+
+    def test_full_synthesis_is_cached_and_accurate(self):
+        library = DecompositionLibrary(SQRT_ISWAP, basis_duration=83.04)
+        synthesis = library.synthesis_for("cnot")
+        assert synthesis.fidelity > 1 - 1e-6
+        assert library.synthesis_for("cnot") is synthesis

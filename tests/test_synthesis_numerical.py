@@ -1,0 +1,77 @@
+"""Tests for the NuOp-style numerical synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.gates import CNOT, ISWAP, SQRT_ISWAP, SWAP, canonical_gate
+from repro.gates.unitary import average_gate_fidelity
+from repro.synthesis.numerical import (
+    decompose_into_layers,
+    predicted_layers_for_target,
+    synthesize_gate,
+)
+
+
+def test_one_layer_decomposition_of_basis_itself():
+    result = decompose_into_layers(SQRT_ISWAP, SQRT_ISWAP, n_layers=1, restarts=2)
+    assert result.fidelity > 1 - 1e-7
+
+
+def test_swap_from_sqrt_iswap_needs_three_layers():
+    two_layer = decompose_into_layers(SWAP, SQRT_ISWAP, n_layers=2, restarts=4)
+    assert two_layer.fidelity < 0.999
+    three_layer = synthesize_gate(SWAP, SQRT_ISWAP, predicted_layers=3, restarts=4)
+    assert three_layer.n_layers == 3
+    assert three_layer.fidelity > 1 - 1e-6
+    assert three_layer.success
+
+
+def test_cnot_from_sqrt_iswap_in_two_layers():
+    result = synthesize_gate(CNOT, SQRT_ISWAP, predicted_layers=2, restarts=4)
+    assert result.n_layers == 2
+    assert result.fidelity > 1 - 1e-6
+
+
+def test_cnot_from_iswap_in_two_layers():
+    result = synthesize_gate(CNOT, ISWAP, predicted_layers=2, restarts=4)
+    assert result.fidelity > 1 - 1e-6
+
+
+def test_synthesis_from_nonstandard_basis_gate():
+    """A Criterion-2-style nonstandard basis gate synthesizes CNOT in 2 layers."""
+    nonstandard = canonical_gate(0.25, 0.25, 0.03)
+    result = synthesize_gate(CNOT, nonstandard, predicted_layers=2, restarts=6)
+    assert result.n_layers == 2
+    assert result.fidelity > 1 - 1e-5
+
+
+def test_swap_from_nonstandard_basis_gate_three_layers():
+    nonstandard = canonical_gate(0.24, 0.24, 0.028)
+    result = synthesize_gate(SWAP, nonstandard, predicted_layers=3, restarts=6)
+    assert result.n_layers == 3
+    assert result.fidelity > 1 - 1e-5
+
+
+def test_result_unitary_matches_reported_fidelity():
+    result = synthesize_gate(CNOT, SQRT_ISWAP, predicted_layers=2, restarts=4)
+    rebuilt = result.unitary()
+    assert average_gate_fidelity(rebuilt, CNOT) == pytest.approx(result.fidelity, abs=1e-9)
+    assert result.decomposition_error == pytest.approx(1 - result.fidelity)
+
+
+def test_incremental_search_without_prediction():
+    result = synthesize_gate(CNOT, SQRT_ISWAP, predicted_layers=None, max_layers=3, restarts=4)
+    assert result.n_layers == 2
+    assert result.success
+
+
+def test_predicted_layers_helper():
+    assert predicted_layers_for_target(SWAP, SQRT_ISWAP) == 3
+    assert predicted_layers_for_target(CNOT, SQRT_ISWAP) == 2
+
+
+def test_zero_layer_prediction_falls_back_for_entangling_target():
+    local_target = np.kron(np.array([[0, 1], [1, 0]]), np.eye(2)).astype(complex)
+    result = synthesize_gate(local_target, SQRT_ISWAP, predicted_layers=0, restarts=2)
+    assert result.n_layers == 0
+    assert result.fidelity > 1 - 1e-7

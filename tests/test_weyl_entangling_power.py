@@ -1,0 +1,84 @@
+"""Tests for entangling power and the perfect-entangler criterion."""
+
+import numpy as np
+import pytest
+
+from repro.gates import B_GATE, CNOT, ISWAP, SQRT_ISWAP, SQRT_SWAP, SWAP
+from repro.weyl import (
+    entangling_power,
+    entangling_power_from_coordinates,
+    is_perfect_entangler,
+    is_special_perfect_entangler,
+)
+from repro.weyl.chamber import chamber_volume_fraction
+
+
+def test_zero_entangling_power_only_for_identity_and_swap():
+    assert entangling_power(np.eye(4)) == pytest.approx(0.0, abs=1e-12)
+    assert entangling_power(SWAP) == pytest.approx(0.0, abs=1e-12)
+    assert entangling_power(CNOT) > 0.2
+
+
+def test_known_entangling_powers():
+    assert entangling_power(CNOT) == pytest.approx(2 / 9, abs=1e-9)
+    assert entangling_power(ISWAP) == pytest.approx(2 / 9, abs=1e-9)
+    assert entangling_power(B_GATE) == pytest.approx(2 / 9, abs=1e-9)
+    assert entangling_power(SQRT_SWAP) == pytest.approx(1 / 6, abs=1e-9)
+    assert entangling_power(SQRT_ISWAP) == pytest.approx(1 / 6, abs=1e-9)
+
+
+def test_entangling_power_bounds(rng):
+    for _ in range(100):
+        tx = rng.uniform(0, 1)
+        ty = rng.uniform(0, 0.5)
+        tz = rng.uniform(0, 0.5)
+        ep = entangling_power_from_coordinates((tx, ty, tz))
+        assert -1e-12 <= ep <= 2 / 9 + 1e-12
+
+
+PE_VERTICES = [
+    (0.5, 0.0, 0.0),      # CNOT
+    (0.5, 0.5, 0.0),      # iSWAP
+    (0.25, 0.25, 0.0),    # sqrt(iSWAP)
+    (0.75, 0.25, 0.0),    # sqrt(iSWAP) mirror
+    (0.25, 0.25, 0.25),   # sqrt(SWAP)
+    (0.75, 0.25, 0.25),   # sqrt(SWAP)^dag
+]
+
+
+@pytest.mark.parametrize("vertex", PE_VERTICES)
+def test_pe_polyhedron_vertices_are_perfect_entanglers(vertex):
+    assert is_perfect_entangler(vertex)
+
+
+def test_identity_and_swap_are_not_perfect_entanglers():
+    assert not is_perfect_entangler((0.0, 0.0, 0.0))
+    assert not is_perfect_entangler((0.5, 0.5, 0.5))
+
+
+def test_perfect_entanglers_have_at_least_one_sixth_power(rng):
+    for _ in range(200):
+        tx = rng.uniform(0, 1)
+        ty = rng.uniform(0, min(tx, 1 - tx))
+        tz = rng.uniform(0, ty)
+        if is_perfect_entangler((tx, ty, tz)):
+            assert entangling_power_from_coordinates((tx, ty, tz)) >= 1 / 6 - 1e-9
+
+
+def test_pe_polyhedron_is_half_the_chamber():
+    fraction = chamber_volume_fraction(is_perfect_entangler, n_samples=20000)
+    assert fraction == pytest.approx(0.5, abs=0.02)
+
+
+def test_special_perfect_entanglers_on_cnot_iswap_segment():
+    assert is_special_perfect_entangler((0.5, 0.0, 0.0))
+    assert is_special_perfect_entangler((0.5, 0.25, 0.0))
+    assert is_special_perfect_entangler((0.5, 0.5, 0.0))
+    assert not is_special_perfect_entangler((0.4, 0.25, 0.0))
+    assert is_special_perfect_entangler(B_GATE)
+
+
+def test_accepts_unitary_or_coordinates():
+    assert is_perfect_entangler(CNOT)
+    with pytest.raises(ValueError):
+        is_perfect_entangler(np.eye(3))

@@ -1,0 +1,59 @@
+"""Tests for Makhlin local invariants."""
+
+import numpy as np
+import pytest
+
+from repro.gates import CNOT, CZ, ISWAP, SQRT_SWAP, SQRT_SWAP_DAG, SWAP, random_su4
+from repro.gates.single_qubit import random_su2
+from repro.weyl import (
+    cartan_coordinates,
+    local_invariants,
+    local_invariants_from_coordinates,
+    locally_equivalent,
+)
+
+
+def test_known_invariants():
+    assert local_invariants(np.eye(4)) == pytest.approx((1.0, 0.0, 3.0), abs=1e-9)
+    assert local_invariants(CNOT) == pytest.approx((0.0, 0.0, 1.0), abs=1e-9)
+    assert local_invariants(SWAP) == pytest.approx((-1.0, 0.0, -3.0), abs=1e-9)
+    assert local_invariants(ISWAP) == pytest.approx((0.0, 0.0, -1.0), abs=1e-9)
+
+
+def test_cnot_cz_locally_equivalent():
+    assert locally_equivalent(CNOT, CZ)
+
+
+def test_sqrt_swap_and_adjoint_not_equivalent():
+    assert not locally_equivalent(SQRT_SWAP, SQRT_SWAP_DAG)
+
+
+def test_cnot_iswap_not_equivalent():
+    assert not locally_equivalent(CNOT, ISWAP)
+
+
+def test_invariants_insensitive_to_local_gates(rng):
+    for _ in range(10):
+        gate = random_su4(rng)
+        dressed = (
+            np.kron(random_su2(rng), random_su2(rng))
+            @ gate
+            @ np.kron(random_su2(rng), random_su2(rng))
+        )
+        assert locally_equivalent(gate, dressed)
+
+
+def test_matrix_and_coordinate_invariants_agree(rng):
+    for _ in range(30):
+        gate = random_su4(rng)
+        coords = cartan_coordinates(gate)
+        from_matrix = np.asarray(local_invariants(gate))
+        from_coords = np.asarray(local_invariants_from_coordinates(coords))
+        assert np.allclose(from_matrix, from_coords, atol=1e-6)
+
+
+def test_invariants_distinguish_conjugate_classes():
+    g_plus = local_invariants_from_coordinates((0.25, 0.25, 0.25))
+    g_minus = local_invariants_from_coordinates((0.75, 0.25, 0.25))
+    assert g_plus[0] == pytest.approx(g_minus[0])
+    assert g_plus[1] == pytest.approx(-g_minus[1])

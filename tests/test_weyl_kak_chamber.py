@@ -1,0 +1,82 @@
+"""Tests for the KAK decomposition and Weyl-chamber geometry helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gates import CNOT, SWAP, random_su4, unitary_equal_up_to_phase
+from repro.weyl import (
+    KakDecomposition,
+    cartan_coordinates,
+    kak_decompose,
+    named_point,
+    point_distance,
+    random_chamber_point,
+    sample_chamber_points,
+)
+from repro.weyl.cartan import in_weyl_chamber
+from repro.weyl.chamber import WEYL_POINTS, points_on_segment
+
+
+class TestKak:
+    def test_reconstruction_of_random_gates(self, rng):
+        for _ in range(3):
+            gate = random_su4(rng)
+            decomposition = kak_decompose(gate)
+            assert isinstance(decomposition, KakDecomposition)
+            assert decomposition.fidelity > 1 - 1e-6
+            assert unitary_equal_up_to_phase(decomposition.unitary(), gate, atol=1e-5)
+
+    def test_reconstruction_of_named_gates(self):
+        for gate in (CNOT, SWAP):
+            decomposition = kak_decompose(gate)
+            assert decomposition.fidelity > 1 - 1e-6
+
+    def test_coordinates_match_direct_extraction(self, rng):
+        gate = random_su4(rng)
+        decomposition = kak_decompose(gate)
+        assert decomposition.coordinates == pytest.approx(
+            cartan_coordinates(gate), abs=1e-6
+        )
+
+    def test_local_factors_are_single_qubit_unitaries(self, rng):
+        gate = random_su4(rng)
+        decomposition = kak_decompose(gate)
+        for factor in (decomposition.a1, decomposition.a0, decomposition.b1, decomposition.b0):
+            assert factor.shape == (2, 2)
+            assert np.allclose(factor.conj().T @ factor, np.eye(2), atol=1e-7)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.eye(2))
+
+
+class TestChamberGeometry:
+    def test_named_points_lookup(self):
+        assert named_point("swap") == WEYL_POINTS["SWAP"]
+        assert named_point("sqrt iswap") == (0.25, 0.25, 0.0)
+        with pytest.raises(KeyError):
+            named_point("nonexistent")
+
+    def test_all_named_points_inside_chamber(self):
+        for coords in WEYL_POINTS.values():
+            assert in_weyl_chamber(coords)
+
+    def test_point_distance(self):
+        assert point_distance((0, 0, 0), (1, 0, 0)) == pytest.approx(1.0)
+        assert point_distance((0.5, 0.5, 0.5), (0.5, 0.5, 0.5)) == 0.0
+
+    def test_random_chamber_point_in_chamber(self, rng):
+        for _ in range(50):
+            assert in_weyl_chamber(random_chamber_point(rng))
+
+    def test_sample_chamber_points_shape_and_membership(self, rng):
+        points = sample_chamber_points(500, rng)
+        assert points.shape == (500, 3)
+        for p in points[:100]:
+            assert in_weyl_chamber(tuple(p))
+
+    def test_points_on_segment_endpoints(self):
+        points = list(points_on_segment((0, 0, 0), (0.5, 0.5, 0.5), 5))
+        assert points[0] == pytest.approx((0, 0, 0))
+        assert points[-1] == pytest.approx((0.5, 0.5, 0.5))
+        assert len(points) == 5
