@@ -21,7 +21,10 @@ from repro.synthesis.numerical import synthesize_gate
 
 
 def test_ablation_selection_criteria(benchmark, device):
-    """Average basis duration per selection strategy, including the PE+SWAP3 one."""
+    """Average basis duration per selection strategy, including the PE+SWAP3 one.
+
+    Backed by the pipeline's cached per-device Target snapshots.
+    """
 
     def run():
         return {

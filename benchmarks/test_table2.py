@@ -30,10 +30,26 @@ def _selected_benchmarks() -> list[str]:
     return list(REPRESENTATIVE)
 
 
+def _workers() -> int | None:
+    """Thread-pool size for the batch pipeline (REPRO_TABLE2_WORKERS).
+
+    Unset/empty means "let the executor decide"; 0 or negative means serial.
+    """
+    value = os.environ.get("REPRO_TABLE2_WORKERS", "").strip()
+    if not value:
+        return None
+    try:
+        return int(value)  # transpile_batch treats <= 1 as serial
+    except ValueError as exc:
+        raise ValueError(f"REPRO_TABLE2_WORKERS must be an integer, got {value!r}") from exc
+
+
 def test_table2(benchmark, device, config):
     names = _selected_benchmarks()
     rows = benchmark.pedantic(
-        lambda: table2_rows(benchmarks=names, device=device, config=config),
+        lambda: table2_rows(
+            benchmarks=names, device=device, config=config, max_workers=_workers()
+        ),
         iterations=1,
         rounds=1,
     )

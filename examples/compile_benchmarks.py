@@ -1,16 +1,17 @@
 """Compile benchmark circuits onto the 10x10 device under all three basis sets.
 
 Reproduces the Table II workflow on a configurable subset of the paper's
-benchmark suite: SABRE-style layout and routing, per-edge basis translation,
-ASAP scheduling and the coherence-limited circuit fidelity model.
+benchmark suite through the batch pipeline API: each (device, strategy)
+``Target`` is built once, every circuit is SABRE laid out and routed once,
+and independent circuits fan out over a thread pool.
 
-Run with:  python examples/compile_benchmarks.py [benchmark ...]
-e.g.       python examples/compile_benchmarks.py bv_29 qft_10 qaoa_0.33_10
+Run with:  python examples/compile_benchmarks.py [--workers N] [benchmark ...]
+e.g.       python examples/compile_benchmarks.py --workers 4 bv_29 qft_10
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.experiments.config import CaseStudyConfig, case_study_device
 from repro.experiments.table2 import TABLE2_BENCHMARKS, format_table2, table2_rows
@@ -18,8 +19,19 @@ from repro.experiments.table2 import TABLE2_BENCHMARKS, format_table2, table2_ro
 DEFAULT_SUBSET = ["bv_9", "bv_19", "bv_29", "qft_10", "cuccaro_10", "qaoa_0.1_10", "qaoa_0.33_10"]
 
 
-def main(argv: list[str]) -> None:
-    names = argv or DEFAULT_SUBSET
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size for the batch compilation; omitted or <= 1 "
+        "means serial",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or DEFAULT_SUBSET
     unknown = [n for n in names if n not in TABLE2_BENCHMARKS]
     if unknown:
         raise SystemExit(
@@ -31,7 +43,9 @@ def main(argv: list[str]) -> None:
         f"Compiling {len(names)} benchmarks onto a {config.rows}x{config.cols} grid "
         f"(T = {config.coherence_time_us} us, 1Q = {config.single_qubit_gate_ns} ns)...\n"
     )
-    rows = table2_rows(benchmarks=names, device=device, config=config)
+    rows = table2_rows(
+        benchmarks=names, device=device, config=config, max_workers=args.workers
+    )
     print(format_table2(rows))
     print(
         "\nColumns are coherence-limited circuit fidelities; 'paper' columns show the "
@@ -40,4 +54,4 @@ def main(argv: list[str]) -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    main()

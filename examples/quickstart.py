@@ -4,7 +4,9 @@ This walks the paper's core loop on a single pair of far-detuned transmons:
 
 1. simulate the pair's Cartan trajectory at a strong drive (nonstandard);
 2. select the basis gate with Criterion 2 (fastest gate that gives SWAP in
-   three layers and CNOT in two);
+   three layers and CNOT in two) -- strategies are looked up in the compiler's
+   strategy registry, so a custom criterion registered with
+   ``register_strategy`` would drop in the same way;
 3. synthesize SWAP and CNOT from that nonstandard gate with the NuOp-style
    numerical search;
 4. compare the resulting durations and coherence-limited fidelities against
@@ -17,7 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import CartanTrajectory, select_basis_gate
+from repro.compiler import get_strategy
+from repro.core import CartanTrajectory
 from repro.device.noise import coherence_limited_gate_fidelity
 from repro.gates import CNOT, SWAP
 from repro.hamiltonian.effective import EffectiveEntanglerModel
@@ -39,12 +42,12 @@ def main() -> None:
     # --- baseline: slow standard trajectory, sqrt(iSWAP) basis gate ---------
     slow = EffectiveEntanglerModel.for_pair(qubit_a, qubit_b, drive_amplitude=0.005)
     slow_trajectory = CartanTrajectory.from_model(slow, max_duration=150.0, resolution=1.0)
-    baseline = select_basis_gate(slow_trajectory, "baseline")
+    baseline = get_strategy("baseline").select(slow_trajectory)
 
     # --- nonstandard: strong drive, Criterion 2 -----------------------------
     fast = EffectiveEntanglerModel.for_pair(qubit_a, qubit_b, drive_amplitude=0.04)
     fast_trajectory = CartanTrajectory.from_model(fast, max_duration=25.0, resolution=0.25)
-    criterion2 = select_basis_gate(fast_trajectory, "criterion2")
+    criterion2 = get_strategy("criterion2").select(fast_trajectory)
 
     print("Selected basis gates")
     print(describe("baseline sqrt(iSWAP)", baseline.duration))

@@ -10,18 +10,39 @@ The package is organised by subsystem:
 * :mod:`repro.device` -- the simulated 10x10 case-study device;
 * :mod:`repro.calibration` -- QPT/GST-based calibration protocol;
 * :mod:`repro.circuits` -- circuit IR and benchmark generators;
-* :mod:`repro.compiler` -- layout, routing, basis translation, scheduling;
+* :mod:`repro.compiler` -- the pass-based compilation pipeline (layout,
+  routing, basis translation, scheduling) plus the strategy registry and
+  build-once per-device ``Target`` snapshots;
 * :mod:`repro.experiments` -- regeneration of every table and figure.
 
 Quickstart::
 
     from repro.device import Device
     from repro.circuits import bernstein_vazirani
-    from repro.compiler import transpile
+    from repro.compiler import PassManager, build_target, transpile_batch
 
     device = Device.from_parameters()
-    compiled = transpile(bernstein_vazirani(9), device, strategy="criterion2")
+
+    # One circuit: run the default pass pipeline for a strategy.
+    compiled = PassManager.default("criterion2").run(
+        bernstein_vazirani(9), device=device
+    )
     print(compiled.fidelity)
+
+    # A workload: build each per-edge basis-gate Target once and fan out.
+    circuits = [bernstein_vazirani(n) for n in (9, 19, 29)]
+    for result in transpile_batch(circuits, device, max_workers=4):
+        print({s: c.fidelity for s, c in result.items()})
+
+Custom strategies register once and work everywhere a strategy name is
+accepted (``docs/pipeline.md`` shows a full example)::
+
+    from repro.compiler import register_strategy
+    from repro.core import SelectionStrategy
+
+    @register_strategy("my_strategy")
+    class MyStrategy(SelectionStrategy):
+        ...
 """
 
 __version__ = "1.0.0"
@@ -34,6 +55,15 @@ from repro.core import (
     Criterion2Strategy,
     select_basis_gate,
 )
+from repro.compiler import (
+    PassManager,
+    Target,
+    build_target,
+    get_strategy,
+    register_strategy,
+    transpile,
+    transpile_batch,
+)
 from repro.device import Device, DeviceParameters
 from repro.weyl import cartan_coordinates
 
@@ -45,6 +75,13 @@ __all__ = [
     "Criterion1Strategy",
     "Criterion2Strategy",
     "select_basis_gate",
+    "PassManager",
+    "Target",
+    "build_target",
+    "get_strategy",
+    "register_strategy",
+    "transpile",
+    "transpile_batch",
     "Device",
     "DeviceParameters",
     "cartan_coordinates",

@@ -11,6 +11,13 @@ The pipeline mirrors the paper's methodology (Section VIII-C):
    CNOT for other gates under the nonstandard criteria, direct analytic-style
    decomposition for the baseline sqrt(iSWAP)).
 4. **Scheduling + fidelity** -- ASAP schedule and coherence-limited fidelity.
+
+Each stage is a :class:`~repro.compiler.pipeline.passes.CompilerPass` run by
+a :class:`~repro.compiler.pipeline.manager.PassManager` over a shared
+PropertySet; :func:`transpile` and :func:`compare_strategies` are thin
+wrappers, and :func:`~repro.compiler.pipeline.batch.transpile_batch` compiles
+whole workloads with build-once :class:`~repro.compiler.pipeline.target.Target`
+snapshots.  See ``docs/pipeline.md``.
 """
 
 from repro.compiler.layout import greedy_subgraph_layout, sabre_layout, trivial_layout
@@ -20,8 +27,27 @@ from repro.compiler.basis_translation import (
     TranslationOptions,
     lower_to_cnot,
     translate_circuit,
+    translate_operations,
 )
-from repro.compiler.transpile import CompiledCircuit, transpile
+from repro.compiler.transpile import CompiledCircuit, compare_strategies, transpile
+from repro.compiler.pipeline import (
+    AnalysisPass,
+    CompilerPass,
+    LayoutPass,
+    MetricsPass,
+    PassManager,
+    PropertySet,
+    RoutingPass,
+    SchedulePass,
+    Target,
+    TranslationPass,
+    available_strategy_names,
+    build_target,
+    get_strategy,
+    register_strategy,
+    transpile_batch,
+    validate_strategy,
+)
 
 __all__ = [
     "greedy_subgraph_layout",
@@ -33,6 +59,24 @@ __all__ = [
     "TranslationOptions",
     "lower_to_cnot",
     "translate_circuit",
+    "translate_operations",
     "CompiledCircuit",
+    "compare_strategies",
     "transpile",
+    "AnalysisPass",
+    "CompilerPass",
+    "LayoutPass",
+    "MetricsPass",
+    "PassManager",
+    "PropertySet",
+    "RoutingPass",
+    "SchedulePass",
+    "Target",
+    "TranslationPass",
+    "available_strategy_names",
+    "build_target",
+    "get_strategy",
+    "register_strategy",
+    "transpile_batch",
+    "validate_strategy",
 ]

@@ -60,9 +60,17 @@ class TranslationOptions:
 
     @classmethod
     def for_strategy(cls, strategy: str, one_qubit_duration: float = 20.0) -> "TranslationOptions":
-        """Paper defaults: baseline decomposes directly, criteria lower to CNOT."""
-        targets = BASELINE_DIRECT_TARGETS if strategy == "baseline" else MINIMALIST_DIRECT_TARGETS
-        return cls(direct_targets=targets, one_qubit_duration=one_qubit_duration)
+        """Paper defaults: baseline decomposes directly, criteria lower to CNOT.
+
+        Direct targets come from the strategy's registry spec; unknown names
+        raise ``ValueError`` listing the registered strategies.
+        """
+        from repro.compiler.pipeline.registry import get_strategy_spec
+
+        return cls(
+            direct_targets=get_strategy_spec(strategy).direct_targets,
+            one_qubit_duration=one_qubit_duration,
+        )
 
 
 @dataclass(frozen=True)
@@ -180,11 +188,33 @@ def translate_circuit(
 ) -> list[TranslatedOperation]:
     """Translate a routed (physical) circuit into per-edge basis gates.
 
-    Returns a list of :class:`TranslatedOperation` in program order; durations
-    already account for the interleaved single-qubit layers and for the
-    absorption of adjacent standalone single-qubit gates.
+    Thin wrapper over :func:`translate_operations` that validates the strategy
+    name eagerly and looks selections up on the device.
     """
+    from repro.compiler.pipeline.registry import validate_strategy
+
+    validate_strategy(strategy)
     options = options if options is not None else TranslationOptions.for_strategy(strategy)
+    return translate_operations(
+        routed, lambda edge: device.basis_gate(edge, strategy), options
+    )
+
+
+def translate_operations(
+    routed: QuantumCircuit,
+    basis_lookup,
+    options: TranslationOptions,
+) -> list[TranslatedOperation]:
+    """Translate a routed circuit given an edge -> selection lookup.
+
+    ``basis_lookup`` maps a sorted physical edge to its
+    :class:`~repro.core.basis_selection.BasisGateSelection` -- typically
+    ``target.basis_gate`` of a pre-built pipeline
+    :class:`~repro.compiler.pipeline.target.Target`.  Returns a list of
+    :class:`TranslatedOperation` in program order; durations already account
+    for the interleaved single-qubit layers and for the absorption of adjacent
+    standalone single-qubit gates.
+    """
     lowered = lower_to_cnot(routed, keep=options.direct_targets | {"swap", "cx"})
     cache = _LayerCountCache(options)
 
@@ -206,7 +236,7 @@ def translate_circuit(
             )
             continue
         edge = tuple(sorted(gate.qubits))
-        selection = device.basis_gate(edge, strategy)
+        selection = basis_lookup(edge)
         if gate.name == "swap":
             layers = selection.swap_layers
         elif gate.name == "cx":

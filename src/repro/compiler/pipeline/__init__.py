@@ -1,0 +1,77 @@
+"""Composable compilation pipeline.
+
+Three abstractions replace the legacy monolithic ``transpile``:
+
+* :class:`~repro.compiler.pipeline.target.Target` -- a build-once snapshot of
+  a device's per-edge basis-gate selections (cached per (device, strategy) by
+  :func:`~repro.compiler.pipeline.target.build_target`, serializable via
+  ``to_dict``/``from_dict``);
+* :class:`~repro.compiler.pipeline.manager.PassManager` -- an ordered list of
+  :class:`~repro.compiler.pipeline.passes.CompilerPass` objects running over a
+  shared :class:`~repro.compiler.pipeline.passes.PropertySet`;
+* the strategy registry -- :func:`register_strategy` /
+  :func:`get_strategy` replace scattered magic-string dispatch.
+
+``transpile_batch`` fans many (circuit x strategy) compilations out over a
+thread pool while building each target exactly once.  See ``docs/pipeline.md``
+for a walkthrough.
+"""
+
+from repro.compiler.pipeline.batch import (
+    DEFAULT_STRATEGIES,
+    compile_with_targets,
+    transpile_batch,
+)
+from repro.compiler.pipeline.manager import PassManager
+from repro.compiler.pipeline.passes import (
+    AnalysisPass,
+    CompilerPass,
+    LayoutPass,
+    MetricsPass,
+    MissingPropertyError,
+    PropertySet,
+    RoutingPass,
+    SchedulePass,
+    TranslationPass,
+    schedule_operations,
+)
+from repro.compiler.pipeline.registry import (
+    REGISTRY,
+    StrategyRegistry,
+    StrategySpec,
+    available_strategy_names,
+    get_strategy,
+    get_strategy_spec,
+    register_strategy,
+    validate_strategy,
+)
+from repro.compiler.pipeline.result import CompiledCircuit
+from repro.compiler.pipeline.target import Target, build_target
+
+__all__ = [
+    "DEFAULT_STRATEGIES",
+    "compile_with_targets",
+    "transpile_batch",
+    "PassManager",
+    "AnalysisPass",
+    "CompilerPass",
+    "LayoutPass",
+    "MetricsPass",
+    "MissingPropertyError",
+    "PropertySet",
+    "RoutingPass",
+    "SchedulePass",
+    "TranslationPass",
+    "schedule_operations",
+    "REGISTRY",
+    "StrategyRegistry",
+    "StrategySpec",
+    "available_strategy_names",
+    "get_strategy",
+    "get_strategy_spec",
+    "register_strategy",
+    "validate_strategy",
+    "CompiledCircuit",
+    "Target",
+    "build_target",
+]

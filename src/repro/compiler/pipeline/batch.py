@@ -1,0 +1,111 @@
+"""Batch compilation: many circuits x many strategies, targets built once.
+
+``transpile_batch`` is the workhorse behind ``compare_strategies`` and the
+Table II experiment.  It mirrors the paper's methodology:
+
+* each circuit is laid out and routed **once** (layout and routing do not
+  depend on the basis gates), so fidelity differences across strategies
+  reflect the basis-gate choice only;
+* each (device, strategy) :class:`Target` is built **once** for the whole
+  batch instead of being re-derived per circuit;
+* independent circuits fan out over a ``concurrent.futures`` thread pool.
+
+The dominant saving is the redundant-work elimination (targets and routing);
+the compilation stages are mostly GIL-bound pure Python, so ``max_workers``
+adds little wall-clock speedup today.  Targets serialize
+(``Target.to_dict``/``from_dict``) precisely so a process-pool or multi-host
+fan-out can ship them to real workers when that scale is needed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.basis_translation import translate_operations
+from repro.compiler.layout import sabre_layout
+from repro.compiler.pipeline.registry import validate_strategy
+from repro.compiler.pipeline.result import CompiledCircuit
+from repro.compiler.pipeline.target import Target, build_target
+from repro.compiler.routing import SabreRouter
+from repro.compiler.pipeline.passes import schedule_operations
+
+DEFAULT_STRATEGIES = ("baseline", "criterion1", "criterion2")
+
+
+def compile_with_targets(
+    circuit: QuantumCircuit,
+    device,
+    targets: dict[str, Target],
+    seed: int = 17,
+) -> dict[str, CompiledCircuit]:
+    """Compile one circuit against several pre-built targets.
+
+    Layout and routing run once with a shared router (matching the RNG
+    behaviour of the single-circuit pipeline); translation and scheduling run
+    once per target.  The stages call the same ``translate_operations`` /
+    ``schedule_operations`` primitives the PassManager passes wrap -- this
+    hot path deliberately skips the PropertySet machinery, so stage *logic*
+    stays single-sourced while the batch glue stays cheap.
+    """
+    router = SabreRouter(device, seed=seed)
+    layout = sabre_layout(circuit, device, router=router, iterations=1, seed=seed)
+    routing = router.run(circuit, layout)
+    results: dict[str, CompiledCircuit] = {}
+    for strategy, target in targets.items():
+        options = target.translation_options()
+        operations = translate_operations(routing.circuit, target.basis_gate, options)
+        schedule = schedule_operations(operations, target.n_qubits)
+        results[strategy] = CompiledCircuit(
+            name=circuit.name or "circuit",
+            strategy=strategy,
+            routing=routing,
+            operations=operations,
+            schedule=schedule,
+            device=device,
+        )
+    return results
+
+
+def transpile_batch(
+    circuits: Sequence[QuantumCircuit],
+    device,
+    strategies: Iterable[str] = DEFAULT_STRATEGIES,
+    *,
+    seed: int = 17,
+    max_workers: int | None = None,
+) -> list[dict[str, CompiledCircuit]]:
+    """Compile many circuits under many strategies with shared targets.
+
+    Returns one ``{strategy: CompiledCircuit}`` dict per input circuit, in
+    input order.  ``max_workers=None`` (the default) or ``<= 1`` runs
+    serially, keeping per-edge laziness so small workloads only calibrate the
+    edges they touch; an explicit ``max_workers > 1`` fans out over a thread
+    pool, which first resolves every target edge (thread safety) -- worth it
+    only for large workloads, since the stages are mostly GIL-bound.
+    """
+    strategies = tuple(strategies)
+    for strategy in strategies:
+        validate_strategy(strategy)
+    targets = {strategy: build_target(device, strategy) for strategy in strategies}
+    circuits = list(circuits)
+
+    def compile_one(circuit: QuantumCircuit) -> dict[str, CompiledCircuit]:
+        return compile_with_targets(circuit, device, targets, seed=seed)
+
+    if max_workers is None or max_workers <= 1 or len(circuits) <= 1:
+        # Serial: selections resolve lazily, so a small workload only pays
+        # for the edges it touches -- exactly like single-circuit transpile.
+        return [compile_one(circuit) for circuit in circuits]
+
+    # Fanning out: resolve every target edge (and the device's distance
+    # matrix) up front, because the device's lazy calibration/distance caches
+    # are not guarded by locks.  (Each worker's translation keeps its own
+    # layer oracle, exactly as in single-circuit compilation.)
+    for target in targets.values():
+        target.complete()
+    if device.n_qubits:
+        device.distance(0, 0)
+    with ThreadPoolExecutor(max_workers=max_workers) as executor:
+        return list(executor.map(compile_one, circuits))

@@ -1,0 +1,155 @@
+"""PassManager: run an ordered list of compiler passes over a PropertySet.
+
+``PassManager.default(strategy)`` reproduces the legacy monolithic
+``transpile`` pipeline exactly (same passes, same seeds, same RNG sharing
+between layout and routing); custom managers recompose, drop, or extend the
+stages::
+
+    pm = PassManager.default("criterion2")
+    compiled = pm.run(circuit, device=device)
+
+    # Analysis-only composition: run() returns the PropertySet instead of a
+    # CompiledCircuit when no schedule is produced.
+    props = PassManager([LayoutPass(), RoutingPass()]).run(circuit, device=device)
+    props["routing"].swap_count
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.compiler.basis_translation import TranslationOptions
+from repro.compiler.pipeline.passes import (
+    AnalysisPass,
+    CompilerPass,
+    LayoutPass,
+    MetricsPass,
+    PropertySet,
+    RoutingPass,
+    SchedulePass,
+    TranslationPass,
+)
+from repro.compiler.pipeline.registry import validate_strategy
+from repro.compiler.pipeline.result import CompiledCircuit
+from repro.compiler.pipeline.target import Target, build_target
+
+
+class PassManager:
+    """An ordered pipeline of :class:`CompilerPass` objects.
+
+    ``strategy`` names the basis-gate strategy used to build a
+    :class:`Target` from a device when :meth:`run` receives no explicit
+    target (set by :meth:`default`; optional for hand-built managers).
+    After :meth:`run`, the final PropertySet of the last compilation is kept
+    on :attr:`property_set` for inspection.
+    """
+
+    def __init__(self, passes: Iterable[CompilerPass] = (), strategy: str | None = None):
+        self.passes: list[CompilerPass] = list(passes)
+        self.strategy = strategy
+        self.property_set: PropertySet = PropertySet()
+
+    # -- composition ----------------------------------------------------------
+
+    def append(self, pass_: CompilerPass) -> "PassManager":
+        """Add one pass to the end of the pipeline."""
+        self.passes.append(pass_)
+        return self
+
+    def extend(self, passes: Iterable[CompilerPass]) -> "PassManager":
+        """Add several passes to the end of the pipeline."""
+        self.passes.extend(passes)
+        return self
+
+    def pass_names(self) -> list[str]:
+        """Names of the passes, in execution order."""
+        return [p.name for p in self.passes]
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def default(
+        cls,
+        strategy: str,
+        *,
+        seed: int = 17,
+        layout: dict[int, int] | None = None,
+        layout_iterations: int = 1,
+        options: TranslationOptions | None = None,
+        metrics: bool = True,
+    ) -> "PassManager":
+        """The paper's pipeline: layout -> routing -> translation -> schedule.
+
+        Produces byte-identical results to the legacy ``transpile`` for the
+        same seeds; the strategy name is validated eagerly.  ``metrics=False``
+        drops the final MetricsPass for callers that only read the returned
+        ``CompiledCircuit`` (its properties compute the same numbers lazily).
+        """
+        validate_strategy(strategy)
+        passes: list[CompilerPass] = [
+            LayoutPass(layout=layout, iterations=layout_iterations, seed=seed),
+            RoutingPass(seed=seed),
+            TranslationPass(options),
+            SchedulePass(),
+        ]
+        if metrics:
+            passes.append(MetricsPass())
+        return cls(passes, strategy=strategy)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        circuit,
+        device=None,
+        target: Target | None = None,
+        property_set: dict | None = None,
+    ):
+        """Run every pass in order over ``circuit``.
+
+        ``target`` is built (and memoised) from ``device`` when omitted and
+        the manager carries a :attr:`strategy`.  The whole pipeline's
+        requires/provides contract is validated up front, so an impossible
+        composition fails before any pass runs.  Returns a
+        :class:`CompiledCircuit` when the pipeline produced routing,
+        operations and a schedule; otherwise returns the PropertySet so
+        analysis-only pipelines stay useful.
+        """
+        properties = PropertySet(property_set or {})
+        if device is not None:
+            properties["device"] = device
+        if target is None:
+            target = properties.get("target")
+        if target is None and device is not None and self.strategy is not None:
+            target = build_target(device, self.strategy)
+        if target is not None:
+            properties["target"] = target
+
+        # Pre-flight: walk the declared contracts before running anything, so
+        # a missing dependency is reported before expensive passes execute.
+        available = set(properties)
+        for pass_ in self.passes:
+            pass_.check_requires(available)
+            available.update(pass_.provides)
+
+        current = circuit
+        for pass_ in self.passes:
+            pass_.check_requires(properties)
+            out = pass_.run(current, properties)
+            if not isinstance(pass_, AnalysisPass) and out is not None:
+                current = out
+        self.property_set = properties
+
+        if all(key in properties for key in ("routing", "operations", "schedule")):
+            owner = properties.get("device")
+            if owner is None:
+                owner = properties.get("target")
+            return CompiledCircuit(
+                name=circuit.name or "circuit",
+                strategy=target.strategy if target is not None else (self.strategy or ""),
+                routing=properties["routing"],
+                operations=properties["operations"],
+                schedule=properties["schedule"],
+                device=owner,
+            )
+        return properties

@@ -1,0 +1,239 @@
+"""Compiler passes and the shared PropertySet they communicate through.
+
+A pass is a small object with a ``run(circuit, properties)`` method.  Passes
+declare the PropertySet keys they *require* and *provide*, so a
+:class:`~repro.compiler.pipeline.manager.PassManager` can fail fast (and
+explain itself) when passes are composed in an impossible order.
+
+Transformation passes return the (possibly rewritten) circuit that flows into
+the next pass; :class:`AnalysisPass` subclasses only read the circuit and
+write results into the PropertySet.
+
+Standard keys::
+
+    device      the Device being compiled onto (seeded by the PassManager)
+    target      the Target snapshot of per-edge basis gates
+    router      the SabreRouter shared between layout and routing
+    layout      dict logical -> physical qubit
+    routing     RoutingResult
+    operations  list[TranslatedOperation] after basis translation
+    schedule    ScheduledCircuit
+    metrics     summary dict written by MetricsPass
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.scheduling import ScheduledCircuit, ScheduledOperation
+from repro.compiler.basis_translation import (
+    TranslatedOperation,
+    TranslationOptions,
+    translate_operations,
+)
+from repro.compiler.layout import sabre_layout
+from repro.compiler.routing import SabreRouter
+from repro.device.noise import circuit_coherence_fidelity
+
+
+class MissingPropertyError(RuntimeError):
+    """A pass ran before the pass that provides one of its inputs."""
+
+
+class PropertySet(dict):
+    """Key/value store shared by the passes of one compilation."""
+
+    def require(self, key: str, consumer: str) -> object:
+        """Fetch ``key``, failing with an ordering diagnosis if absent."""
+        if key not in self:
+            raise MissingPropertyError(
+                f"pass {consumer!r} requires property {key!r} which no earlier pass "
+                f"provided; available properties: {sorted(self)}"
+            )
+        return self[key]
+
+
+class CompilerPass:
+    """Base class for pipeline passes.
+
+    Attributes:
+        requires: PropertySet keys that must exist before the pass runs.  An
+            entry may be a tuple of alternatives, any one of which satisfies
+            it (e.g. ``("device", "target")``).
+        provides: PropertySet keys the pass writes.
+    """
+
+    requires: tuple = ()
+    provides: tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        """Display name of the pass."""
+        return type(self).__name__
+
+    def check_requires(self, available) -> None:
+        """Validate the ordering contract against a set of available keys."""
+        for key in self.requires:
+            if isinstance(key, tuple):
+                if not any(k in available for k in key):
+                    alternatives = " or ".join(repr(k) for k in key)
+                    raise MissingPropertyError(
+                        f"pass {self.name!r} requires property {alternatives} which "
+                        f"no earlier pass provided; available properties: "
+                        f"{sorted(available)}"
+                    )
+            elif key not in available:
+                raise MissingPropertyError(
+                    f"pass {self.name!r} requires property {key!r} which no earlier "
+                    f"pass provided; available properties: {sorted(available)}"
+                )
+
+    def run(self, circuit, properties: PropertySet):
+        """Run the pass; transformation passes return the next circuit."""
+        raise NotImplementedError
+
+
+class AnalysisPass(CompilerPass):
+    """A pass that inspects the circuit and writes metrics, never rewriting it."""
+
+
+class LayoutPass(CompilerPass):
+    """Choose the initial logical -> physical mapping (SABRE layout).
+
+    Creates the router here and shares it (via the ``router`` property) with
+    :class:`RoutingPass`, so the router's RNG advances through layout into
+    routing exactly as in the legacy monolithic ``transpile``.
+    """
+
+    requires = ("device",)
+    provides = ("layout", "router")
+
+    def __init__(
+        self,
+        layout: dict[int, int] | None = None,
+        iterations: int = 1,
+        seed: int = 17,
+    ):
+        self.layout = layout
+        self.iterations = iterations
+        self.seed = seed
+
+    def run(self, circuit, properties: PropertySet):
+        device = properties["device"]
+        router = SabreRouter(device, seed=self.seed)
+        properties["router"] = router
+        if self.layout is not None:
+            properties["layout"] = dict(self.layout)
+        else:
+            properties["layout"] = sabre_layout(
+                circuit, device, router=router, iterations=self.iterations, seed=self.seed
+            )
+        return circuit
+
+
+class RoutingPass(CompilerPass):
+    """Insert SWAPs so every two-qubit gate acts on a coupled pair."""
+
+    requires = ("device", "layout")
+    provides = ("routing",)
+
+    def __init__(self, seed: int = 17):
+        self.seed = seed
+
+    def run(self, circuit, properties: PropertySet):
+        router = properties.get("router")
+        if router is None:
+            router = SabreRouter(properties["device"], seed=self.seed)
+        routing = router.run(circuit, properties["layout"])
+        properties["routing"] = routing
+        return routing.circuit
+
+
+class TranslationPass(CompilerPass):
+    """Replace every two-qubit gate with its per-edge basis decomposition."""
+
+    requires = ("target",)
+    provides = ("operations",)
+
+    def __init__(self, options: TranslationOptions | None = None):
+        self.options = options
+
+    def run(self, circuit, properties: PropertySet):
+        target = properties["target"]
+        options = self.options if self.options is not None else target.translation_options()
+        properties["operations"] = translate_operations(circuit, target.basis_gate, options)
+        return circuit
+
+
+class SchedulePass(CompilerPass):
+    """ASAP-schedule the translated operations positionally.
+
+    Translated operations already carry concrete durations, so the schedule
+    is a single forward sweep over per-qubit free times -- no duration lookup
+    is needed.
+    """
+
+    requires = ("operations", ("device", "target"))
+    provides = ("schedule",)
+
+    def run(self, circuit, properties: PropertySet):
+        device, target = _device_or_target(properties, self.name)
+        n_qubits = device.n_qubits if device is not None else target.n_qubits
+        properties["schedule"] = schedule_operations(properties["operations"], n_qubits)
+        return circuit
+
+
+class MetricsPass(AnalysisPass):
+    """Write the headline summary numbers into ``properties["metrics"]``."""
+
+    requires = ("routing", "operations", "schedule", ("device", "target"))
+    provides = ("metrics",)
+
+    def run(self, circuit, properties: PropertySet):
+        routing = properties["routing"]
+        operations: list[TranslatedOperation] = properties["operations"]
+        schedule: ScheduledCircuit = properties["schedule"]
+        # Prefer the live device, matching CompiledCircuit.summary(), so
+        # pm.property_set["metrics"] always equals compiled.summary().
+        device, target = _device_or_target(properties, self.name)
+        coherence = (
+            device.coherence_time_ns if device is not None else target.coherence_time_ns
+        )
+        properties["metrics"] = {
+            "swap_count": float(routing.swap_count),
+            "two_qubit_layers": float(
+                sum(op.layers for op in operations if op.kind == "2q")
+            ),
+            "duration_ns": float(schedule.total_duration),
+            "fidelity": float(
+                circuit_coherence_fidelity(schedule.qubit_busy_spans(), coherence)
+            ),
+        }
+
+
+def _device_or_target(properties: PropertySet, consumer: str):
+    """The (device, target) pair; at least one must be present."""
+    device = properties.get("device")
+    target = properties.get("target")
+    if device is None and target is None:
+        raise MissingPropertyError(
+            f"pass {consumer!r} requires property 'device' or 'target' which no "
+            f"earlier pass provided; available properties: {sorted(properties)}"
+        )
+    return device, target
+
+
+def schedule_operations(
+    operations: list[TranslatedOperation], n_qubits: int
+) -> ScheduledCircuit:
+    """ASAP-schedule translated operations using their own durations."""
+    qubit_free_at = np.zeros(n_qubits)
+    scheduled = []
+    for op in operations:
+        start = float(max(qubit_free_at[list(op.qubits)])) if op.qubits else 0.0
+        scheduled.append(
+            ScheduledOperation(gate=op.gate, start=start, duration=op.duration)
+        )
+        for q in op.qubits:
+            qubit_free_at[q] = start + op.duration
+    return ScheduledCircuit(n_qubits=n_qubits, operations=scheduled)

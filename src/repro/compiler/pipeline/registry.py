@@ -1,0 +1,223 @@
+"""Registry of basis-gate selection strategies.
+
+Strategies used to be magic strings dispatched in three different places
+(``core.basis_selection``, ``compiler.basis_translation`` and
+``device.device``).  The registry centralises everything a compilation needs
+to know about a strategy:
+
+* a factory producing the :class:`~repro.core.basis_selection.SelectionStrategy`
+  that picks a gate from a Cartan trajectory;
+* which drive amplitude the case-study device uses for it (baseline vs
+  nonstandard);
+* which two-qubit gates the translation pass decomposes directly (the
+  baseline's analytic targets vs the minimalist SWAP/CNOT set).
+
+New strategies plug in with the :func:`register_strategy` decorator::
+
+    from repro.compiler.pipeline import register_strategy
+    from repro.core.basis_selection import SelectionStrategy
+
+    @register_strategy("my_strategy")
+    class MyStrategy(SelectionStrategy):
+        name = "my_strategy"
+
+        def predicate(self, coords):
+            ...
+
+after which ``transpile(circuit, device, strategy="my_strategy")`` just works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.compiler.basis_translation import (
+    BASELINE_DIRECT_TARGETS,
+    MINIMALIST_DIRECT_TARGETS,
+)
+from repro.core.basis_selection import (
+    BaselineSqrtIswapStrategy,
+    Criterion1Strategy,
+    Criterion2Strategy,
+    PredicateStrategy,
+    SelectionStrategy,
+)
+from repro.synthesis.depth import can_synthesize_swap_in_3_layers
+from repro.weyl.entangling_power import is_perfect_entangler
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Everything the pipeline knows about one named strategy.
+
+    Attributes:
+        name: the public name used in ``transpile(..., strategy=name)``.
+        factory: zero-argument callable building the selection strategy.
+        uses_baseline_amplitude: drive the pair at the baseline (weak)
+            amplitude instead of the nonstandard (strong) one.
+        direct_targets: two-qubit gate names the translation pass decomposes
+            directly into the basis gate (everything else lowers to CNOT).
+    """
+
+    name: str
+    factory: Callable[[], SelectionStrategy]
+    uses_baseline_amplitude: bool = False
+    direct_targets: frozenset[str] = MINIMALIST_DIRECT_TARGETS
+
+    def build(self) -> SelectionStrategy:
+        """Instantiate the selection strategy."""
+        return self.factory()
+
+
+class StrategyRegistry:
+    """A mapping from strategy names to :class:`StrategySpec` entries."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, StrategySpec] = {}
+        self._generations: dict[str, int] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, spec: StrategySpec, *, overwrite: bool = False) -> StrategySpec:
+        """Add a spec to the registry.
+
+        Replacing a name (``overwrite=True``) bumps its generation, which
+        invalidates every cached selection/target computed under the old
+        definition.
+
+        Raises:
+            ValueError: when the name is already taken and ``overwrite`` is
+                not set (silent shadowing of e.g. ``"criterion2"`` would make
+                results impossible to interpret).
+        """
+        if spec.name in self._specs and not overwrite:
+            raise ValueError(
+                f"strategy {spec.name!r} is already registered; pass overwrite=True "
+                "to replace it"
+            )
+        if spec.name in self._specs:
+            self._generations[spec.name] = self._generations.get(spec.name, 0) + 1
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a strategy (mainly for tests and notebooks)."""
+        if self._specs.pop(name, None) is not None:
+            self._generations[name] = self._generations.get(name, 0) + 1
+
+    def generation(self, name: str) -> int:
+        """Monotonic counter bumped whenever ``name``'s definition changes.
+
+        Caches keyed on a strategy name include this so that re-registering a
+        strategy never silently serves results computed under its previous
+        definition.
+        """
+        return self._generations.get(name, 0)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def spec(self, name: str) -> StrategySpec:
+        """The spec registered under ``name`` (validates the name)."""
+        self.validate(name)
+        return self._specs[name]
+
+    def get(self, name: str) -> SelectionStrategy:
+        """Build the selection strategy registered under ``name``."""
+        return self.spec(name).build()
+
+    def names(self) -> tuple[str, ...]:
+        """Registered strategy names, in registration order."""
+        return tuple(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def validate(self, name: str) -> str:
+        """Raise early, with the registered names, for an unknown strategy."""
+        if name not in self._specs:
+            raise ValueError(
+                f"unknown strategy {name!r}; registered strategies: "
+                f"{sorted(self._specs)}"
+            )
+        return name
+
+
+#: The process-wide registry used by the compilation pipeline.
+REGISTRY = StrategyRegistry()
+
+
+def register_strategy(
+    name: str,
+    *,
+    uses_baseline_amplitude: bool = False,
+    direct_targets: frozenset[str] | None = None,
+    overwrite: bool = False,
+):
+    """Decorator registering a strategy class or factory under ``name``.
+
+    Works on :class:`SelectionStrategy` subclasses and on zero-argument
+    factories returning an instance; returns the decorated object unchanged.
+    """
+
+    def decorator(factory: Callable[[], SelectionStrategy]):
+        REGISTRY.register(
+            StrategySpec(
+                name=name,
+                factory=factory,
+                uses_baseline_amplitude=uses_baseline_amplitude,
+                direct_targets=(
+                    MINIMALIST_DIRECT_TARGETS if direct_targets is None else direct_targets
+                ),
+            ),
+            overwrite=overwrite,
+        )
+        return factory
+
+    return decorator
+
+
+def get_strategy(name: str) -> SelectionStrategy:
+    """Build the selection strategy registered under ``name``."""
+    return REGISTRY.get(name)
+
+
+def get_strategy_spec(name: str) -> StrategySpec:
+    """The :class:`StrategySpec` registered under ``name``."""
+    return REGISTRY.spec(name)
+
+
+def available_strategy_names() -> tuple[str, ...]:
+    """Names currently accepted anywhere a strategy string is expected."""
+    return REGISTRY.names()
+
+
+def validate_strategy(name: str) -> str:
+    """Raise ``ValueError`` (listing registered names) for unknown strategies."""
+    return REGISTRY.validate(name)
+
+
+# -- built-in strategies ------------------------------------------------------
+
+REGISTRY.register(
+    StrategySpec(
+        name="baseline",
+        factory=BaselineSqrtIswapStrategy,
+        uses_baseline_amplitude=True,
+        direct_targets=BASELINE_DIRECT_TARGETS,
+    )
+)
+REGISTRY.register(StrategySpec(name="criterion1", factory=Criterion1Strategy))
+REGISTRY.register(StrategySpec(name="criterion2", factory=Criterion2Strategy))
+REGISTRY.register(
+    StrategySpec(
+        name="pe_and_swap3",
+        factory=lambda: PredicateStrategy(
+            "pe_and_swap3",
+            lambda c: is_perfect_entangler(c) and can_synthesize_swap_in_3_layers(c),
+        ),
+    )
+)

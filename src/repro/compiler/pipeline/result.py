@@ -1,0 +1,74 @@
+"""The result object produced by the compilation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.scheduling import ScheduledCircuit
+from repro.compiler.basis_translation import TranslatedOperation
+from repro.compiler.routing import RoutingResult
+from repro.device.noise import circuit_coherence_fidelity
+
+
+@dataclass
+class CompiledCircuit:
+    """A circuit mapped, routed, translated and scheduled on a device.
+
+    Attributes:
+        name: name of the source circuit.
+        strategy: basis-gate selection strategy used for translation.
+        routing: the routing result (includes layouts and SWAP count).
+        operations: translated physical operations in program order.
+        schedule: the ASAP schedule of those operations.
+        device: the device (or :class:`~repro.compiler.pipeline.target.Target`)
+            the circuit was compiled for; only ``coherence_time_ns`` is read.
+    """
+
+    name: str
+    strategy: str
+    routing: RoutingResult
+    operations: list[TranslatedOperation]
+    schedule: ScheduledCircuit
+    device: object
+
+    # -- headline metrics -----------------------------------------------------
+
+    @property
+    def swap_count(self) -> int:
+        """Number of SWAPs inserted by routing."""
+        return self.routing.swap_count
+
+    @property
+    def total_duration(self) -> float:
+        """Makespan of the scheduled circuit in ns."""
+        return self.schedule.total_duration
+
+    @property
+    def two_qubit_layer_count(self) -> int:
+        """Total number of two-qubit basis-gate applications."""
+        return int(sum(op.layers for op in self.operations if op.kind == "2q"))
+
+    def qubit_busy_spans(self) -> dict[int, float]:
+        """Per-qubit first-gate-start to last-gate-end spans (ns)."""
+        return self.schedule.qubit_busy_spans()
+
+    def coherence_limited_fidelity(self, coherence_time_ns: float | None = None) -> float:
+        """The paper's circuit fidelity: product over qubits of exp(-t_q / T)."""
+        coherence = (
+            self.device.coherence_time_ns if coherence_time_ns is None else coherence_time_ns
+        )
+        return circuit_coherence_fidelity(self.qubit_busy_spans(), coherence)
+
+    @property
+    def fidelity(self) -> float:
+        """Coherence-limited fidelity at the device's coherence time."""
+        return self.coherence_limited_fidelity()
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for reports and benchmarks."""
+        return {
+            "swap_count": float(self.swap_count),
+            "two_qubit_layers": float(self.two_qubit_layer_count),
+            "duration_ns": float(self.total_duration),
+            "fidelity": float(self.fidelity),
+        }

@@ -1,0 +1,436 @@
+"""Compilation target: a device's per-edge basis gates, snapshotted once.
+
+The legacy pipeline recomputed (or lazily re-looked-up) the per-edge basis
+gate selections inside every translation.  A :class:`Target` snapshots the
+result of basis-gate selection for one (device, strategy) pair so it can be
+
+* built **once** and shared across many compilations (``transpile_batch``
+  builds one target per strategy for the whole Table II workload);
+* serialized (``to_dict``/``from_dict``) and shipped to workers or cached on
+  disk between runs;
+* inspected and -- on a :meth:`Target.copy` -- edited (a notebook can
+  override a single edge's selection on a copy and recompile with it, without
+  touching the device or the shared cached snapshot).
+
+Selections are resolved lazily edge by edge while the target is attached to
+its device (so a small circuit only pays for the edges it touches, exactly
+like the legacy path) and memoised forever after; :meth:`Target.complete`
+forces every edge, which batch compilation does up front so worker threads
+never race on the device's lazy calibration caches.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.basis_selection import BasisGateSelection
+
+Edge = tuple[int, int]
+
+
+def _registry_generation(name: str) -> int:
+    """Current registry generation for a strategy name (lazy import)."""
+    from repro.compiler.pipeline.registry import REGISTRY
+
+    return REGISTRY.generation(name)
+
+
+@dataclass
+class Target:
+    """Per-edge basis gates plus the device constants compilation needs.
+
+    Attributes:
+        strategy: the selection strategy the snapshot was built with.
+        n_qubits: number of physical qubits on the device.
+        single_qubit_duration: 1Q layer duration in ns.
+        coherence_time_ns: per-qubit coherence time in ns.
+        drive_amplitude: drive amplitude the selections were calibrated at.
+        selections: mapping from (sorted) edge to the selected basis gate
+            (resolved lazily while a backing device is attached).
+        direct_targets: two-qubit gate names translated directly into the
+            basis gate (snapshotted from the strategy's registry spec so a
+            deserialized target translates correctly without the registry).
+    """
+
+    strategy: str
+    n_qubits: int
+    single_qubit_duration: float
+    coherence_time_ns: float
+    drive_amplitude: float
+    selections: dict[Edge, BasisGateSelection] = field(default_factory=dict)
+    direct_targets: frozenset[str] | None = None
+    #: Total edges on the backing device; lets a detached target know whether
+    #: its selections are complete.
+    edge_count: int | None = None
+
+    def __post_init__(self) -> None:
+        self._device_ref: weakref.ref | None = None
+
+    def __eq__(self, other) -> bool:
+        """Field-wise equality including the per-edge selection payload.
+
+        Written out because BasisGateSelection holds numpy unitaries, whose
+        elementwise ``==`` would make the dataclass-generated comparison
+        raise instead of answering.
+        """
+        if not isinstance(other, Target):
+            return NotImplemented
+        if (
+            self.strategy,
+            self.n_qubits,
+            self.single_qubit_duration,
+            self.coherence_time_ns,
+            self.drive_amplitude,
+            self.direct_targets,
+        ) != (
+            other.strategy,
+            other.n_qubits,
+            other.single_qubit_duration,
+            other.coherence_time_ns,
+            other.drive_amplitude,
+            other.direct_targets,
+        ):
+            return False
+        if set(self.selections) != set(other.selections):
+            return False
+        for edge, mine in self.selections.items():
+            theirs = other.selections[edge]
+            if (
+                mine.strategy,
+                mine.duration,
+                mine.coordinates,
+                mine.swap_layers,
+                mine.cnot_layers,
+            ) != (
+                theirs.strategy,
+                theirs.duration,
+                theirs.coordinates,
+                theirs.swap_layers,
+                theirs.cnot_layers,
+            ):
+                return False
+            if (mine.unitary is None) != (theirs.unitary is None):
+                return False
+            if mine.unitary is not None and not np.array_equal(mine.unitary, theirs.unitary):
+                return False
+        return True
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_device(cls, device, strategy: str) -> "Target":
+        """A lazily-resolving target over a device's basis-gate selections.
+
+        Prefer :func:`build_target`, which memoises the target per
+        (device, strategy); building directly always returns a fresh one.
+        """
+        from repro.compiler.pipeline.registry import get_strategy_spec
+
+        spec = get_strategy_spec(strategy)
+        target = cls(
+            strategy=strategy,
+            n_qubits=device.n_qubits,
+            single_qubit_duration=device.single_qubit_duration,
+            coherence_time_ns=device.coherence_time_ns,
+            drive_amplitude=device.amplitude_for_strategy(strategy),
+            direct_targets=spec.direct_targets,
+            edge_count=len(device.edges()),
+        )
+        target._device_ref = weakref.ref(device)
+        target._generation = _registry_generation(strategy)
+        target._calibration_epoch = getattr(device, "calibration_epoch", None)
+        return target
+
+    @property
+    def _device(self):
+        """The backing device, or None once detached/collected."""
+        ref = getattr(self, "_device_ref", None)
+        return ref() if ref is not None else None
+
+    def _check_generation(self) -> None:
+        """Refuse lazy resolution once the target's inputs changed underneath.
+
+        A held target must never mix selections computed under two different
+        definitions of its strategy name (registry re-registration) or two
+        different device calibrations (``invalidate_calibrations``).
+        """
+        generation = getattr(self, "_generation", None)
+        if generation is not None and _registry_generation(self.strategy) != generation:
+            raise RuntimeError(
+                f"strategy {self.strategy!r} was re-registered since this target was "
+                f"built; rebuild it with build_target(device, {self.strategy!r})"
+            )
+        device = self._device
+        epoch = getattr(self, "_calibration_epoch", None)
+        if (
+            device is not None
+            and epoch is not None
+            and getattr(device, "calibration_epoch", None) != epoch
+        ):
+            raise RuntimeError(
+                f"the device was recalibrated since this target for strategy "
+                f"{self.strategy!r} was built; rebuild it with "
+                f"build_target(device, {self.strategy!r})"
+            )
+
+    def complete(self) -> "Target":
+        """Resolve every edge's selection now.
+
+        Batch compilation calls this before fanning out so the device's lazy
+        calibration caches are only touched from one thread.
+
+        Raises:
+            RuntimeError: when the backing device was garbage-collected
+                before every edge resolved -- a partial snapshot must not
+                masquerade as a complete one (``to_dict`` and
+                ``average_basis_duration`` rely on this guard).
+        """
+        device = self._device
+        if device is not None:
+            missing = [e for e in device.edges() if e not in self.selections]
+            if missing:
+                # Only resolving new edges can mix definitions; a snapshot
+                # that is already fully resolved stays serviceable as-is.
+                self._check_generation()
+                for edge in missing:
+                    self.selections[edge] = device.basis_gate(edge, self.strategy)
+        elif self.edge_count is not None and len(self.selections) < self.edge_count:
+            raise RuntimeError(
+                f"target for strategy {self.strategy!r} is detached (backing device "
+                f"collected) with only {len(self.selections)}/{self.edge_count} edges "
+                "resolved; rebuild it from a live device"
+            )
+        return self
+
+    def copy(self) -> "Target":
+        """A detached, fully-resolved copy that is safe to edit.
+
+        ``build_target`` returns a snapshot shared by every compilation on
+        the same (device, strategy); mutate a copy instead.
+        """
+        self.complete()
+        return Target(
+            strategy=self.strategy,
+            n_qubits=self.n_qubits,
+            single_qubit_duration=self.single_qubit_duration,
+            coherence_time_ns=self.coherence_time_ns,
+            drive_amplitude=self.drive_amplitude,
+            selections=dict(self.selections),
+            direct_targets=self.direct_targets,
+            edge_count=self.edge_count,
+        )
+
+    def translation_options(self):
+        """Default :class:`TranslationOptions` for compiling against this target.
+
+        Uses the snapshotted ``direct_targets`` when present, so detached /
+        deserialized targets of custom strategies translate exactly as they
+        did where they were built, without needing the strategy registered.
+        """
+        from repro.compiler.basis_translation import TranslationOptions
+
+        if self.direct_targets is not None:
+            return TranslationOptions(
+                direct_targets=self.direct_targets,
+                one_qubit_duration=self.single_qubit_duration,
+            )
+        return TranslationOptions.for_strategy(
+            self.strategy, one_qubit_duration=self.single_qubit_duration
+        )
+
+    # -- lookup ---------------------------------------------------------------
+
+    @staticmethod
+    def _key(edge: Edge) -> Edge:
+        a, b = edge
+        return (a, b) if a < b else (b, a)
+
+    def basis_gate(self, edge: Edge) -> BasisGateSelection:
+        """The selected basis gate for a coupled pair (resolved on demand)."""
+        key = self._key(edge)
+        if key not in self.selections:
+            device = self._device
+            if device is not None and device.has_edge(*key):
+                self._check_generation()
+                self.selections[key] = device.basis_gate(key, self.strategy)
+            elif (
+                device is None
+                and self.edge_count is not None
+                and len(self.selections) < self.edge_count
+            ):
+                # The edge may well exist; we just can no longer resolve it.
+                raise RuntimeError(
+                    f"cannot resolve {edge}: target for strategy {self.strategy!r} is "
+                    f"detached (backing device collected) with only "
+                    f"{len(self.selections)}/{self.edge_count} edges resolved; rebuild "
+                    "it from a live device"
+                )
+            else:
+                raise ValueError(
+                    f"{edge} is not an edge of the target (strategy {self.strategy!r})"
+                )
+        return self.selections[key]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True when the pair has (or can resolve) a calibrated basis gate.
+
+        Raises:
+            RuntimeError: on a detached partial snapshot, where the question
+                cannot be answered -- silently returning False would make a
+                coupled pair look uncoupled.
+        """
+        key = self._key((a, b))
+        if key in self.selections:
+            return True
+        device = self._device
+        if device is not None:
+            return device.has_edge(*key)
+        if self.edge_count is not None and len(self.selections) < self.edge_count:
+            raise RuntimeError(
+                f"cannot answer has_edge{(a, b)}: target for strategy "
+                f"{self.strategy!r} is detached (backing device collected) with only "
+                f"{len(self.selections)}/{self.edge_count} edges resolved; rebuild it "
+                "from a live device"
+            )
+        return False
+
+    def edges(self) -> list[Edge]:
+        """Sorted list of calibrated pairs.
+
+        Raises:
+            RuntimeError: on a detached partial snapshot -- enumerating a
+                subset as if it were "all calibrated pairs" would silently
+                shrink the device.
+        """
+        device = self._device
+        if device is not None:
+            return device.edges()
+        if self.edge_count is not None and len(self.selections) < self.edge_count:
+            raise RuntimeError(
+                f"cannot enumerate edges: target for strategy {self.strategy!r} is "
+                f"detached (backing device collected) with only "
+                f"{len(self.selections)}/{self.edge_count} edges resolved; rebuild it "
+                "from a live device"
+            )
+        return sorted(self.selections)
+
+    def average_basis_duration(self) -> float:
+        """Average selected basis-gate duration over all edges (ns)."""
+        self.complete()
+        return float(np.mean([s.duration for s in self.selections.values()]))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-serializable) of the fully-resolved snapshot."""
+        self.complete()
+        return {
+            "strategy": self.strategy,
+            "n_qubits": self.n_qubits,
+            "single_qubit_duration": self.single_qubit_duration,
+            "coherence_time_ns": self.coherence_time_ns,
+            "drive_amplitude": self.drive_amplitude,
+            "direct_targets": (
+                None if self.direct_targets is None else sorted(self.direct_targets)
+            ),
+            "edge_count": self.edge_count,
+            "selections": [
+                {
+                    "edge": list(edge),
+                    "strategy": sel.strategy,
+                    "duration": sel.duration,
+                    "coordinates": list(sel.coordinates),
+                    "unitary": None
+                    if sel.unitary is None
+                    else [[[float(z.real), float(z.imag)] for z in row] for row in sel.unitary],
+                    "swap_layers": sel.swap_layers,
+                    "cnot_layers": sel.cnot_layers,
+                }
+                for edge, sel in sorted(self.selections.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Target":
+        """Rebuild a detached snapshot from :meth:`to_dict` output."""
+        selections: dict[Edge, BasisGateSelection] = {}
+        for entry in data["selections"]:
+            unitary = entry["unitary"]
+            selections[tuple(entry["edge"])] = BasisGateSelection(
+                strategy=entry["strategy"],
+                duration=float(entry["duration"]),
+                coordinates=tuple(entry["coordinates"]),
+                unitary=None
+                if unitary is None
+                else np.array([[complex(re, im) for re, im in row] for row in unitary]),
+                swap_layers=int(entry["swap_layers"]),
+                cnot_layers=int(entry["cnot_layers"]),
+            )
+        return cls(
+            strategy=data["strategy"],
+            n_qubits=int(data["n_qubits"]),
+            single_qubit_duration=float(data["single_qubit_duration"]),
+            coherence_time_ns=float(data["coherence_time_ns"]),
+            drive_amplitude=float(data["drive_amplitude"]),
+            selections=selections,
+            direct_targets=(
+                None
+                if data.get("direct_targets") is None
+                else frozenset(data["direct_targets"])
+            ),
+            edge_count=data.get("edge_count", len(selections)),
+        )
+
+
+#: Per-device memo of built targets, keyed by (strategy name, registry
+#: generation); weak keys let devices be collected.
+_TARGET_CACHE: "weakref.WeakKeyDictionary[object, dict[tuple[str, int], Target]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def invalidate_device_targets(device) -> None:
+    """Drop every cached :class:`Target` for a device.
+
+    ``Device.invalidate_calibrations()`` calls this so that compilations
+    after an in-place device mutation rebuild their targets instead of
+    serving selections resolved from the old state.
+    """
+    _TARGET_CACHE.pop(device, None)
+
+
+def build_target(device, strategy: str, *, refresh: bool = False) -> Target:
+    """The (cached) :class:`Target` for a device under a named strategy.
+
+    The target is created at most once per (device, strategy); subsequent
+    calls return the same object, and each edge's selection is computed at
+    most once across every compilation that shares it.  Re-registering the
+    strategy (new registry generation) forces a fresh target.
+
+    ``refresh=True`` recalibrates: it drops the device's memoised
+    trajectories and selections (via ``device.invalidate_calibrations()``)
+    before building, so selections are genuinely recomputed from current
+    device state -- use it after mutating frequencies or parameters in
+    place.  The returned object is shared -- use :meth:`Target.copy` before
+    editing selections.
+    """
+    from repro.compiler.pipeline.registry import REGISTRY
+
+    if refresh:
+        # Recalibration stales every strategy's cached target on this device;
+        # invalidate_calibrations also drops this device's _TARGET_CACHE entry.
+        invalidate = getattr(device, "invalidate_calibrations", None)
+        if invalidate is not None:
+            invalidate()
+        else:
+            _TARGET_CACHE.pop(device, None)
+    key = (strategy, REGISTRY.generation(strategy))
+    per_device = _TARGET_CACHE.setdefault(device, {})
+    for stale in [k for k in per_device if k[0] == strategy and k != key]:
+        del per_device[stale]
+    if key not in per_device:
+        per_device[key] = Target.from_device(device, strategy)
+    return per_device[key]

@@ -1,84 +1,28 @@
-"""Top-level transpilation pipeline and compiled-circuit analysis."""
+"""Top-level transpilation entry points.
+
+These are thin wrappers over the composable pipeline in
+:mod:`repro.compiler.pipeline`:
+
+* :func:`transpile` runs ``PassManager.default(strategy)`` (SABRE layout ->
+  SABRE routing -> per-edge basis translation -> ASAP scheduling), producing
+  byte-identical seeded results to the historical monolithic implementation;
+* :func:`compare_strategies` compiles one circuit against several pre-built
+  :class:`~repro.compiler.pipeline.target.Target` snapshots with a shared
+  layout/routing, isolating the effect of the basis-gate choice exactly as
+  the paper's Table II methodology requires.
+
+For many circuits, prefer :func:`repro.compiler.pipeline.transpile_batch`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.scheduling import ScheduledCircuit, schedule_asap
-from repro.compiler.basis_translation import (
-    TranslatedOperation,
-    TranslationOptions,
-    translate_circuit,
-)
-from repro.compiler.layout import sabre_layout
-from repro.compiler.routing import RoutingResult, SabreRouter
-from repro.device.noise import circuit_coherence_fidelity
+from repro.compiler.basis_translation import TranslationOptions
+from repro.compiler.pipeline.batch import DEFAULT_STRATEGIES, transpile_batch
+from repro.compiler.pipeline.manager import PassManager
+from repro.compiler.pipeline.result import CompiledCircuit
 
-
-@dataclass
-class CompiledCircuit:
-    """A circuit mapped, routed, translated and scheduled on a device.
-
-    Attributes:
-        name: name of the source circuit.
-        strategy: basis-gate selection strategy used for translation.
-        routing: the routing result (includes layouts and SWAP count).
-        operations: translated physical operations in program order.
-        schedule: the ASAP schedule of those operations.
-        device: the device the circuit was compiled for.
-    """
-
-    name: str
-    strategy: str
-    routing: RoutingResult
-    operations: list[TranslatedOperation]
-    schedule: ScheduledCircuit
-    device: object
-
-    # -- headline metrics -----------------------------------------------------
-
-    @property
-    def swap_count(self) -> int:
-        """Number of SWAPs inserted by routing."""
-        return self.routing.swap_count
-
-    @property
-    def total_duration(self) -> float:
-        """Makespan of the scheduled circuit in ns."""
-        return self.schedule.total_duration
-
-    @property
-    def two_qubit_layer_count(self) -> int:
-        """Total number of two-qubit basis-gate applications."""
-        return int(sum(op.layers for op in self.operations if op.kind == "2q"))
-
-    def qubit_busy_spans(self) -> dict[int, float]:
-        """Per-qubit first-gate-start to last-gate-end spans (ns)."""
-        return self.schedule.qubit_busy_spans()
-
-    def coherence_limited_fidelity(self, coherence_time_ns: float | None = None) -> float:
-        """The paper's circuit fidelity: product over qubits of exp(-t_q / T)."""
-        coherence = (
-            self.device.coherence_time_ns if coherence_time_ns is None else coherence_time_ns
-        )
-        return circuit_coherence_fidelity(self.qubit_busy_spans(), coherence)
-
-    @property
-    def fidelity(self) -> float:
-        """Coherence-limited fidelity at the device's coherence time."""
-        return self.coherence_limited_fidelity()
-
-    def summary(self) -> dict[str, float]:
-        """Headline numbers for reports and benchmarks."""
-        return {
-            "swap_count": float(self.swap_count),
-            "two_qubit_layers": float(self.two_qubit_layer_count),
-            "duration_ns": float(self.total_duration),
-            "fidelity": float(self.fidelity),
-        }
+__all__ = ["CompiledCircuit", "transpile", "compare_strategies"]
 
 
 def transpile(
@@ -95,90 +39,31 @@ def transpile(
     Pipeline: SABRE layout -> SABRE routing -> per-edge basis translation ->
     ASAP scheduling.  The same layout/routing seed is used for every strategy
     so that fidelity differences reflect the basis gates only, exactly as the
-    paper's comparison intends.
+    paper's comparison intends.  Unknown strategy names raise ``ValueError``
+    listing the registered strategies.
     """
-    router = SabreRouter(device, seed=seed)
-    if layout is None:
-        layout = sabre_layout(
-            circuit, device, router=router, iterations=layout_iterations, seed=seed
-        )
-    routing = router.run(circuit, layout)
-    options = options if options is not None else TranslationOptions.for_strategy(
-        strategy, one_qubit_duration=device.single_qubit_duration
+    manager = PassManager.default(
+        strategy,
+        seed=seed,
+        layout=layout,
+        layout_iterations=layout_iterations,
+        options=options,
+        metrics=False,  # CompiledCircuit computes its numbers lazily on access
     )
-    operations = translate_circuit(routing.circuit, device, strategy, options)
-    schedule = schedule_asap(
-        [op.gate for op in operations],
-        duration_fn=lambda gate: _duration_lookup(gate, operations),
-        n_qubits=device.n_qubits,
-    )
-    # schedule_asap walks the same list in order, so durations can be matched
-    # positionally; rebuild the schedule directly to avoid lookup ambiguity.
-    schedule = _schedule_operations(operations, device.n_qubits)
-    return CompiledCircuit(
-        name=circuit.name or "circuit",
-        strategy=strategy,
-        routing=routing,
-        operations=operations,
-        schedule=schedule,
-        device=device,
-    )
-
-
-def _duration_lookup(gate, operations: list[TranslatedOperation]) -> float:
-    """Fallback duration function (positional rebuild is used instead)."""
-    for op in operations:
-        if op.gate is gate:
-            return op.duration
-    return 0.0
-
-
-def _schedule_operations(
-    operations: list[TranslatedOperation], n_qubits: int
-) -> ScheduledCircuit:
-    """ASAP-schedule translated operations positionally."""
-    from repro.circuits.scheduling import ScheduledOperation
-
-    qubit_free_at = np.zeros(n_qubits)
-    scheduled = []
-    for op in operations:
-        start = float(max(qubit_free_at[list(op.qubits)])) if op.qubits else 0.0
-        scheduled.append(
-            ScheduledOperation(gate=op.gate, start=start, duration=op.duration)
-        )
-        for q in op.qubits:
-            qubit_free_at[q] = start + op.duration
-    return ScheduledCircuit(n_qubits=n_qubits, operations=scheduled)
+    return manager.run(circuit, device=device)
 
 
 def compare_strategies(
     circuit: QuantumCircuit,
     device,
-    strategies: tuple[str, ...] = ("baseline", "criterion1", "criterion2"),
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
     seed: int = 17,
 ) -> dict[str, CompiledCircuit]:
     """Compile one circuit under several strategies with a shared layout.
 
     The layout and routing are computed once (they do not depend on the basis
     gates) and reused, so the comparison isolates the effect of the basis-gate
-    choice -- mirroring the paper's Table II methodology.
+    choice -- mirroring the paper's Table II methodology.  This is exactly a
+    one-circuit serial :func:`~repro.compiler.pipeline.batch.transpile_batch`.
     """
-    router = SabreRouter(device, seed=seed)
-    layout = sabre_layout(circuit, device, router=router, iterations=1, seed=seed)
-    routing = router.run(circuit, layout)
-    results: dict[str, CompiledCircuit] = {}
-    for strategy in strategies:
-        options = TranslationOptions.for_strategy(
-            strategy, one_qubit_duration=device.single_qubit_duration
-        )
-        operations = translate_circuit(routing.circuit, device, strategy, options)
-        schedule = _schedule_operations(operations, device.n_qubits)
-        results[strategy] = CompiledCircuit(
-            name=circuit.name or "circuit",
-            strategy=strategy,
-            routing=routing,
-            operations=operations,
-            schedule=schedule,
-            device=device,
-        )
-    return results
+    return transpile_batch([circuit], device, strategies, seed=seed)[0]

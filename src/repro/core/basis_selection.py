@@ -207,20 +207,21 @@ class CompositeCriterionStrategy(SelectionStrategy):
 def select_basis_gate(
     trajectory: CartanTrajectory, strategy: SelectionStrategy | str
 ) -> BasisGateSelection:
-    """Convenience function: select a basis gate with a named strategy."""
+    """Convenience function: select a basis gate with a named strategy.
+
+    Names are resolved through the strategy registry
+    (:mod:`repro.compiler.pipeline.registry`); unknown names raise
+    ``ValueError`` listing the registered strategies.
+    """
     if isinstance(strategy, str):
-        strategy = {
-            "baseline": BaselineSqrtIswapStrategy(),
-            "criterion1": Criterion1Strategy(),
-            "criterion2": Criterion2Strategy(),
-            "pe_and_swap3": PredicateStrategy(
-                "pe_and_swap3",
-                lambda c: is_perfect_entangler(c) and can_synthesize_swap_in_3_layers(c),
-            ),
-        }[strategy]
+        from repro.compiler.pipeline.registry import get_strategy
+
+        strategy = get_strategy(strategy)
     return strategy.select(trajectory)
 
 
 def available_strategies() -> Sequence[str]:
-    """Names accepted by :func:`select_basis_gate`."""
-    return ("baseline", "criterion1", "criterion2", "pe_and_swap3")
+    """Names accepted by :func:`select_basis_gate` (registry contents)."""
+    from repro.compiler.pipeline.registry import available_strategy_names
+
+    return available_strategy_names()

@@ -60,13 +60,17 @@ class DeviceParameters:
 
 @dataclass
 class EdgeCalibration:
-    """Everything known about one edge at one drive amplitude."""
+    """Everything known about one edge at one drive amplitude.
+
+    ``selections`` is keyed by (strategy name, registry generation) so that
+    re-registering a strategy invalidates the memo.
+    """
 
     edge: Edge
     drive_amplitude: float
     model: EffectiveEntanglerModel
     trajectory: CartanTrajectory
-    selections: dict[str, BasisGateSelection] = field(default_factory=dict)
+    selections: dict[tuple[str, int], BasisGateSelection] = field(default_factory=dict)
 
 
 class Device:
@@ -100,6 +104,9 @@ class Device:
         }
         self._calibrations: dict[tuple[Edge, float], EdgeCalibration] = {}
         self._distance_matrix: dict[int, dict[int, int]] | None = None
+        #: Bumped by invalidate_calibrations(); lets held Target snapshots
+        #: detect that their resolved selections predate a recalibration.
+        self.calibration_epoch = 0
 
     # -- basic structure -----------------------------------------------------
 
@@ -164,6 +171,22 @@ class Device:
             deviation_scale=self.deviation_scale(edge),
         )
 
+    def invalidate_calibrations(self) -> None:
+        """Drop every memoised trajectory and basis-gate selection.
+
+        Call after changing device state in place (frequencies, parameters):
+        the next lookup re-simulates each edge.  The compilation pipeline's
+        cached :class:`~repro.compiler.pipeline.target.Target` snapshots for
+        this device are dropped too, so subsequent ``transpile`` calls see
+        the new state.  ``build_target(..., refresh=True)`` is equivalent to
+        calling this first.
+        """
+        self._calibrations.clear()
+        self.calibration_epoch += 1
+        from repro.compiler.pipeline.target import invalidate_device_targets
+
+        invalidate_device_targets(self)
+
     def calibration(self, edge: Edge, drive_amplitude: float) -> EdgeCalibration:
         """Trajectory (and cached selections) for an edge at an amplitude."""
         key = (self._key(edge), float(drive_amplitude))
@@ -192,28 +215,51 @@ class Device:
     # -- basis-gate selection --------------------------------------------------
 
     def amplitude_for_strategy(self, strategy: str) -> float:
-        """Drive amplitude used by a named strategy in the case study."""
+        """Drive amplitude used by a named strategy in the case study.
+
+        Each strategy declares its amplitude class on its
+        :class:`~repro.compiler.pipeline.registry.StrategySpec`; unknown
+        names raise ``ValueError`` listing the registered strategies.
+        """
+        from repro.compiler.pipeline.registry import get_strategy_spec
+
         return (
             self.params.baseline_amplitude
-            if strategy == "baseline"
+            if get_strategy_spec(strategy).uses_baseline_amplitude
             else self.params.nonstandard_amplitude
         )
 
     def basis_gate(self, edge: Edge, strategy: str) -> BasisGateSelection:
         """The basis gate selected for an edge by a named strategy."""
+        from repro.compiler.pipeline.registry import REGISTRY, validate_strategy
+
+        validate_strategy(strategy)
         amplitude = self.amplitude_for_strategy(strategy)
         calibration = self.calibration(edge, amplitude)
-        if strategy not in calibration.selections:
-            calibration.selections[strategy] = select_basis_gate(
+        # The generation invalidates memoised selections when a strategy name
+        # is re-registered with a new definition; stale generations are evicted.
+        key = (strategy, REGISTRY.generation(strategy))
+        if key not in calibration.selections:
+            for stale in [k for k in calibration.selections if k[0] == strategy]:
+                del calibration.selections[stale]
+            calibration.selections[key] = select_basis_gate(
                 calibration.trajectory, strategy
             )
-        return calibration.selections[strategy]
+        return calibration.selections[key]
 
     def basis_gates(self, strategy: str) -> dict[Edge, BasisGateSelection]:
-        """Basis gates for every edge under a named strategy."""
-        return {edge: self.basis_gate(edge, strategy) for edge in self.edges()}
+        """Basis gates for every edge under a named strategy.
+
+        Convenience wrapper over the pipeline's cached per-device
+        :class:`~repro.compiler.pipeline.target.Target`, so the device and
+        the compiler share one snapshot layer.
+        """
+        from repro.compiler.pipeline.target import build_target
+
+        return dict(build_target(self, strategy).complete().selections)
 
     def average_basis_duration(self, strategy: str) -> float:
         """Average selected basis-gate duration over all edges (ns)."""
-        selections = self.basis_gates(strategy)
-        return float(np.mean([s.duration for s in selections.values()]))
+        from repro.compiler.pipeline.target import build_target
+
+        return build_target(self, strategy).average_basis_duration()

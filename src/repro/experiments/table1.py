@@ -68,6 +68,7 @@ def table1_rows(
 
     rows: list[Table1Row] = []
     for strategy in config.strategies:
+        # Backed by the same Target snapshot the compiler uses (built once).
         selections = device.basis_gates(strategy)
         basis_durations = []
         swap_durations = []

@@ -20,7 +20,7 @@ from repro.circuits.library import (
     qaoa_circuit,
     qft_circuit,
 )
-from repro.compiler.transpile import compare_strategies
+from repro.compiler.pipeline.batch import transpile_batch
 from repro.device.device import Device
 from repro.experiments.config import CaseStudyConfig, case_study_device
 
@@ -105,18 +105,29 @@ def table2_rows(
     device: Device | None = None,
     config: CaseStudyConfig | None = None,
     seed: int = 17,
+    max_workers: int | None = None,
 ) -> list[Table2Row]:
-    """Compute Table II rows for the requested benchmarks (default: all)."""
+    """Compute Table II rows for the requested benchmarks (default: all).
+
+    The whole workload goes through :func:`transpile_batch`: each
+    (device, strategy) target is built once, every circuit is laid out and
+    routed once, and independent circuits compile concurrently when
+    ``max_workers`` allows.
+    """
     config = config if config is not None else CaseStudyConfig()
     device = device if device is not None else case_study_device(config)
     names = list(TABLE2_BENCHMARKS) if benchmarks is None else list(benchmarks)
-
-    rows: list[Table2Row] = []
     for name in names:
         if name not in TABLE2_BENCHMARKS:
             raise KeyError(f"unknown benchmark {name!r}")
-        circuit = TABLE2_BENCHMARKS[name]()
-        compiled = compare_strategies(circuit, device, strategies=config.strategies, seed=seed)
+
+    circuits = [TABLE2_BENCHMARKS[name]() for name in names]
+    batch = transpile_batch(
+        circuits, device, strategies=config.strategies, seed=seed, max_workers=max_workers
+    )
+
+    rows: list[Table2Row] = []
+    for name, compiled in zip(names, batch):
         paper = PAPER_TABLE2.get(name, (None, None, None))
         rows.append(
             Table2Row(
