@@ -2,11 +2,13 @@
 
 Reproduces the Table II workflow on a configurable subset of the paper's
 benchmark suite through the batch pipeline API: each (device, strategy)
-``Target`` is built once, every circuit is SABRE laid out and routed once,
-and independent circuits fan out over a thread pool.
+``Target`` is built once (optionally served from the fleet engine's on-disk
+cache), every circuit is SABRE laid out and routed once, and independent
+circuits fan out over a thread or process pool.
 
 Run with:  python examples/compile_benchmarks.py [--workers N] [benchmark ...]
-e.g.       python examples/compile_benchmarks.py --workers 4 bv_29 qft_10
+e.g.       python examples/compile_benchmarks.py --workers 4 --executor process \
+               --cache-dir .target-cache bv_29 qft_10
 """
 
 from __future__ import annotations
@@ -26,8 +28,20 @@ def main(argv: list[str] | None = None) -> None:
         "--workers",
         type=int,
         default=None,
-        help="thread-pool size for the batch compilation; omitted or <= 1 "
+        help="pool size for the batch compilation; omitted or <= 1 "
         "means serial",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="fan-out flavour when --workers > 1 (process = true parallelism)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist per-strategy Target snapshots here (fleet TargetCache); "
+        "repeat runs skip calibration",
     )
     args = parser.parse_args(argv)
 
@@ -44,7 +58,12 @@ def main(argv: list[str] | None = None) -> None:
         f"(T = {config.coherence_time_us} us, 1Q = {config.single_qubit_gate_ns} ns)...\n"
     )
     rows = table2_rows(
-        benchmarks=names, device=device, config=config, max_workers=args.workers
+        benchmarks=names,
+        device=device,
+        config=config,
+        max_workers=args.workers,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
     )
     print(format_table2(rows))
     print(

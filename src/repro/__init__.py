@@ -13,7 +13,10 @@ The package is organised by subsystem:
 * :mod:`repro.compiler` -- the pass-based compilation pipeline (layout,
   routing, basis translation, scheduling) plus the strategy registry and
   build-once per-device ``Target`` snapshots;
-* :mod:`repro.experiments` -- regeneration of every table and figure.
+* :mod:`repro.experiments` -- regeneration of every table and figure;
+* :mod:`repro.fleet` -- Monte-Carlo strategy sweeps over a fleet of devices
+  (many topologies x seeded frequency draws) with a persistent on-disk
+  target cache and process-pool compilation.
 
 Quickstart::
 

@@ -19,6 +19,7 @@ for a walkthrough.
 
 from repro.compiler.pipeline.batch import (
     DEFAULT_STRATEGIES,
+    EXECUTORS,
     compile_with_targets,
     transpile_batch,
 )
@@ -50,6 +51,7 @@ from repro.compiler.pipeline.target import Target, build_target
 
 __all__ = [
     "DEFAULT_STRATEGIES",
+    "EXECUTORS",
     "compile_with_targets",
     "transpile_batch",
     "PassManager",

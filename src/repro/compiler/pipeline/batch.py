@@ -1,26 +1,35 @@
 """Batch compilation: many circuits x many strategies, targets built once.
 
-``transpile_batch`` is the workhorse behind ``compare_strategies`` and the
-Table II experiment.  It mirrors the paper's methodology:
+``transpile_batch`` is the workhorse behind ``compare_strategies``, the
+Table II experiment and the fleet scenario engine.  It mirrors the paper's
+methodology:
 
 * each circuit is laid out and routed **once** (layout and routing do not
   depend on the basis gates), so fidelity differences across strategies
   reflect the basis-gate choice only;
 * each (device, strategy) :class:`Target` is built **once** for the whole
   batch instead of being re-derived per circuit;
-* independent circuits fan out over a ``concurrent.futures`` thread pool.
+* independent circuits fan out over a ``concurrent.futures`` executor.
 
-The dominant saving is the redundant-work elimination (targets and routing);
-the compilation stages are mostly GIL-bound pure Python, so ``max_workers``
-adds little wall-clock speedup today.  Targets serialize
-(``Target.to_dict``/``from_dict``) precisely so a process-pool or multi-host
-fan-out can ship them to real workers when that scale is needed.
+Two executors are available.  ``executor="thread"`` shares the device and
+targets in-process; the compilation stages are mostly GIL-bound pure Python,
+so threads mainly help workloads that release the GIL in numpy.
+``executor="process"`` ships a pickled device (lazy calibration caches
+stripped, see ``Device.__getstate__``) plus ``Target.to_dict()`` snapshots to
+each worker once, via the pool initializer, and compiles with true
+parallelism; results are byte-identical to the serial path because target
+serialization round-trips every float exactly.
+
+Callers that already hold targets (for example the fleet engine's persistent
+:class:`~repro.fleet.cache.TargetCache`) can pass them in via ``targets=`` to
+skip ``build_target`` entirely.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Mapping, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.basis_translation import translate_operations
@@ -32,6 +41,9 @@ from repro.compiler.routing import SabreRouter
 from repro.compiler.pipeline.passes import schedule_operations
 
 DEFAULT_STRATEGIES = ("baseline", "criterion1", "criterion2")
+
+#: Supported ``transpile_batch`` executors.
+EXECUTORS = ("thread", "process")
 
 
 def compile_with_targets(
@@ -68,6 +80,50 @@ def compile_with_targets(
     return results
 
 
+#: Per-worker state installed by :func:`_init_process_worker`.  A process pool
+#: ships the (calibration-stripped) device and the completed targets exactly
+#: once per worker instead of once per task.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_process_worker(device_bytes: bytes, target_payloads: dict[str, dict], seed: int) -> None:
+    _WORKER_CONTEXT["device"] = pickle.loads(device_bytes)
+    _WORKER_CONTEXT["targets"] = {
+        strategy: Target.from_dict(payload) for strategy, payload in target_payloads.items()
+    }
+    _WORKER_CONTEXT["seed"] = seed
+
+
+def _compile_in_process_worker(circuit: QuantumCircuit) -> dict[str, CompiledCircuit]:
+    results = compile_with_targets(
+        circuit,
+        _WORKER_CONTEXT["device"],
+        _WORKER_CONTEXT["targets"],
+        seed=_WORKER_CONTEXT["seed"],
+    )
+    for compiled in results.values():
+        # The parent re-attaches its own device; shipping the worker's copy
+        # back with every result would dominate the IPC payload.
+        compiled.device = None
+    return results
+
+
+def _resolve_targets(
+    device,
+    strategies: tuple[str, ...],
+    targets: Mapping[str, Target] | None,
+) -> dict[str, Target]:
+    """The targets to compile against, in strategy order."""
+    if targets is None:
+        return {strategy: build_target(device, strategy) for strategy in strategies}
+    missing = [strategy for strategy in strategies if strategy not in targets]
+    if missing:
+        raise ValueError(
+            f"targets= is missing strategies {missing}; provided: {sorted(targets)}"
+        )
+    return {strategy: targets[strategy] for strategy in strategies}
+
+
 def transpile_batch(
     circuits: Sequence[QuantumCircuit],
     device,
@@ -75,24 +131,37 @@ def transpile_batch(
     *,
     seed: int = 17,
     max_workers: int | None = None,
+    executor: str = "thread",
+    targets: Mapping[str, Target] | None = None,
 ) -> list[dict[str, CompiledCircuit]]:
     """Compile many circuits under many strategies with shared targets.
 
     Returns one ``{strategy: CompiledCircuit}`` dict per input circuit, in
     input order.  ``max_workers=None`` (the default) or ``<= 1`` runs
     serially, keeping per-edge laziness so small workloads only calibrate the
-    edges they touch; an explicit ``max_workers > 1`` fans out over a thread
-    pool, which first resolves every target edge (thread safety) -- worth it
-    only for large workloads, since the stages are mostly GIL-bound.
+    edges they touch; an explicit ``max_workers > 1`` fans out, which first
+    resolves every target edge.
+
+    ``executor`` selects the fan-out flavour: ``"thread"`` (default) shares
+    the device in-process and is mostly GIL-bound; ``"process"`` ships the
+    device and ``Target.to_dict()`` snapshots to each worker once and runs
+    CPU-bound compilation in parallel.  Both produce byte-identical seeded
+    results to the serial path, in input order.
+
+    ``targets`` optionally supplies pre-built :class:`Target` snapshots (one
+    per strategy) instead of ``build_target`` -- e.g. deserialized from the
+    fleet engine's on-disk cache.
     """
     strategies = tuple(strategies)
     for strategy in strategies:
         validate_strategy(strategy)
-    targets = {strategy: build_target(device, strategy) for strategy in strategies}
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    resolved = _resolve_targets(device, strategies, targets)
     circuits = list(circuits)
 
     def compile_one(circuit: QuantumCircuit) -> dict[str, CompiledCircuit]:
-        return compile_with_targets(circuit, device, targets, seed=seed)
+        return compile_with_targets(circuit, device, resolved, seed=seed)
 
     if max_workers is None or max_workers <= 1 or len(circuits) <= 1:
         # Serial: selections resolve lazily, so a small workload only pays
@@ -100,12 +169,26 @@ def transpile_batch(
         return [compile_one(circuit) for circuit in circuits]
 
     # Fanning out: resolve every target edge (and the device's distance
-    # matrix) up front, because the device's lazy calibration/distance caches
-    # are not guarded by locks.  (Each worker's translation keeps its own
-    # layer oracle, exactly as in single-circuit compilation.)
-    for target in targets.values():
+    # matrix) up front -- the device's lazy calibration/distance caches are
+    # not guarded by locks, and process workers cannot share them at all.
+    for target in resolved.values():
         target.complete()
     if device.n_qubits:
         device.distance(0, 0)
-    with ThreadPoolExecutor(max_workers=max_workers) as executor:
-        return list(executor.map(compile_one, circuits))
+
+    if executor == "process":
+        device_bytes = pickle.dumps(device)
+        payloads = {strategy: target.to_dict() for strategy, target in resolved.items()}
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_process_worker,
+            initargs=(device_bytes, payloads, seed),
+        ) as pool:
+            batch = list(pool.map(_compile_in_process_worker, circuits))
+        for results in batch:
+            for compiled in results.values():
+                compiled.device = device
+        return batch
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(compile_one, circuits))

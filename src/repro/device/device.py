@@ -153,6 +153,21 @@ class Device:
         a, b = edge
         return (a, b) if a < b else (b, a)
 
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the device's configuration, not its lazy calibration caches.
+
+        Process-pool compilation ships the device to workers alongside fully
+        resolved :class:`~repro.compiler.pipeline.target.Target` snapshots, so
+        the workers never re-simulate an edge; dropping the memoised
+        trajectories keeps the payload small.  Any other consumer of an
+        unpickled device simply recalibrates lazily on first use.
+        """
+        state = self.__dict__.copy()
+        state["_calibrations"] = {}
+        return state
+
     # -- entangler models and trajectories ------------------------------------
 
     def deviation_scale(self, edge: Edge) -> float:

@@ -22,8 +22,11 @@ def sample_checkerboard_frequencies(
 ) -> dict[int, float]:
     """Sample per-qubit frequencies (GHz) in a checkerboard pattern.
 
-    Grid graphs use the row+column parity for the checkerboard; other graphs
-    fall back to a greedy 2-colouring (bipartite lattices admit one exactly).
+    Grid graphs use the row+column parity for the checkerboard; bipartite
+    lattices (heavy-hex included) use an exact two-colouring, so every edge
+    is guaranteed to couple a far-detuned pair; non-bipartite graphs fall
+    back to a greedy colouring folded to two populations, where an odd cycle
+    necessarily leaves some near-resonant neighbours.
     """
     rng = rng if rng is not None else np.random.default_rng()
     if high_mean <= low_mean:
@@ -33,8 +36,11 @@ def sample_checkerboard_frequencies(
         cols = graph.graph["cols"]
         parity = {q: (q // cols + q % cols) % 2 for q in graph.nodes}
     else:
-        coloring = nx.coloring.greedy_color(graph, strategy="largest_first")
-        parity = {q: coloring[q] % 2 for q in graph.nodes}
+        try:
+            parity = nx.algorithms.bipartite.color(graph)
+        except nx.NetworkXError:  # odd cycle: no proper two-colouring exists
+            coloring = nx.coloring.greedy_color(graph, strategy="largest_first")
+            parity = {q: coloring[q] % 2 for q in graph.nodes}
 
     frequencies: dict[int, float] = {}
     for qubit in sorted(graph.nodes):

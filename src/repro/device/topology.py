@@ -51,6 +51,11 @@ def heavy_hex_graph(distance: int = 3) -> nx.Graph:
     base = grid_graph(rows, cols)
     heavy = nx.Graph()
     heavy.graph["kind"] = "heavy_hex"
+    heavy.graph["distance"] = distance
+    #: Vertex qubits are 0..vertex_count-1 (grid labels); coupler qubits are
+    #: relabelled contiguously from vertex_count on, in base-edge order, so
+    #: node labels are always 0..n-1 regardless of how many rungs survive.
+    heavy.graph["vertex_count"] = rows * cols
     # Keep grid nodes; subdivide every edge with an intermediate coupler qubit,
     # then delete alternating vertical connections to carve out hexagons.
     next_label = rows * cols
@@ -69,10 +74,20 @@ def heavy_hex_graph(distance: int = 3) -> nx.Graph:
 
 
 def qubit_position(graph: nx.Graph, qubit: int) -> tuple[int, int]:
-    """Row/column position of a qubit on a grid graph."""
+    """Row/column position of a qubit on a grid graph.
+
+    Raises:
+        ValueError: for non-grid graphs, and for qubit labels outside the
+            grid -- ``divmod`` would otherwise happily report a position on a
+            row that does not exist.
+    """
     if graph.graph.get("kind") != "grid":
         raise ValueError("positions are only defined for grid graphs")
-    cols = graph.graph["cols"]
+    rows, cols = graph.graph["rows"], graph.graph["cols"]
+    if not 0 <= qubit < rows * cols:
+        raise ValueError(
+            f"qubit {qubit} is not on the {rows}x{cols} grid (0..{rows * cols - 1})"
+        )
     return divmod(qubit, cols)
 
 

@@ -106,13 +106,18 @@ def table2_rows(
     config: CaseStudyConfig | None = None,
     seed: int = 17,
     max_workers: int | None = None,
+    executor: str = "thread",
+    cache_dir: str | None = None,
 ) -> list[Table2Row]:
     """Compute Table II rows for the requested benchmarks (default: all).
 
     The whole workload goes through :func:`transpile_batch`: each
     (device, strategy) target is built once, every circuit is laid out and
     routed once, and independent circuits compile concurrently when
-    ``max_workers`` allows.
+    ``max_workers`` allows -- over threads or, with ``executor="process"``,
+    a process pool.  ``cache_dir`` routes the targets through the fleet
+    engine's persistent :class:`~repro.fleet.cache.TargetCache`, so repeat
+    runs against the same device skip calibration entirely.
     """
     config = config if config is not None else CaseStudyConfig()
     device = device if device is not None else case_study_device(config)
@@ -121,9 +126,25 @@ def table2_rows(
         if name not in TABLE2_BENCHMARKS:
             raise KeyError(f"unknown benchmark {name!r}")
 
+    targets = None
+    if cache_dir is not None:
+        from repro.fleet.cache import TargetCache
+
+        cache = TargetCache(cache_dir)
+        targets = {
+            strategy: cache.get_or_build(device, strategy)
+            for strategy in config.strategies
+        }
+
     circuits = [TABLE2_BENCHMARKS[name]() for name in names]
     batch = transpile_batch(
-        circuits, device, strategies=config.strategies, seed=seed, max_workers=max_workers
+        circuits,
+        device,
+        strategies=config.strategies,
+        seed=seed,
+        max_workers=max_workers,
+        executor=executor,
+        targets=targets,
     )
 
     rows: list[Table2Row] = []

@@ -1,0 +1,69 @@
+"""Device-fleet scenario engine: Monte-Carlo strategy sweeps.
+
+The paper demonstrates per-edge basis-gate selection on one sampled device;
+this package scales the demonstration to a *fleet* -- many topologies
+(grid / linear / heavy-hex at parameterized sizes) x many seeded frequency
+draws -- and aggregates per-strategy fidelity/duration distributions plus
+win rates against the fixed-basis baseline.
+
+Two performance layers keep sweeps fast:
+
+* :class:`~repro.fleet.cache.TargetCache` persists completed per-device
+  ``Target`` snapshots on disk (keyed by device fingerprint + strategy +
+  registry generation), so recompiles across runs skip calibration entirely;
+* ``transpile_batch(..., executor="process")`` fans CPU-bound compilation
+  out over a process pool with pickle-safe targets.
+
+Quickstart::
+
+    from repro.fleet import FleetSpec, TopologySpec, run_sweep
+
+    spec = FleetSpec(
+        topologies=(TopologySpec.grid(3, 3), TopologySpec.linear(6)),
+        draws=3,
+        cache_dir=".fleet-cache",
+    )
+    result = run_sweep(spec)
+    print(result.format_table())
+    result.write_json("benchmarks/fleet_results.json")
+
+or, from the shell: ``python -m repro.fleet --topology grid:3x3 --draws 3``.
+See ``docs/fleet.md`` for the full specification and cache semantics.
+"""
+
+from repro.fleet.cache import CacheStats, TargetCache
+from repro.fleet.devices import (
+    Scenario,
+    build_device,
+    device_fingerprint,
+    fleet_scenarios,
+    iter_fleet,
+)
+from repro.fleet.spec import TOPOLOGY_FAMILIES, FleetSpec, TopologySpec
+from repro.fleet.sweep import (
+    CellResult,
+    FleetResult,
+    StrategyAggregate,
+    aggregate_cells,
+    build_circuit,
+    run_sweep,
+)
+
+__all__ = [
+    "CacheStats",
+    "TargetCache",
+    "Scenario",
+    "build_device",
+    "device_fingerprint",
+    "fleet_scenarios",
+    "iter_fleet",
+    "TOPOLOGY_FAMILIES",
+    "FleetSpec",
+    "TopologySpec",
+    "CellResult",
+    "FleetResult",
+    "StrategyAggregate",
+    "aggregate_cells",
+    "build_circuit",
+    "run_sweep",
+]

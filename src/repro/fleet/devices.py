@@ -1,0 +1,98 @@
+"""Fleet instantiation and device identity.
+
+Turns a :class:`~repro.fleet.spec.FleetSpec` into concrete
+:class:`~repro.device.device.Device` instances (one per topology x seed
+draw), and computes the **device fingerprint** that keys the persistent
+target cache: a SHA-256 over every input that basis-gate selection depends
+on, so any in-place mutation of the device (frequencies, coherence, drive
+amplitudes, coupling graph) changes the key and stale cache entries are
+simply never matched again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.device.device import Device, DeviceParameters
+from repro.fleet.spec import FleetSpec, TopologySpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the fleet's device axis: a topology at one seed draw."""
+
+    topology: TopologySpec
+    seed: int
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable name used in result rows, e.g. ``grid:3x3#s11``."""
+        return f"{self.topology.label}#s{self.seed}"
+
+
+def fleet_scenarios(spec: FleetSpec) -> list[Scenario]:
+    """Every (topology, seed) cell of the fleet, in deterministic order."""
+    return [
+        Scenario(topology=topology, seed=spec.base_seed + draw)
+        for topology in spec.topologies
+        for draw in range(spec.draws)
+    ]
+
+
+def build_device(scenario: Scenario, spec: FleetSpec) -> Device:
+    """Instantiate the simulated device for one scenario.
+
+    Frequencies are sampled by ``Device`` itself (checkerboard on grids,
+    greedy two-colouring elsewhere) from the scenario seed, so the same
+    (topology, seed) always yields the same device.
+    """
+    params = DeviceParameters(
+        coherence_time_us=spec.coherence_time_us,
+        single_qubit_gate_ns=spec.single_qubit_gate_ns,
+        seed=scenario.seed,
+    )
+    return Device(graph=scenario.topology.graph(), params=params)
+
+
+def iter_fleet(spec: FleetSpec) -> Iterator[tuple[Scenario, Device]]:
+    """Yield (scenario, device) pairs, building each device on demand."""
+    for scenario in fleet_scenarios(spec):
+        yield scenario, build_device(scenario, spec)
+
+
+def device_fingerprint(device: Device) -> str:
+    """SHA-256 over everything basis-gate selection reads from a device.
+
+    Covered: the coupling graph, every qubit frequency, every pair's
+    deviation scale, the coherence/single-qubit-gate constants, both drive
+    amplitudes and the trajectory resolution.  Floats are hashed via
+    ``float.hex`` so the fingerprint distinguishes values that ``repr``
+    might round identically.
+
+    Deliberately *not* covered: lazy caches (trajectories, selections,
+    distance matrix) and ``calibration_epoch`` -- the epoch says "recompute",
+    but recomputing from identical inputs gives identical selections, so a
+    cache entry fingerprinted from the same inputs is still valid.
+    """
+    edges = device.edges()
+    payload = {
+        "n_qubits": device.n_qubits,
+        "edges": [list(edge) for edge in edges],
+        "frequencies": [
+            [qubit, float(device.frequencies[qubit]).hex()]
+            for qubit in sorted(device.frequencies)
+        ],
+        "deviation_scales": [
+            [list(edge), float(device.deviation_scale(edge)).hex()] for edge in edges
+        ],
+        "coherence_time_ns": float(device.coherence_time_ns).hex(),
+        "single_qubit_duration": float(device.single_qubit_duration).hex(),
+        "baseline_amplitude": float(device.params.baseline_amplitude).hex(),
+        "nonstandard_amplitude": float(device.params.nonstandard_amplitude).hex(),
+        "trajectory_resolution_ns": float(device.params.trajectory_resolution_ns).hex(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

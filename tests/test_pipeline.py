@@ -374,6 +374,107 @@ class TestTarget:
         assert sorted(calls) == ["criterion1", "criterion2"]
 
 
+#: Devices for every topology family the fleet sweeps, built lazily once per
+#: module (heavy-hex calibrations are the expensive part).
+@pytest.fixture(scope="module")
+def family_devices():
+    from repro.device.topology import heavy_hex_graph, linear_graph
+
+    return {
+        "grid": Device.from_parameters(DeviceParameters(rows=2, cols=3, seed=53)),
+        "linear": Device(graph=linear_graph(4), params=DeviceParameters(seed=7)),
+        "heavy_hex": Device(graph=heavy_hex_graph(1), params=DeviceParameters(seed=7)),
+    }
+
+
+class TestTargetRoundTrip:
+    """to_dict -> from_dict across every registered strategy and topology."""
+
+    FAMILIES = ("grid", "linear", "heavy_hex")
+    # All builtin registered strategies, not just the Table II trio.
+    ALL_STRATEGIES = ("baseline", "criterion1", "criterion2", "pe_and_swap3")
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_round_trip_is_exact(self, family_devices, family, strategy):
+        device = family_devices[family]
+        target = build_target(device, strategy)
+        # Through real JSON text, not just the dict: float exactness must
+        # survive the serialization the on-disk TargetCache actually uses.
+        import json
+
+        clone = Target.from_dict(json.loads(json.dumps(target.to_dict())))
+        assert clone == target  # field-wise, including every unitary
+        assert clone.direct_targets == target.direct_targets
+        assert clone.edge_count == len(device.edges())
+        assert clone.edges() == device.edges()
+        for edge in device.edges():
+            assert clone.basis_gate(edge).duration == target.basis_gate(edge).duration
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_registry_generation_guard(self, family):
+        """A partially-resolved target must refuse to mix two definitions of
+        its strategy name, on every topology family."""
+        from repro.core.basis_selection import PredicateStrategy
+        from repro.device.topology import heavy_hex_graph, linear_graph
+
+        graph = {
+            "grid": None,  # default 1x3 grid via parameters
+            "linear": linear_graph(3),
+            "heavy_hex": heavy_hex_graph(1),
+        }[family]
+        if graph is None:
+            device = Device.from_parameters(DeviceParameters(rows=1, cols=3, seed=53))
+        else:
+            device = Device(graph=graph, params=DeviceParameters(seed=7))
+        name = f"roundtrip_regen_{family}"
+        register_strategy(name)(
+            lambda: PredicateStrategy(name, can_synthesize_swap_in_3_layers)
+        )
+        try:
+            held = build_target(device, name)
+            held.basis_gate(device.edges()[0])  # partially resolved
+            register_strategy(name, overwrite=True)(
+                lambda: PredicateStrategy(name, can_synthesize_swap_in_3_layers)
+            )
+            with pytest.raises(RuntimeError, match="re-registered"):
+                held.complete()
+            with pytest.raises(RuntimeError, match="re-registered"):
+                held.to_dict()
+        finally:
+            REGISTRY.unregister(name)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_calibration_epoch_guard_and_snapshot_survival(self, family):
+        """Recalibration stales held targets, but a completed round-tripped
+        snapshot stays serviceable (nothing remains to resolve)."""
+        from repro.device.topology import heavy_hex_graph, linear_graph
+
+        device = {
+            "grid": lambda: Device.from_parameters(
+                DeviceParameters(rows=1, cols=3, seed=53)
+            ),
+            "linear": lambda: Device(
+                graph=linear_graph(3), params=DeviceParameters(seed=7)
+            ),
+            "heavy_hex": lambda: Device(
+                graph=heavy_hex_graph(1), params=DeviceParameters(seed=7)
+            ),
+        }[family]()
+        # A fresh (unmemoised) target so it stays partially resolved even
+        # after the snapshot below force-completes the shared cached one.
+        held = Target.from_device(device, "criterion2")
+        held.basis_gate(device.edges()[0])
+        snapshot = Target.from_dict(build_target(device, "criterion2").to_dict())
+        device.invalidate_calibrations()
+        with pytest.raises(RuntimeError, match="recalibrated"):
+            held.complete()
+        # The detached snapshot predates the bump but is fully resolved, so
+        # it cannot mix definitions -- it keeps compiling.
+        assert snapshot.edges() == device.edges()
+        assert snapshot == snapshot.copy()
+
+
 class TestPassManager:
     def test_default_pipeline_composition(self):
         manager = PassManager.default("criterion2")
@@ -553,3 +654,61 @@ class TestBatch:
         [compiled] = transpile_batch([bernstein_vazirani(5)], small_device)
         routings = {id(c.routing) for c in compiled.values()}
         assert len(routings) == 1  # one layout/routing per circuit, as in the paper
+
+    def test_worker_count_and_executor_determinism(self):
+        """Serial, threaded and process-pooled batches must produce
+        byte-identical seeded results, in input order."""
+        device = Device.from_parameters(DeviceParameters(rows=3, cols=3, seed=53))
+        circuits = [
+            ghz_circuit(4),
+            bernstein_vazirani(5),
+            qaoa_circuit(4, 0.5, seed=3),
+            bernstein_vazirani(3),
+        ]
+        serial = transpile_batch(circuits, device, max_workers=1)
+        threaded = transpile_batch(circuits, device, max_workers=3)
+        pooled = transpile_batch(circuits, device, max_workers=2, executor="process")
+        assert len(serial) == len(threaded) == len(pooled) == len(circuits)
+        for index, circuit in enumerate(circuits):
+            for strategy in STRATEGIES:
+                reference = serial[index][strategy]
+                assert reference.name == (circuit.name or "circuit")  # input order
+                for subject in (threaded[index][strategy], pooled[index][strategy]):
+                    assert subject.name == reference.name
+                    assert subject.summary() == reference.summary()
+                    # Operation-level identity, not just aggregate metrics.
+                    assert [
+                        (op.kind, tuple(op.qubits), op.duration, op.layers)
+                        for op in subject.operations
+                    ] == [
+                        (op.kind, tuple(op.qubits), op.duration, op.layers)
+                        for op in reference.operations
+                    ]
+                # The parent re-attaches its own device to process results.
+                assert pooled[index][strategy].device is device
+
+    def test_externally_supplied_targets_are_used(self, small_device):
+        """targets= (e.g. from the fleet's on-disk cache) must replace
+        build_target and produce identical results."""
+        supplied = {
+            strategy: Target.from_dict(build_target(small_device, strategy).to_dict())
+            for strategy in STRATEGIES
+        }
+        circuit = bernstein_vazirani(4)
+        [via_supplied] = transpile_batch(
+            [circuit], small_device, strategies=STRATEGIES, targets=supplied
+        )
+        [via_built] = transpile_batch([circuit], small_device, strategies=STRATEGIES)
+        for strategy in STRATEGIES:
+            assert via_supplied[strategy].summary() == via_built[strategy].summary()
+
+    def test_batch_argument_validation(self, small_device):
+        with pytest.raises(ValueError, match="unknown executor"):
+            transpile_batch([ghz_circuit(2)], small_device, executor="rayon")
+        with pytest.raises(ValueError, match="missing strategies"):
+            transpile_batch(
+                [ghz_circuit(2)],
+                small_device,
+                strategies=("baseline",),
+                targets={},
+            )
