@@ -1,0 +1,124 @@
+"""Routing benchmark: hop-count vs basis-aware mapping, per circuit.
+
+Compiles a suite of benchmark circuits onto a seeded device under both
+mapping metrics and emits ``BENCH_routing.json``: per (circuit, mapping)
+swap count, SWAP-synthesis duration, makespan, fidelity and wall-time, plus
+per-circuit deltas.  Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py
+    PYTHONPATH=src python benchmarks/bench_routing.py \
+        --topology heavy_hex:2 --seed 11 --strategy criterion2 \
+        --circuits qft_6 cuccaro_8 --output benchmarks/BENCH_routing.json
+
+The file is named ``bench_*`` (not ``test_*``) on purpose: pytest does not
+collect it, CI runs it as a script and uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.compiler import available_mapping_names, transpile
+from repro.device import Device, DeviceParameters
+from repro.fleet import TopologySpec, build_circuit
+
+DEFAULT_CIRCUITS = ("qft_6", "cuccaro_8", "bv_9", "qaoa_0.33_8")
+DEFAULT_MAPPINGS = ("hop_count", "basis_aware")
+
+
+def bench(args: argparse.Namespace) -> dict:
+    """Compile every (circuit, mapping) cell and collect the numbers."""
+    topology = TopologySpec.parse(args.topology)
+    device = Device(graph=topology.graph(), params=DeviceParameters(seed=args.seed))
+    # Warm the per-edge calibrations and the cost model once so wall-times
+    # measure mapping + translation, not trajectory simulation.
+    from repro.compiler import build_target
+
+    build_target(device, args.strategy).cost_model()
+
+    rows = []
+    for name in args.circuits:
+        circuit = build_circuit(name)
+        per_mapping: dict[str, dict] = {}
+        for mapping in args.mappings:
+            start = time.perf_counter()
+            compiled = transpile(
+                circuit, device, strategy=args.strategy, mapping=mapping, seed=17
+            )
+            elapsed = time.perf_counter() - start
+            per_mapping[mapping] = {
+                "swap_count": int(compiled.swap_count),
+                "swap_duration_ns": float(compiled.swap_duration_ns),
+                "duration_ns": float(compiled.total_duration),
+                "fidelity": float(compiled.fidelity),
+                "wall_time_s": elapsed,
+            }
+        row = {"circuit": name, "mappings": per_mapping}
+        reference = per_mapping.get(args.mappings[0])
+        if reference is not None and len(args.mappings) > 1:
+            other = per_mapping[args.mappings[1]]
+            row["delta"] = {
+                "swap_count": other["swap_count"] - reference["swap_count"],
+                "swap_duration_ns": other["swap_duration_ns"]
+                - reference["swap_duration_ns"],
+                "fidelity": other["fidelity"] - reference["fidelity"],
+            }
+        rows.append(row)
+    return {
+        "benchmark": "routing",
+        "topology": topology.label,
+        "device_seed": args.seed,
+        "strategy": args.strategy,
+        "mappings": list(args.mappings),
+        "python": platform.python_version(),
+        "rows": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", default="heavy_hex:2", help="TopologySpec label")
+    parser.add_argument("--seed", type=int, default=11, help="device frequency seed")
+    parser.add_argument("--strategy", default="criterion2", help="basis-gate strategy")
+    parser.add_argument(
+        "--circuits", nargs="+", default=list(DEFAULT_CIRCUITS), help="fleet circuit names"
+    )
+    parser.add_argument(
+        "--mappings",
+        nargs="+",
+        default=list(DEFAULT_MAPPINGS),
+        help=f"mappings to compare (registered: {list(available_mapping_names())})",
+    )
+    parser.add_argument(
+        "--output",
+        default="benchmarks/BENCH_routing.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    results = bench(args)
+    path = Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2))
+
+    header = f"{'circuit':<14} {'mapping':<14} {'swaps':>6} {'swap dur':>10} {'fidelity':>9} {'wall':>8}"
+    print(f"Routing benchmark on {results['topology']} (strategy {args.strategy})")
+    print(header)
+    print("-" * len(header))
+    for row in results["rows"]:
+        for mapping, cell in row["mappings"].items():
+            print(
+                f"{row['circuit']:<14} {mapping:<14} {cell['swap_count']:>6d} "
+                f"{cell['swap_duration_ns']:>8.1f}ns {cell['fidelity']:>9.4f} "
+                f"{cell['wall_time_s'] * 1000:>6.1f}ms"
+            )
+    print(f"\nWrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,21 @@ whole workloads with build-once :class:`~repro.compiler.pipeline.target.Target`
 snapshots.  See ``docs/pipeline.md``.
 """
 
+from repro.compiler.cost import (
+    DEFAULT_MAPPING,
+    BasisAwareMetric,
+    CostModel,
+    EdgeCost,
+    HopCountMetric,
+    MappingMetric,
+    MappingSpec,
+    available_mapping_names,
+    build_metric,
+    cached_minimum_layers,
+    get_mapping_spec,
+    register_mapping,
+    validate_mapping,
+)
 from repro.compiler.layout import greedy_subgraph_layout, sabre_layout, trivial_layout
 from repro.compiler.routing import SabreRouter, RoutingResult
 from repro.compiler.basis_translation import (
@@ -50,6 +65,19 @@ from repro.compiler.pipeline import (
 )
 
 __all__ = [
+    "DEFAULT_MAPPING",
+    "BasisAwareMetric",
+    "CostModel",
+    "EdgeCost",
+    "HopCountMetric",
+    "MappingMetric",
+    "MappingSpec",
+    "available_mapping_names",
+    "build_metric",
+    "cached_minimum_layers",
+    "get_mapping_spec",
+    "register_mapping",
+    "validate_mapping",
     "greedy_subgraph_layout",
     "sabre_layout",
     "trivial_layout",

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuits.circuit import Gate, QuantumCircuit
-from repro.synthesis.depth import TwoLayerOracle, minimum_layers
+from repro.compiler.cost import cached_minimum_layers
 from repro.synthesis.library import layered_duration
 from repro.weyl.cartan import canonicalize_coordinates
 
@@ -159,27 +159,6 @@ def lower_to_cnot(circuit: QuantumCircuit, keep: frozenset[str] = MINIMALIST_DIR
     return lowered
 
 
-class _LayerCountCache:
-    """Cache of decomposition depths keyed on rounded coordinates."""
-
-    def __init__(self, options: TranslationOptions):
-        self.options = options
-        self.oracle = TwoLayerOracle()
-        self._cache: dict[tuple, int] = {}
-
-    def layers(self, target: Coords, basis: Coords) -> int:
-        decimals = self.options.cache_decimals
-        key = (
-            tuple(round(c, decimals) for c in canonicalize_coordinates(target)),
-            tuple(round(c, decimals) for c in canonicalize_coordinates(basis)),
-        )
-        if key not in self._cache:
-            self._cache[key] = minimum_layers(
-                key[0], key[1], max_layers=self.options.max_layers, oracle=self.oracle
-            )
-        return self._cache[key]
-
-
 def translate_circuit(
     routed: QuantumCircuit,
     device,
@@ -204,6 +183,7 @@ def translate_operations(
     routed: QuantumCircuit,
     basis_lookup,
     options: TranslationOptions,
+    cost_model=None,
 ) -> list[TranslatedOperation]:
     """Translate a routed circuit given an edge -> selection lookup.
 
@@ -214,9 +194,15 @@ def translate_operations(
     :class:`TranslatedOperation` in program order; durations already account
     for the interleaved single-qubit layers and for the absorption of adjacent
     standalone single-qubit gates.
+
+    ``cost_model`` optionally supplies the per-edge SWAP/CNOT layer counts
+    and durations pre-derived by a
+    :class:`~repro.compiler.cost.CostModel` for the same strategy and 1Q
+    duration, so mapping and translation share one set of numbers; pass
+    ``None`` (the default) to derive them from the selections on demand --
+    the two paths produce identical operations.
     """
     lowered = lower_to_cnot(routed, keep=options.direct_targets | {"swap", "cx"})
-    cache = _LayerCountCache(options)
 
     merged = _merge_single_qubit_runs(lowered)
     absorbed = _mark_absorbed(merged) if options.absorb_single_qubit_gates else set()
@@ -236,14 +222,26 @@ def translate_operations(
             )
             continue
         edge = tuple(sorted(gate.qubits))
-        selection = basis_lookup(edge)
-        if gate.name == "swap":
-            layers = selection.swap_layers
-        elif gate.name == "cx":
-            layers = selection.cnot_layers
+        if cost_model is not None and gate.name in ("swap", "cx"):
+            cost = cost_model.edge_cost(edge)
+            if gate.name == "swap":
+                layers, duration = cost.swap_layers, cost.swap_duration
+            else:
+                layers, duration = cost.cnot_layers, cost.cnot_duration
         else:
-            layers = cache.layers(target_coordinates(gate), selection.coordinates)
-        duration = layered_duration(layers, selection.duration, options.one_qubit_duration)
+            selection = basis_lookup(edge)
+            if gate.name == "swap":
+                layers = selection.swap_layers
+            elif gate.name == "cx":
+                layers = selection.cnot_layers
+            else:
+                layers = cached_minimum_layers(
+                    target_coordinates(gate),
+                    selection.coordinates,
+                    max_layers=options.max_layers,
+                    decimals=options.cache_decimals,
+                )
+            duration = layered_duration(layers, selection.duration, options.one_qubit_duration)
         operations.append(
             TranslatedOperation(
                 kind="2q",

@@ -8,6 +8,11 @@ Three strategies are provided, in increasing order of quality:
 * :func:`sabre_layout` -- iterate forward/backward routing passes using the
   final mapping of one pass as the initial mapping of the next (the SABRE
   layout trick used by the paper via Qiskit's "SABRE" layout method).
+
+Both heuristics take a :class:`~repro.compiler.cost.MappingMetric`: the
+default hop-count metric reproduces the legacy uniform-distance behaviour
+byte for byte, while a basis-aware metric pulls heavily interacting qubits
+toward the device's cheap-SWAP edges (see ``docs/mapping.md``).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 import networkx as nx
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.cost import HopCountMetric
 
 
 def trivial_layout(circuit: QuantumCircuit, device) -> dict[int, int]:
@@ -41,16 +47,17 @@ def interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
 
 
 def greedy_subgraph_layout(
-    circuit: QuantumCircuit, device, seed: int = 0
+    circuit: QuantumCircuit, device, seed: int = 0, metric=None
 ) -> dict[int, int]:
     """Greedy placement of the interaction graph onto the device.
 
     Logical qubits are placed in decreasing order of interaction weight; each
-    is assigned the free physical qubit minimising the total distance to the
-    already-placed logical qubits it interacts with.
+    is assigned the free physical qubit minimising the total metric distance
+    to the already-placed logical qubits it interacts with.
     """
     if circuit.n_qubits > device.n_qubits:
         raise ValueError("circuit does not fit on the device")
+    metric = metric if metric is not None else HopCountMetric(device)
     rng = np.random.default_rng(seed)
     graph = interaction_graph(circuit)
     order = sorted(
@@ -59,7 +66,7 @@ def greedy_subgraph_layout(
         reverse=True,
     )
     # Start near the centre of the device so growth has room in every direction.
-    center = _device_center(device)
+    center = _device_center(device, metric)
     free = set(range(device.n_qubits))
     layout: dict[int, int] = {}
     for logical in order:
@@ -70,12 +77,12 @@ def greedy_subgraph_layout(
         ]
         if not placed_neighbors:
             # Choose the free qubit closest to the centre.
-            candidates = sorted(free, key=lambda p: device.distance(p, center))
+            candidates = sorted(free, key=lambda p: metric.distance(p, center))
             choice = candidates[0]
         else:
             def cost(p: int) -> float:
                 return sum(
-                    weight * device.distance(p, layout[other])
+                    weight * metric.distance(p, layout[other])
                     for other, weight in placed_neighbors
                 )
 
@@ -87,25 +94,41 @@ def greedy_subgraph_layout(
     # Any isolated logical qubits not yet placed (no 2Q gates at all).
     for logical in range(circuit.n_qubits):
         if logical not in layout:
-            candidates = sorted(free, key=lambda p: device.distance(p, center))
+            candidates = sorted(free, key=lambda p: metric.distance(p, center))
             layout[logical] = candidates[0]
             free.discard(candidates[0])
     return layout
 
 
 def sabre_layout(
-    circuit: QuantumCircuit, device, router=None, iterations: int = 2, seed: int = 0
+    circuit: QuantumCircuit,
+    device,
+    router=None,
+    iterations: int = 2,
+    seed: int = 0,
+    metric=None,
 ) -> dict[int, int]:
     """SABRE layout: alternate forward and reverse routing passes.
 
     Each pass routes the circuit (or its reverse) from the current layout and
     adopts the *final* mapping as the next initial layout; the reverse pass
     makes the layout sensitive to the end of the circuit as well as the start.
+    An explicit ``router`` supplies the metric; passing a different ``metric``
+    alongside it is rejected -- a layout seeded under one metric and refined
+    under another would be neither.
     """
     from repro.compiler.routing import SabreRouter
 
-    router = router if router is not None else SabreRouter(device, seed=seed)
-    layout = greedy_subgraph_layout(circuit, device, seed=seed)
+    if router is not None and metric is not None and metric is not router.metric:
+        raise ValueError(
+            "sabre_layout received both a router and a different metric; the "
+            "router's own metric drives its refinement passes, so build the "
+            "router with the desired metric instead"
+        )
+    router = (
+        router if router is not None else SabreRouter(device, seed=seed, metric=metric)
+    )
+    layout = greedy_subgraph_layout(circuit, device, seed=seed, metric=router.metric)
     reversed_circuit = circuit.copy()
     reversed_circuit.gates = list(reversed(circuit.gates))
     for iteration in range(iterations):
@@ -116,12 +139,25 @@ def sabre_layout(
     return layout
 
 
-def _device_center(device) -> int:
-    """Physical qubit with the smallest eccentricity (centre of the device)."""
+def _device_center(device, metric=None) -> int:
+    """Physical qubit with the smallest eccentricity (centre of the device).
+
+    The centre depends only on the metric, so it is memoised on the metric
+    instance -- batch compilation shares one metric per (device, strategy)
+    and would otherwise redo this O(n^2) scan for every circuit.
+    """
+    metric = metric if metric is not None else HopCountMetric(device)
+    cached = getattr(metric, "_device_center_cache", None)
+    if cached is not None:
+        return cached
     best_qubit = 0
     best_ecc = None
     for q in range(device.n_qubits):
-        ecc = max(device.distance(q, other) for other in range(device.n_qubits))
+        ecc = max(metric.distance(q, other) for other in range(device.n_qubits))
         if best_ecc is None or ecc < best_ecc:
             best_qubit, best_ecc = q, ecc
+    try:
+        metric._device_center_cache = best_qubit
+    except AttributeError:
+        pass  # exotic metric without settable attributes: just recompute
     return best_qubit

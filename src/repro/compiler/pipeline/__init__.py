@@ -17,6 +17,17 @@ thread pool while building each target exactly once.  See ``docs/pipeline.md``
 for a walkthrough.
 """
 
+from repro.compiler.cost import (
+    DEFAULT_MAPPING,
+    CostModel,
+    MappingMetric,
+    MappingSpec,
+    available_mapping_names,
+    build_metric,
+    get_mapping_spec,
+    register_mapping,
+    validate_mapping,
+)
 from repro.compiler.pipeline.batch import (
     DEFAULT_STRATEGIES,
     EXECUTORS,
@@ -50,6 +61,15 @@ from repro.compiler.pipeline.result import CompiledCircuit
 from repro.compiler.pipeline.target import Target, build_target
 
 __all__ = [
+    "DEFAULT_MAPPING",
+    "CostModel",
+    "MappingMetric",
+    "MappingSpec",
+    "available_mapping_names",
+    "build_metric",
+    "get_mapping_spec",
+    "register_mapping",
+    "validate_mapping",
     "DEFAULT_STRATEGIES",
     "EXECUTORS",
     "compile_with_targets",

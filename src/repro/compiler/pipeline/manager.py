@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.compiler.basis_translation import TranslationOptions
+from repro.compiler.cost import DEFAULT_MAPPING, validate_mapping
 from repro.compiler.pipeline.passes import (
     AnalysisPass,
     CompilerPass,
@@ -77,6 +78,7 @@ class PassManager:
         layout_iterations: int = 1,
         options: TranslationOptions | None = None,
         metrics: bool = True,
+        mapping: str = DEFAULT_MAPPING,
     ) -> "PassManager":
         """The paper's pipeline: layout -> routing -> translation -> schedule.
 
@@ -84,11 +86,17 @@ class PassManager:
         same seeds; the strategy name is validated eagerly.  ``metrics=False``
         drops the final MetricsPass for callers that only read the returned
         ``CompiledCircuit`` (its properties compute the same numbers lazily).
+        ``mapping`` selects the registered layout/routing metric --
+        ``"hop_count"`` (legacy default) or ``"basis_aware"`` (route onto the
+        strategy's cheap edges; see ``docs/mapping.md``).
         """
         validate_strategy(strategy)
+        validate_mapping(mapping)
         passes: list[CompilerPass] = [
-            LayoutPass(layout=layout, iterations=layout_iterations, seed=seed),
-            RoutingPass(seed=seed),
+            LayoutPass(
+                layout=layout, iterations=layout_iterations, seed=seed, mapping=mapping
+            ),
+            RoutingPass(seed=seed, mapping=mapping),
             TranslationPass(options),
             SchedulePass(),
         ]

@@ -11,14 +11,19 @@ write results into the PropertySet.
 
 Standard keys::
 
-    device      the Device being compiled onto (seeded by the PassManager)
-    target      the Target snapshot of per-edge basis gates
-    router      the SabreRouter shared between layout and routing
-    layout      dict logical -> physical qubit
-    routing     RoutingResult
-    operations  list[TranslatedOperation] after basis translation
-    schedule    ScheduledCircuit
-    metrics     summary dict written by MetricsPass
+    device          the Device being compiled onto (seeded by the PassManager)
+    target          the Target snapshot of per-edge basis gates
+    router          the SabreRouter shared between layout and routing
+    mapping_metric  the MappingMetric driving layout and routing distances
+    mapping         the mapping name the metric was resolved from (guards
+                    against mixed layout/routing compositions)
+    cost_model      the CostModel behind a cost-aware metric (when one is
+                    built); TranslationPass reuses its per-edge layer counts
+    layout          dict logical -> physical qubit
+    routing         RoutingResult
+    operations      list[TranslatedOperation] after basis translation
+    schedule        ScheduledCircuit
+    metrics         summary dict written by MetricsPass
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.compiler.basis_translation import (
     TranslationOptions,
     translate_operations,
 )
+from repro.compiler.cost import DEFAULT_MAPPING, get_mapping_spec, validate_mapping
 from repro.compiler.layout import sabre_layout
 from repro.compiler.routing import SabreRouter
 from repro.device.noise import circuit_coherence_fidelity
@@ -97,30 +103,73 @@ class AnalysisPass(CompilerPass):
     """A pass that inspects the circuit and writes metrics, never rewriting it."""
 
 
+def _resolve_mapping_metric(mapping: str, device, properties: PropertySet, consumer: str):
+    """Build (and publish) the metric for a named mapping mode.
+
+    Cost-model-requiring modes derive their :class:`CostModel` from the
+    ``target`` property (memoised on the target) and publish it under
+    ``cost_model`` so that :class:`TranslationPass` reuses the same per-edge
+    layer counts.  The built metric is published under ``mapping_metric``.
+    """
+    spec = get_mapping_spec(mapping)
+    cost_model = None
+    if spec.requires_cost_model:
+        cost_model = properties.get("cost_model")
+        if cost_model is None:
+            target = properties.require("target", consumer)
+            cost_model = target.cost_model()
+            properties["cost_model"] = cost_model
+        else:
+            target = properties.get("target")
+            if target is not None and cost_model.strategy != target.strategy:
+                raise ValueError(
+                    f"pass {consumer!r} found a seeded cost_model for strategy "
+                    f"{cost_model.strategy!r} but compiles against a target for "
+                    f"strategy {target.strategy!r}; routing against another "
+                    "strategy's edge costs would be silently wrong"
+                )
+    metric = spec.build(device, cost_model)
+    properties["mapping_metric"] = metric
+    properties["mapping"] = mapping  # provenance for later passes' guards
+    return metric
+
+
 class LayoutPass(CompilerPass):
     """Choose the initial logical -> physical mapping (SABRE layout).
 
     Creates the router here and shares it (via the ``router`` property) with
     :class:`RoutingPass`, so the router's RNG advances through layout into
     routing exactly as in the legacy monolithic ``transpile``.
-    """
 
-    requires = ("device",)
-    provides = ("layout", "router")
+    ``mapping`` names the registered
+    :class:`~repro.compiler.cost.MappingSpec` driving the distance heuristic:
+    ``"hop_count"`` (default, byte-identical to the legacy pipeline) or
+    ``"basis_aware"`` (cost-weighted; requires a ``target`` to derive the
+    :class:`~repro.compiler.cost.CostModel` from).
+    """
 
     def __init__(
         self,
         layout: dict[int, int] | None = None,
         iterations: int = 1,
         seed: int = 17,
+        mapping: str = DEFAULT_MAPPING,
     ):
         self.layout = layout
         self.iterations = iterations
         self.seed = seed
+        self.mapping = validate_mapping(mapping)
+        if get_mapping_spec(mapping).requires_cost_model:
+            self.requires = ("device", "target")
+            self.provides = ("layout", "router", "mapping_metric", "mapping", "cost_model")
+        else:
+            self.requires = ("device",)
+            self.provides = ("layout", "router", "mapping_metric", "mapping")
 
     def run(self, circuit, properties: PropertySet):
         device = properties["device"]
-        router = SabreRouter(device, seed=self.seed)
+        metric = _resolve_mapping_metric(self.mapping, device, properties, self.name)
+        router = SabreRouter(device, seed=self.seed, metric=metric)
         properties["router"] = router
         if self.layout is not None:
             properties["layout"] = dict(self.layout)
@@ -132,25 +181,63 @@ class LayoutPass(CompilerPass):
 
 
 class RoutingPass(CompilerPass):
-    """Insert SWAPs so every two-qubit gate acts on a coupled pair."""
+    """Insert SWAPs so every two-qubit gate acts on a coupled pair.
 
-    requires = ("device", "layout")
-    provides = ("routing",)
+    Reuses the router published by :class:`LayoutPass` when present (shared
+    RNG and metric) -- after checking that the layout pass resolved the
+    *same* mapping name, so a mixed composition fails loudly instead of
+    silently routing under the wrong metric.  Standalone use builds a router
+    from the ``mapping`` name.
+    """
 
-    def __init__(self, seed: int = 17):
+    def __init__(self, seed: int = 17, mapping: str = DEFAULT_MAPPING):
         self.seed = seed
+        self.mapping = validate_mapping(mapping)
+        if get_mapping_spec(mapping).requires_cost_model:
+            # Standalone cost-aware routing needs a target to derive the
+            # CostModel from -- unless an earlier pass already left a router.
+            self.requires = ("device", "layout", ("router", "target"))
+        else:
+            self.requires = ("device", "layout")
+        self.provides = ("routing",)
 
     def run(self, circuit, properties: PropertySet):
         router = properties.get("router")
         if router is None:
-            router = SabreRouter(properties["device"], seed=self.seed)
+            device = properties["device"]
+            metric = _resolve_mapping_metric(self.mapping, device, properties, self.name)
+            router = SabreRouter(device, seed=self.seed, metric=metric)
+        else:
+            published = properties.get("mapping")
+            if published is None and self.mapping != DEFAULT_MAPPING:
+                # A router seeded directly into the PropertySet carries no
+                # mapping provenance; when a non-default mapping was asked
+                # for, fall back to the metric's own name so the mismatch
+                # still fails loudly instead of routing under the wrong
+                # metric.  (With the default mapping the explicit router
+                # simply wins, as documented.)
+                published = getattr(router.metric, "name", None)
+            if published is not None and published != self.mapping:
+                raise ValueError(
+                    f"pass {self.name!r} was built with mapping {self.mapping!r} "
+                    f"but would reuse a router built under mapping "
+                    f"{published!r}; give both passes the same mapping (or seed "
+                    "a router whose metric matches)"
+                )
         routing = router.run(circuit, properties["layout"])
         properties["routing"] = routing
         return routing.circuit
 
 
 class TranslationPass(CompilerPass):
-    """Replace every two-qubit gate with its per-edge basis decomposition."""
+    """Replace every two-qubit gate with its per-edge basis decomposition.
+
+    When an earlier pass published a ``cost_model`` for the same strategy and
+    single-qubit duration, its pre-derived SWAP/CNOT layer counts and
+    durations are reused verbatim (they are the numbers routing just
+    optimised against); otherwise they are derived from the target's
+    selections on demand.  Both paths produce identical operations.
+    """
 
     requires = ("target",)
     provides = ("operations",)
@@ -161,7 +248,14 @@ class TranslationPass(CompilerPass):
     def run(self, circuit, properties: PropertySet):
         target = properties["target"]
         options = self.options if self.options is not None else target.translation_options()
-        properties["operations"] = translate_operations(circuit, target.basis_gate, options)
+        cost_model = properties.get("cost_model")
+        if cost_model is not None and not cost_model.matches_options(
+            target.strategy, options
+        ):
+            cost_model = None
+        properties["operations"] = translate_operations(
+            circuit, target.basis_gate, options, cost_model=cost_model
+        )
         return circuit
 
 

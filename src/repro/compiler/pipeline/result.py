@@ -48,6 +48,21 @@ class CompiledCircuit:
         """Total number of two-qubit basis-gate applications."""
         return int(sum(op.layers for op in self.operations if op.kind == "2q"))
 
+    @property
+    def swap_duration_ns(self) -> float:
+        """Total time spent synthesizing SWAP gates (ns).
+
+        The quantity basis-aware mapping minimises: the summed durations of
+        every translated ``swap`` block (routing-inserted or user-written).
+        """
+        return float(
+            sum(
+                op.duration
+                for op in self.operations
+                if op.kind == "2q" and op.source == "swap"
+            )
+        )
+
     def qubit_busy_spans(self) -> dict[int, float]:
         """Per-qubit first-gate-start to last-gate-end spans (ns)."""
         return self.schedule.qubit_busy_spans()

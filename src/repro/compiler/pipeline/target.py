@@ -322,6 +322,39 @@ class Target:
         self.complete()
         return float(np.mean([s.duration for s in self.selections.values()]))
 
+    def cost_model(self):
+        """The per-edge :class:`~repro.compiler.cost.CostModel` (memoised).
+
+        Building forces :meth:`complete` -- mapping over a partial edge set
+        would silently bias routing -- so callers that care about per-edge
+        laziness (the default hop-count mapping) must not call this.  The
+        fleet's on-disk cache pre-attaches a deserialized model via
+        :meth:`attach_cost_model` so warm sweeps skip even this arithmetic.
+        """
+        cached = getattr(self, "_cost_model", None)
+        if cached is None:
+            from repro.compiler.cost import CostModel
+
+            cached = CostModel.from_target(self)
+            self._cost_model = cached
+        return cached
+
+    def attach_cost_model(self, cost_model) -> "Target":
+        """Pre-attach a (deserialized) cost model; returns self.
+
+        Raises:
+            ValueError: when the model was derived for another strategy --
+                mixing cost models across strategies would route against the
+                wrong per-edge durations.
+        """
+        if cost_model.strategy != self.strategy:
+            raise ValueError(
+                f"cost model for strategy {cost_model.strategy!r} cannot attach "
+                f"to a target for strategy {self.strategy!r}"
+            )
+        self._cost_model = cost_model
+        return self
+
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:

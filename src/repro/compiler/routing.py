@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuits.circuit import Gate, QuantumCircuit
+from repro.compiler.cost import HopCountMetric
 
 
 @dataclass
@@ -44,6 +45,10 @@ class SabreRouter:
         lookahead_weight: weight of the extended set in the heuristic.
         decay_increment: decay added to a qubit each time it is swapped.
         seed: tie-breaking randomness seed.
+        metric: a :class:`~repro.compiler.cost.MappingMetric` supplying the
+            distance heuristic and per-edge SWAP costs.  ``None`` (default)
+            uses the legacy uniform hop-count metric, which is byte-identical
+            to the pre-metric router.
     """
 
     device: object
@@ -51,10 +56,13 @@ class SabreRouter:
     lookahead_weight: float = 0.5
     decay_increment: float = 0.001
     seed: int = 17
+    metric: object = None
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        if self.metric is None:
+            self.metric = HopCountMetric(self.device)
 
     # -- public API ---------------------------------------------------------
 
@@ -206,18 +214,24 @@ class SabreRouter:
             if lb is not None:
                 trial[lb] = a
             front_cost = sum(
-                self.device.distance(trial[g.qubits[0]], trial[g.qubits[1]]) for g in front
+                self.metric.distance(trial[g.qubits[0]], trial[g.qubits[1]]) for g in front
             )
             front_cost /= max(len(front), 1)
             extended_cost = 0.0
             if extended:
                 extended_cost = sum(
-                    self.device.distance(trial[g.qubits[0]], trial[g.qubits[1]])
+                    self.metric.distance(trial[g.qubits[0]], trial[g.qubits[1]])
                     for g in extended
                 ) / len(extended)
+            # The bias charges the candidate SWAP its own edge cost (0.0 under
+            # the uniform metric, where it would cancel across candidates).
             return float(
                 max(decay[a], decay[b])
-                * (front_cost + self.lookahead_weight * extended_cost)
+                * (
+                    front_cost
+                    + self.lookahead_weight * extended_cost
+                    + self.metric.swap_bias(a, b)
+                )
             )
 
         swaps = sorted(candidate_swaps)

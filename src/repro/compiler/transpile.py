@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.basis_translation import TranslationOptions
+from repro.compiler.cost import DEFAULT_MAPPING
 from repro.compiler.pipeline.batch import DEFAULT_STRATEGIES, transpile_batch
 from repro.compiler.pipeline.manager import PassManager
 from repro.compiler.pipeline.result import CompiledCircuit
@@ -33,6 +34,7 @@ def transpile(
     layout: dict[int, int] | None = None,
     layout_iterations: int = 1,
     seed: int = 17,
+    mapping: str = DEFAULT_MAPPING,
 ) -> CompiledCircuit:
     """Compile a logical circuit onto the device for a basis-gate strategy.
 
@@ -41,6 +43,10 @@ def transpile(
     so that fidelity differences reflect the basis gates only, exactly as the
     paper's comparison intends.  Unknown strategy names raise ``ValueError``
     listing the registered strategies.
+
+    ``mapping`` selects the layout/routing metric: ``"hop_count"`` (default,
+    byte-identical to the seed pipeline) or ``"basis_aware"`` (SWAPs routed
+    onto the strategy's cheap edges; see ``docs/mapping.md``).
     """
     manager = PassManager.default(
         strategy,
@@ -49,6 +55,7 @@ def transpile(
         layout_iterations=layout_iterations,
         options=options,
         metrics=False,  # CompiledCircuit computes its numbers lazily on access
+        mapping=mapping,
     )
     return manager.run(circuit, device=device)
 
@@ -58,12 +65,16 @@ def compare_strategies(
     device,
     strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
     seed: int = 17,
+    mapping: str = DEFAULT_MAPPING,
 ) -> dict[str, CompiledCircuit]:
     """Compile one circuit under several strategies with a shared layout.
 
-    The layout and routing are computed once (they do not depend on the basis
-    gates) and reused, so the comparison isolates the effect of the basis-gate
-    choice -- mirroring the paper's Table II methodology.  This is exactly a
-    one-circuit serial :func:`~repro.compiler.pipeline.batch.transpile_batch`.
+    Under the default hop-count mapping the layout and routing are computed
+    once (they do not depend on the basis gates) and reused, so the
+    comparison isolates the effect of the basis-gate choice -- mirroring the
+    paper's Table II methodology.  Cost-aware mappings route once per
+    strategy instead, since each strategy's cost model shapes its own
+    routing.  This is exactly a one-circuit serial
+    :func:`~repro.compiler.pipeline.batch.transpile_batch`.
     """
-    return transpile_batch([circuit], device, strategies, seed=seed)[0]
+    return transpile_batch([circuit], device, strategies, seed=seed, mapping=mapping)[0]

@@ -26,6 +26,33 @@ from repro.hamiltonian.effective import (
 Edge = tuple[int, int]
 
 
+def _bfs_distance_matrix(graph: nx.Graph) -> np.ndarray:
+    """All-pairs shortest-path hop counts as a dense int matrix.
+
+    Qubits are integer-labelled ``0..n-1`` (a topology-module invariant), so
+    a plain breadth-first search per source fills the matrix in O(n(n+m));
+    unreachable pairs are marked ``-1``.
+    """
+    n = graph.number_of_nodes()
+    neighbors = [list(graph.neighbors(q)) for q in range(n)]
+    matrix = np.full((n, n), -1, dtype=np.int64)
+    for source in range(n):
+        row = matrix[source]
+        row[source] = 0
+        frontier = [source]
+        depth = 0
+        while frontier:
+            depth += 1
+            reached: list[int] = []
+            for node in frontier:
+                for neighbor in neighbors[node]:
+                    if row[neighbor] < 0:
+                        row[neighbor] = depth
+                        reached.append(neighbor)
+            frontier = reached
+    return matrix
+
+
 @dataclass
 class DeviceParameters:
     """Configuration of the simulated device.
@@ -103,7 +130,9 @@ class Device:
             for edge in self.graph.edges
         }
         self._calibrations: dict[tuple[Edge, float], EdgeCalibration] = {}
-        self._distance_matrix: dict[int, dict[int, int]] | None = None
+        #: Lazy (n, n) int matrix of BFS shortest-path distances; excluded
+        #: from pickles like the other derived caches.
+        self._distance_matrix: np.ndarray | None = None
         #: Bumped by invalidate_calibrations(); lets held Target snapshots
         #: detect that their resolved selections predate a recalibration.
         self.calibration_epoch = 0
@@ -133,10 +162,24 @@ class Device:
         return self.graph.has_edge(a, b)
 
     def distance(self, a: int, b: int) -> int:
-        """Shortest-path distance between two physical qubits."""
+        """Shortest-path distance between two physical qubits.
+
+        Served from a dense numpy matrix computed once by BFS over the
+        coupling graph -- far smaller and faster to build than the previous
+        dict-of-dicts from ``nx.all_pairs_shortest_path_length``, which the
+        router's scoring loop hammered.
+        """
         if self._distance_matrix is None:
-            self._distance_matrix = dict(nx.all_pairs_shortest_path_length(self.graph))
-        return self._distance_matrix[a][b]
+            self._distance_matrix = _bfs_distance_matrix(self.graph)
+        n = self._distance_matrix.shape[0]
+        if not (0 <= a < n and 0 <= b < n):
+            # numpy would happily wrap a negative label to the other end of
+            # the matrix; the dict-of-dicts this replaced raised instead.
+            raise ValueError(f"qubit labels {a}, {b} outside the device (0..{n - 1})")
+        hops = int(self._distance_matrix[a, b])
+        if hops < 0:
+            raise ValueError(f"qubits {a} and {b} are not connected on the device")
+        return hops
 
     @property
     def coherence_time_ns(self) -> float:
@@ -166,6 +209,7 @@ class Device:
         """
         state = self.__dict__.copy()
         state["_calibrations"] = {}
+        state["_distance_matrix"] = None  # derived; recomputed on first use
         return state
 
     # -- entangler models and trajectories ------------------------------------

@@ -108,6 +108,7 @@ def table2_rows(
     max_workers: int | None = None,
     executor: str = "thread",
     cache_dir: str | None = None,
+    mapping: str = "hop_count",
 ) -> list[Table2Row]:
     """Compute Table II rows for the requested benchmarks (default: all).
 
@@ -118,6 +119,12 @@ def table2_rows(
     a process pool.  ``cache_dir`` routes the targets through the fleet
     engine's persistent :class:`~repro.fleet.cache.TargetCache`, so repeat
     runs against the same device skip calibration entirely.
+
+    ``mapping`` selects the layout/routing metric (``"hop_count"``
+    reproduces the paper's setup; ``"basis_aware"`` routes each strategy
+    onto its own cheap edges, in which case SWAP counts become
+    strategy-dependent -- the reported ``swap_count`` stays the baseline
+    row's for comparability).
     """
     config = config if config is not None else CaseStudyConfig()
     device = device if device is not None else case_study_device(config)
@@ -145,6 +152,7 @@ def table2_rows(
         max_workers=max_workers,
         executor=executor,
         targets=targets,
+        mapping=mapping,
     )
 
     rows: list[Table2Row] = []

@@ -45,7 +45,9 @@ from repro.fleet.sweep import (
     FleetResult,
     StrategyAggregate,
     aggregate_cells,
+    aggregate_label,
     build_circuit,
+    compare_mappings,
     run_sweep,
 )
 
@@ -64,6 +66,8 @@ __all__ = [
     "FleetResult",
     "StrategyAggregate",
     "aggregate_cells",
+    "aggregate_label",
     "build_circuit",
+    "compare_mappings",
     "run_sweep",
 ]

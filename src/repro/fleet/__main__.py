@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 from dataclasses import fields as dataclass_fields
 
+from repro.compiler.cost import available_mapping_names
 from repro.compiler.pipeline.batch import EXECUTORS
 from repro.fleet.spec import FleetSpec, TopologySpec
 from repro.fleet.sweep import FleetResult, run_sweep
@@ -60,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=list(_SPEC_DEFAULTS["circuits"]),
         help="benchmark circuits, e.g. ghz_4 bv_9 qft_10 qaoa_0.33_10",
+    )
+    parser.add_argument(
+        "--mappings",
+        nargs="+",
+        default=list(_SPEC_DEFAULTS["mappings"]),
+        metavar="MAPPING",
+        help="layout/routing metrics to sweep (e.g. hop_count basis_aware); "
+        "the first listed is the comparison reference; registered: "
+        f"{list(available_mapping_names())}",
     )
     parser.add_argument(
         "--compile-seed", type=int, default=_SPEC_DEFAULTS["compile_seed"], help="layout/routing seed"
@@ -112,6 +122,7 @@ def main(argv: list[str] | None = None) -> FleetResult:
         strategies=tuple(args.strategies),
         baseline_strategy=args.baseline,
         circuits=tuple(args.circuits),
+        mappings=tuple(args.mappings),
         compile_seed=args.compile_seed,
         max_workers=args.workers,
         executor=args.executor,
@@ -125,9 +136,16 @@ def main(argv: list[str] | None = None) -> FleetResult:
             f"Fleet: {spec.device_count} devices "
             f"({', '.join(t.label for t in spec.topologies)}; "
             f"{spec.draws} draws) x {len(spec.circuits)} circuits x "
-            f"{len(spec.strategies)} strategies = {len(result.cells)} cells\n"
+            f"{len(spec.strategies)} strategies x "
+            f"{len(spec.mappings)} mappings = {len(result.cells)} cells\n"
         )
         print(result.format_table())
+        if result.mapping_comparison:
+            print(
+                f"\nMapping vs {spec.baseline_mapping!r} "
+                "(negative deltas = improvement):"
+            )
+            print(result.format_mapping_table())
         if result.cache_stats is not None:
             print(
                 f"\nTarget cache: {result.cache_stats['hits']} hits, "

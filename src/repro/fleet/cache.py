@@ -5,7 +5,8 @@ the cost of compiling onto a fresh device, and it depends only on the device
 and the strategy -- never on the circuit.  The in-memory ``build_target``
 memo already makes it build-once per process; :class:`TargetCache` extends
 that across processes and runs by persisting ``Target.to_dict()`` snapshots
-under a content-addressed key:
+(plus the derived per-edge :class:`~repro.compiler.cost.CostModel` consumed
+by basis-aware mapping) under a content-addressed key:
 
     ``sha256(device inputs)`` + strategy name + registry generation
 
@@ -30,12 +31,15 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.compiler.cost import CostModel
 from repro.compiler.pipeline.registry import REGISTRY
 from repro.compiler.pipeline.target import Target, build_target
 from repro.fleet.devices import device_fingerprint
 
 #: On-disk format version; bump when the stored layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the per-edge ``cost_model`` payload next to the target (older
+#: entries are treated as misses and rebuilt on first use).
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -120,7 +124,10 @@ class TargetCache:
         ):
             return None
         try:
-            return Target.from_dict(data["target"])
+            target = Target.from_dict(data["target"])
+            # Basis-aware mapping sweeps reuse the persisted per-edge cost
+            # model instead of re-deriving it from the selections.
+            return target.attach_cost_model(CostModel.from_dict(data["cost_model"]))
         except (KeyError, TypeError, ValueError):
             return None
 
@@ -136,6 +143,9 @@ class TargetCache:
             "strategy": strategy,
             "generation": REGISTRY.generation(strategy),
             "target": target.to_dict(),
+            # Stored alongside the selections so warm basis-aware sweeps skip
+            # even the (cheap) per-edge cost derivation.
+            "cost_model": target.cost_model().to_dict(),
         }
         scratch = path.with_name(f"{path.name}.tmp{os.getpid()}")
         scratch.write_text(json.dumps(payload))

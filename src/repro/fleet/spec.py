@@ -115,6 +115,10 @@ class FleetSpec:
         circuits: named benchmark circuits, e.g. ``ghz_4``, ``bv_5``,
             ``qft_4``, ``cuccaro_6``, ``qaoa_0.3_8`` (see
             :func:`repro.fleet.sweep.build_circuit`).
+        mappings: layout/routing metrics to sweep (registered mapping names,
+            e.g. ``"hop_count"``, ``"basis_aware"``).  The **first** entry is
+            the reference mapping that the per-strategy mapping comparison is
+            computed against.
         compile_seed: layout/routing seed shared by every cell.
         max_workers: fan-out width for ``transpile_batch`` (None/<=1 serial).
         executor: ``"thread"`` or ``"process"`` (see ``transpile_batch``).
@@ -131,6 +135,7 @@ class FleetSpec:
     strategies: tuple[str, ...] = ("baseline", "criterion1", "criterion2")
     baseline_strategy: str = "baseline"
     circuits: tuple[str, ...] = ("ghz_4", "bv_4", "qft_4")
+    mappings: tuple[str, ...] = ("hop_count",)
     compile_seed: int = 17
     max_workers: int | None = None
     executor: str = "thread"
@@ -152,8 +157,15 @@ class FleetSpec:
             )
         if not self.circuits:
             raise ValueError("FleetSpec needs at least one circuit")
+        if not self.mappings:
+            raise ValueError("FleetSpec needs at least one mapping")
+        if len(set(self.mappings)) != len(self.mappings):
+            raise ValueError(f"duplicate mappings in {self.mappings}")
+        from repro.compiler.cost import validate_mapping
         from repro.compiler.pipeline.batch import EXECUTORS
 
+        for mapping in self.mappings:
+            validate_mapping(mapping)
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
@@ -164,6 +176,11 @@ class FleetSpec:
         """Number of devices the fleet instantiates."""
         return len(self.topologies) * self.draws
 
+    @property
+    def baseline_mapping(self) -> str:
+        """The reference mapping (first listed) for mapping comparisons."""
+        return self.mappings[0]
+
     def to_dict(self) -> dict:
         """JSON-serializable echo of the spec for result files."""
         return {
@@ -173,6 +190,7 @@ class FleetSpec:
             "strategies": list(self.strategies),
             "baseline_strategy": self.baseline_strategy,
             "circuits": list(self.circuits),
+            "mappings": list(self.mappings),
             "compile_seed": self.compile_seed,
             "max_workers": self.max_workers,
             "executor": self.executor,

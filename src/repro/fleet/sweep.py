@@ -79,7 +79,7 @@ def build_circuit(name: str) -> QuantumCircuit:
 
 @dataclass(frozen=True)
 class CellResult:
-    """One compiled (device, circuit, strategy) cell of the sweep."""
+    """One compiled (device, circuit, strategy, mapping) cell of the sweep."""
 
     scenario: str
     topology: str
@@ -90,6 +90,8 @@ class CellResult:
     duration_ns: float
     swap_count: int
     two_qubit_layers: int
+    mapping: str = "hop_count"
+    swap_duration_ns: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-data row for JSON results."""
@@ -99,16 +101,18 @@ class CellResult:
             "device_seed": self.device_seed,
             "circuit": self.circuit,
             "strategy": self.strategy,
+            "mapping": self.mapping,
             "fidelity": self.fidelity,
             "duration_ns": self.duration_ns,
             "swap_count": self.swap_count,
+            "swap_duration_ns": self.swap_duration_ns,
             "two_qubit_layers": self.two_qubit_layers,
         }
 
 
 @dataclass(frozen=True)
 class StrategyAggregate:
-    """Distribution summary of one strategy over every sweep cell."""
+    """Distribution summary of one (strategy, mapping) over every sweep cell."""
 
     strategy: str
     cells: int
@@ -119,11 +123,15 @@ class StrategyAggregate:
     duration_p50_ns: float
     duration_p95_ns: float
     win_rate: float
+    mapping: str = "hop_count"
+    swap_count_mean: float = 0.0
+    swap_duration_mean_ns: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-data row for JSON results."""
         return {
             "strategy": self.strategy,
+            "mapping": self.mapping,
             "cells": self.cells,
             "fidelity": {
                 "mean": self.fidelity_mean,
@@ -135,28 +143,45 @@ class StrategyAggregate:
                 "p50": self.duration_p50_ns,
                 "p95": self.duration_p95_ns,
             },
+            "swap_count_mean": self.swap_count_mean,
+            "swap_duration_mean_ns": self.swap_duration_mean_ns,
             "win_rate": self.win_rate,
         }
 
 
-def aggregate_cells(
-    cells: list[CellResult], baseline_strategy: str
-) -> dict[str, StrategyAggregate]:
-    """Per-strategy distributions plus win rate vs the fixed-basis baseline.
+def aggregate_label(strategy: str, mapping: str, baseline_mapping: str) -> str:
+    """Key for one (strategy, mapping) aggregate.
 
-    A strategy "wins" a (device, circuit) cell when its fidelity strictly
-    exceeds the baseline strategy's fidelity on the same cell; the baseline's
-    own win rate is 0 by construction.
+    Cells under the reference mapping keep the bare strategy name (so
+    single-mapping sweeps read exactly as before); other mappings are
+    suffixed, e.g. ``criterion2+basis_aware``.
     """
-    by_strategy: dict[str, list[CellResult]] = {}
+    return strategy if mapping == baseline_mapping else f"{strategy}+{mapping}"
+
+
+def aggregate_cells(
+    cells: list[CellResult],
+    baseline_strategy: str,
+    baseline_mapping: str,
+) -> dict[str, StrategyAggregate]:
+    """Per-(strategy, mapping) distributions plus win rate vs the baseline.
+
+    A (strategy, mapping) "wins" a (device, circuit) cell when its fidelity
+    strictly exceeds the fixed reference -- the baseline strategy under the
+    baseline mapping -- on the same cell; the reference's own win rate is 0
+    by construction.  ``baseline_mapping`` is deliberately required: a
+    defaulted reference that the cells do not contain would silently zero
+    every win rate (``run_sweep`` passes ``spec.baseline_mapping``).
+    """
+    by_group: dict[tuple[str, str], list[CellResult]] = {}
     for cell in cells:
-        by_strategy.setdefault(cell.strategy, []).append(cell)
+        by_group.setdefault((cell.strategy, cell.mapping), []).append(cell)
     baseline_fidelity = {
         (cell.scenario, cell.circuit): cell.fidelity
-        for cell in by_strategy.get(baseline_strategy, [])
+        for cell in by_group.get((baseline_strategy, baseline_mapping), [])
     }
     aggregates: dict[str, StrategyAggregate] = {}
-    for strategy, rows in by_strategy.items():
+    for (strategy, mapping), rows in by_group.items():
         fidelities = np.array([row.fidelity for row in rows])
         durations = np.array([row.duration_ns for row in rows])
         wins = sum(
@@ -164,8 +189,10 @@ def aggregate_cells(
             for row in rows
             if row.fidelity > baseline_fidelity.get((row.scenario, row.circuit), np.inf)
         )
-        aggregates[strategy] = StrategyAggregate(
+        label = aggregate_label(strategy, mapping, baseline_mapping)
+        aggregates[label] = StrategyAggregate(
             strategy=strategy,
+            mapping=mapping,
             cells=len(rows),
             fidelity_mean=float(fidelities.mean()),
             fidelity_p50=float(np.percentile(fidelities, 50)),
@@ -173,9 +200,66 @@ def aggregate_cells(
             duration_mean_ns=float(durations.mean()),
             duration_p50_ns=float(np.percentile(durations, 50)),
             duration_p95_ns=float(np.percentile(durations, 95)),
+            swap_count_mean=float(np.mean([row.swap_count for row in rows])),
+            swap_duration_mean_ns=float(
+                np.mean([row.swap_duration_ns for row in rows])
+            ),
             win_rate=wins / len(rows),
         )
     return aggregates
+
+
+def compare_mappings(
+    cells: list[CellResult], baseline_mapping: str
+) -> list[dict]:
+    """Per-strategy comparison of each mapping against the reference mapping.
+
+    For every (strategy, mapping != baseline_mapping) pair this reports, over
+    the cells both mappings compiled: the mean swap-count / swap-duration /
+    makespan deltas (negative = the mapping improved on the reference) and
+    the fraction of cells where it strictly won on fidelity or swap duration.
+    """
+    reference = {
+        (c.strategy, c.scenario, c.circuit): c
+        for c in cells
+        if c.mapping == baseline_mapping
+    }
+    groups: dict[tuple[str, str], list[tuple[CellResult, CellResult]]] = {}
+    for cell in cells:
+        if cell.mapping == baseline_mapping:
+            continue
+        base = reference.get((cell.strategy, cell.scenario, cell.circuit))
+        if base is not None:
+            groups.setdefault((cell.strategy, cell.mapping), []).append((cell, base))
+    rows = []
+    for (strategy, mapping), pairs in sorted(groups.items()):
+        n = len(pairs)
+        rows.append(
+            {
+                "strategy": strategy,
+                "mapping": mapping,
+                "baseline_mapping": baseline_mapping,
+                "cells": n,
+                "swap_count_delta_mean": float(
+                    np.mean([c.swap_count - b.swap_count for c, b in pairs])
+                ),
+                "swap_duration_delta_mean_ns": float(
+                    np.mean([c.swap_duration_ns - b.swap_duration_ns for c, b in pairs])
+                ),
+                "duration_delta_mean_ns": float(
+                    np.mean([c.duration_ns - b.duration_ns for c, b in pairs])
+                ),
+                "fidelity_win_rate": sum(
+                    1 for c, b in pairs if c.fidelity > b.fidelity
+                )
+                / n,
+                "swap_duration_win_rate": sum(
+                    1 for c, b in pairs if c.swap_duration_ns < b.swap_duration_ns
+                )
+                / n,
+            }
+        )
+    return rows
 
 
 @dataclass
@@ -186,6 +270,7 @@ class FleetResult:
     cells: list[CellResult]
     aggregates: dict[str, StrategyAggregate]
     cache_stats: dict | None = None
+    mapping_comparison: list[dict] | None = None
 
     def to_dict(self) -> dict:
         """Machine-readable form (the benchmarks-dir JSON artifact)."""
@@ -197,6 +282,7 @@ class FleetResult:
                 strategy: aggregate.as_dict()
                 for strategy, aggregate in self.aggregates.items()
             },
+            "mapping_comparison": self.mapping_comparison,
             "cache": self.cache_stats,
         }
 
@@ -208,29 +294,65 @@ class FleetResult:
         return path
 
     def format_table(self) -> str:
-        """Human-readable per-strategy summary of the sweep."""
+        """Human-readable per-(strategy, mapping) summary of the sweep."""
+        width = max(
+            [14]
+            + [
+                len(aggregate_label(s, m, self.spec.baseline_mapping))
+                for s in self.spec.strategies
+                for m in self.spec.mappings
+            ]
+        )
         header = (
-            f"{'Strategy':<14} {'cells':>6} {'fid mean':>9} {'fid p50':>9} "
+            f"{'Strategy':<{width}} {'cells':>6} {'fid mean':>9} {'fid p50':>9} "
             f"{'fid p95':>9} {'dur p50':>10} {'win rate':>9}"
         )
         lines = [header, "-" * len(header)]
-        for strategy in self.spec.strategies:
-            agg = self.aggregates[strategy]
+        for mapping in self.spec.mappings:
+            for strategy in self.spec.strategies:
+                label = aggregate_label(strategy, mapping, self.spec.baseline_mapping)
+                agg = self.aggregates[label]
+                lines.append(
+                    f"{label:<{width}} {agg.cells:>6d} {agg.fidelity_mean:>9.4f} "
+                    f"{agg.fidelity_p50:>9.4f} {agg.fidelity_p95:>9.4f} "
+                    f"{agg.duration_p50_ns:>8.1f}ns {agg.win_rate * 100:>8.1f}%"
+                )
+        return "\n".join(lines)
+
+    def format_mapping_table(self) -> str:
+        """Human-readable mapping-vs-reference comparison (empty when the
+        sweep ran a single mapping)."""
+        if not self.mapping_comparison:
+            return ""
+        header = (
+            f"{'Strategy':<14} {'mapping':<14} {'d swaps':>8} {'d swap dur':>11} "
+            f"{'d makespan':>11} {'fid wins':>9} {'swapdur wins':>13}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.mapping_comparison:
             lines.append(
-                f"{strategy:<14} {agg.cells:>6d} {agg.fidelity_mean:>9.4f} "
-                f"{agg.fidelity_p50:>9.4f} {agg.fidelity_p95:>9.4f} "
-                f"{agg.duration_p50_ns:>8.1f}ns {agg.win_rate * 100:>8.1f}%"
+                f"{row['strategy']:<14} {row['mapping']:<14} "
+                f"{row['swap_count_delta_mean']:>+8.2f} "
+                f"{row['swap_duration_delta_mean_ns']:>+9.1f}ns "
+                f"{row['duration_delta_mean_ns']:>+9.1f}ns "
+                f"{row['fidelity_win_rate'] * 100:>8.1f}% "
+                f"{row['swap_duration_win_rate'] * 100:>12.1f}%"
             )
         return "\n".join(lines)
 
 
 def run_sweep(spec: FleetSpec) -> FleetResult:
-    """Compile the whole fleet and aggregate per-strategy distributions.
+    """Compile the whole fleet and aggregate per-(strategy, mapping) stats.
 
-    With ``spec.cache_dir`` set, every (device, strategy) target is served
-    from -- or persisted to -- the on-disk :class:`TargetCache`; a warm rerun
-    of the same spec therefore hits the cache for 100% of cells and never
-    simulates an edge.
+    Every (circuit x strategy x device) cell compiles once per mapping in
+    ``spec.mappings``; with more than one mapping the result also carries a
+    per-strategy :func:`compare_mappings` report (swap count, swap duration
+    and fidelity win rate vs the first-listed reference mapping).
+
+    With ``spec.cache_dir`` set, every (device, strategy) target -- and its
+    derived cost model -- is served from or persisted to the on-disk
+    :class:`TargetCache`; a warm rerun of the same spec therefore hits the
+    cache for 100% of cells and never simulates an edge.
     """
     for strategy in spec.strategies:
         validate_strategy(strategy)
@@ -264,35 +386,46 @@ def run_sweep(spec: FleetSpec) -> FleetResult:
             targets = {
                 strategy: build_target(device, strategy) for strategy in spec.strategies
             }
-        batch = transpile_batch(
-            circuits,
-            device,
-            spec.strategies,
-            seed=spec.compile_seed,
-            max_workers=spec.max_workers,
-            executor=spec.executor,
-            targets=targets,
-        )
-        for name, compiled in zip(spec.circuits, batch):
-            for strategy in spec.strategies:
-                cell = compiled[strategy]
-                cells.append(
-                    CellResult(
-                        scenario=scenario.scenario_id,
-                        topology=scenario.topology.label,
-                        device_seed=scenario.seed,
-                        circuit=name,
-                        strategy=strategy,
-                        fidelity=float(cell.fidelity),
-                        duration_ns=float(cell.total_duration),
-                        swap_count=int(cell.swap_count),
-                        two_qubit_layers=int(cell.two_qubit_layer_count),
+        for mapping in spec.mappings:
+            batch = transpile_batch(
+                circuits,
+                device,
+                spec.strategies,
+                seed=spec.compile_seed,
+                max_workers=spec.max_workers,
+                executor=spec.executor,
+                targets=targets,
+                mapping=mapping,
+            )
+            for name, compiled in zip(spec.circuits, batch):
+                for strategy in spec.strategies:
+                    cell = compiled[strategy]
+                    cells.append(
+                        CellResult(
+                            scenario=scenario.scenario_id,
+                            topology=scenario.topology.label,
+                            device_seed=scenario.seed,
+                            circuit=name,
+                            strategy=strategy,
+                            mapping=mapping,
+                            fidelity=float(cell.fidelity),
+                            duration_ns=float(cell.total_duration),
+                            swap_count=int(cell.swap_count),
+                            swap_duration_ns=float(cell.swap_duration_ns),
+                            two_qubit_layers=int(cell.two_qubit_layer_count),
+                        )
                     )
-                )
 
     return FleetResult(
         spec=spec,
         cells=cells,
-        aggregates=aggregate_cells(cells, spec.baseline_strategy),
+        aggregates=aggregate_cells(
+            cells, spec.baseline_strategy, spec.baseline_mapping
+        ),
         cache_stats=cache.stats.as_dict() if cache is not None else None,
+        mapping_comparison=(
+            compare_mappings(cells, spec.baseline_mapping)
+            if len(spec.mappings) > 1
+            else None
+        ),
     )

@@ -266,10 +266,21 @@ class TwoLayerOracle:
     tolerance: float = 1e-6
     restarts: int = 6
     seed: int = 11
+    #: Memo growth bound: a long-lived shared oracle (e.g. the process-wide
+    #: one behind ``repro.compiler.cost.cached_minimum_layers``) sees fresh
+    #: coordinates per device draw per edge; past this many entries the memo
+    #: is dropped wholesale rather than growing for the life of the process.
+    max_entries: int = 65536
     _cache: dict = field(default_factory=dict, repr=False)
 
     def _key(self, *coord_sets: Coords) -> tuple:
         return tuple(tuple(round(c, 6) for c in coords) for coords in coord_sets)
+
+    def _remember(self, key: tuple, result: bool) -> bool:
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
 
     def can_reach_in_2(
         self, target: Coords, basis: Coords, second_basis: Coords | None = None
@@ -283,9 +294,7 @@ class TwoLayerOracle:
         if key in self._cache:
             return self._cache[key]
         distance = self._best_distance(target, [basis, second_basis])
-        result = distance < self.tolerance
-        self._cache[key] = result
-        return result
+        return self._remember(key, distance < self.tolerance)
 
     def can_reach_in_3(self, target: Coords, basis: Coords) -> bool:
         """Return True if ``target`` is reachable in three layers of ``basis``."""
@@ -295,9 +304,7 @@ class TwoLayerOracle:
         if key in self._cache:
             return self._cache[key]
         distance = self._best_distance(target, [basis, basis, basis])
-        result = distance < self.tolerance
-        self._cache[key] = result
-        return result
+        return self._remember(key, distance < self.tolerance)
 
     def _best_distance(self, target: Coords, layers: Sequence[Coords]) -> float:
         """Smallest coordinate distance between the target class and any gate

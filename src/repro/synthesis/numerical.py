@@ -183,9 +183,21 @@ def synthesize_gate(
 def predicted_layers_for_target(
     target: np.ndarray, basis: np.ndarray, max_layers: int = 4
 ) -> int:
-    """Convenience wrapper: analytic depth prediction from unitaries."""
-    from repro.synthesis.depth import minimum_layers
+    """Convenience wrapper: analytic depth prediction from unitaries.
 
-    return minimum_layers(
-        cartan_coordinates(target), cartan_coordinates(basis), max_layers=max_layers
+    Routed through the shared layer-count cache in
+    :mod:`repro.compiler.cost` (lazy import: synthesis must stay importable
+    without the compiler package), so repeated predictions for the same basis
+    gate -- across translation, synthesis and cost models -- are computed
+    once per process.  ``decimals=None`` keeps the query on the exact
+    coordinates: the SWAP/CNOT region tests resolve at ``atol=1e-7``, and a
+    rounded query could flip a near-boundary prediction.
+    """
+    from repro.compiler.cost import cached_minimum_layers
+
+    return cached_minimum_layers(
+        cartan_coordinates(target),
+        cartan_coordinates(basis),
+        max_layers=max_layers,
+        decimals=None,
     )

@@ -151,6 +151,58 @@ class TestDevice:
         params = DeviceParameters(coherence_time_us=80.0)
         assert params.coherence_time_ns == 80000.0
 
+    def test_distance_matrix_matches_networkx(self):
+        """The BFS numpy matrix must agree with the graph-library distances
+        on every topology family the fleet sweeps."""
+        import networkx as nx
+
+        for device in (
+            Device.from_parameters(DeviceParameters(rows=3, cols=4, seed=5)),
+            Device(graph=linear_graph(5), params=DeviceParameters(seed=5)),
+            Device(graph=heavy_hex_graph(1), params=DeviceParameters(seed=5)),
+        ):
+            expected = dict(nx.all_pairs_shortest_path_length(device.graph))
+            for a in range(device.n_qubits):
+                for b in range(device.n_qubits):
+                    assert device.distance(a, b) == expected[a][b]
+                    assert isinstance(device.distance(a, b), int)
+
+    def test_pickled_device_recomputes_distance_matrix(self):
+        """The distance matrix is a derived cache: pickles must not carry it,
+        and an unpickled device must rebuild it correctly on first use."""
+        import pickle
+
+        device = Device.from_parameters(DeviceParameters(rows=3, cols=3, seed=5))
+        reference = device.distance(0, 8)  # materialise the matrix
+        assert device._distance_matrix is not None
+        assert "_distance_matrix" in device.__dict__
+        state = device.__getstate__()
+        assert state["_distance_matrix"] is None
+
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone._distance_matrix is None  # stripped from the payload
+        assert clone.distance(0, 8) == reference  # recomputed lazily
+        assert (clone._distance_matrix == device._distance_matrix).all()
+
+    def test_distance_rejects_out_of_range_labels(self):
+        """Negative labels must raise, not wrap to the matrix's other end."""
+        device = Device.from_parameters(DeviceParameters(rows=2, cols=2, seed=5))
+        with pytest.raises(ValueError, match="outside the device"):
+            device.distance(-1, 0)
+        with pytest.raises(ValueError, match="outside the device"):
+            device.distance(0, 4)
+
+    def test_distance_rejects_disconnected_pairs(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)  # qubit 2 is isolated
+        device = Device(graph=graph, frequencies={0: 3.2, 1: 5.2, 2: 3.2})
+        assert device.distance(0, 1) == 1
+        with pytest.raises(ValueError, match="not connected"):
+            device.distance(0, 2)
+
     def test_deviation_scales_are_positive_and_reproducible(self, small_device):
         other = Device.from_parameters(DeviceParameters(rows=4, cols=4, seed=53))
         for edge in small_device.edges():
