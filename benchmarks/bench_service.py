@@ -1,0 +1,184 @@
+"""Service benchmark: cold-vs-warm throughput of the compilation service.
+
+Fires a deterministic workload (circuits x device seeds, each request
+compiling under several strategies) at an in-process
+:class:`~repro.service.service.CompilationService` twice:
+
+* **cold** -- a fresh service and an empty target cache, so every
+  (device, strategy) cell pays for basis-gate selection;
+* **warm** -- the same request list repeated against the now-hot service,
+  so every target is served from the in-memory LRU.
+
+Emits ``BENCH_service.json``: per-phase throughput and latency percentiles,
+the warm/cold speedup, and the per-layer cache counters.  The committed copy
+at ``benchmarks/BENCH_service.json`` is the CI perf baseline
+(``benchmarks/check_perf.py`` gates regressions against it); refresh it by
+re-running this script from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --output benchmarks/BENCH_service.json
+
+The file is named ``bench_*`` (not ``test_*``) on purpose: pytest does not
+collect it, CI runs it as a script and uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import tempfile
+from pathlib import Path
+
+from repro.service import (
+    CompilationService,
+    LoadSpec,
+    ServiceConfig,
+    run_phase_inprocess,
+)
+
+DEFAULT_CIRCUITS = ("ghz_4", "bv_5", "qft_4", "cuccaro_6")
+DEFAULT_SEEDS = (11, 12, 13)
+
+
+async def run_bench(args: argparse.Namespace, cache_dir: str | None) -> dict:
+    """Cold phase then warm phase against one service; returns the document."""
+    spec = LoadSpec(
+        circuits=tuple(args.circuits),
+        topology=args.topology,
+        device_seeds=tuple(args.device_seeds),
+        strategies=tuple(args.strategies),
+        mapping=args.mapping,
+        repeats=1,
+        concurrency=args.concurrency,
+    )
+    one_pass = spec.requests()
+    config = ServiceConfig(
+        cache_dir=cache_dir,
+        executor=args.executor,
+        max_workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+    )
+    async with CompilationService(config) as service:
+        cold = await run_phase_inprocess(
+            service, one_pass, spec.concurrency, name="cold"
+        )
+        cold_cache = service.hot_targets.stats.as_dict()
+        warm = await run_phase_inprocess(
+            service, one_pass * args.warm_repeats, spec.concurrency, name="warm"
+        )
+        cache = service.hot_targets.as_dict()
+        metrics = service.metrics_snapshot()
+    speedup = (
+        warm["throughput_rps"] / cold["throughput_rps"]
+        if cold["throughput_rps"] > 0
+        else 0.0
+    )
+    return {
+        "benchmark": "service",
+        "python": platform.python_version(),
+        "workload": {
+            "circuits": list(spec.circuits),
+            "topology": spec.topology,
+            "device_seeds": list(spec.device_seeds),
+            "strategies": list(spec.strategies),
+            "mapping": spec.mapping,
+            "concurrency": spec.concurrency,
+            "warm_repeats": args.warm_repeats,
+            "executor": config.executor,
+            "max_workers": config.max_workers,
+            "batch_window_ms": config.batch_window_ms,
+        },
+        "cold": cold,
+        "warm": warm,
+        "speedup_warm_over_cold": speedup,
+        "cache_after_cold": cold_cache,
+        "cache": cache,
+        "service_metrics": metrics,
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=list(DEFAULT_CIRCUITS),
+        help="fleet circuit names",
+    )
+    parser.add_argument("--topology", default="grid:3x3", help="device topology label")
+    parser.add_argument(
+        "--device-seeds",
+        nargs="+",
+        type=int,
+        default=list(DEFAULT_SEEDS),
+        help="device frequency seeds (one simulated device each)",
+    )
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        default=["baseline", "criterion2"],
+        help="strategies each request compiles under",
+    )
+    parser.add_argument("--mapping", default="hop_count", help="mapping metric")
+    parser.add_argument(
+        "--concurrency", type=int, default=12, help="in-flight request cap"
+    )
+    parser.add_argument(
+        "--warm-repeats",
+        type=int,
+        default=20,
+        help="how many passes over the workload the warm phase makes",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="dispatcher fan-out width"
+    )
+    parser.add_argument(
+        "--executor", default="thread", help="dispatcher executor flavour"
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=2.0, help="coalescing window"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk target cache (default: a throwaway temp dir)",
+    )
+    parser.add_argument(
+        "--output",
+        default="benchmarks/BENCH_service.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        results = asyncio.run(run_bench(args, args.cache_dir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+            results = asyncio.run(run_bench(args, tmp))
+
+    path = Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2))
+
+    for phase in (results["cold"], results["warm"]):
+        latency = phase["latency_ms"]
+        print(
+            f"{phase['phase']:<5} {phase['requests']:>5d} requests "
+            f"{phase['throughput_rps']:>8.1f} req/s "
+            f"p50 {latency['p50']:>7.1f}ms p95 {latency['p95']:>7.1f}ms "
+            f"({phase['errors']} errors)"
+        )
+    cache = results["cache"]
+    print(
+        f"speedup (warm/cold): {results['speedup_warm_over_cold']:.1f}x; "
+        f"cache: {cache['memory_hits']} memory hits, {cache['disk_hits']} disk "
+        f"hits, {cache['builds']} builds"
+    )
+    print(f"\nWrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,252 @@
+"""CI perf gate: compare a fresh benchmark run against a committed baseline.
+
+Given a baseline JSON (committed under ``benchmarks/BENCH_*.json``) and a
+freshly produced run of the same benchmark, this script checks a fixed set
+of metrics and **fails (exit 1) on any regression beyond tolerance** --
+by default 15% (``--tolerance`` / ``PERF_GATE_TOLERANCE`` override it, e.g.
+on noisy shared runners).
+
+Two benchmark kinds are understood, keyed by the files' ``benchmark`` field:
+
+* ``service`` (``bench_service.py``) -- cold/warm throughput, latency
+  percentiles and the warm-over-cold speedup (which must also clear the
+  :data:`SPEEDUP_FLOOR` of 5x regardless of the baseline -- the PR
+  acceptance criterion).  Tail latency (p95) gets a wider default tolerance
+  than the medians because it is the noisiest statistic of a short run.
+* ``routing`` (``bench_routing.py``) -- per-(circuit, mapping) swap count,
+  SWAP-synthesis duration and fidelity.  These are *deterministic* given
+  the seeds, so any drift beyond tolerance is a real behaviour change, not
+  noise; wall-times are reported but never gated (they measure the runner,
+  not the compiler).
+
+Refreshing baselines (after an intentional perf or behaviour change)::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py \
+        --output benchmarks/BENCH_routing.json
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --output benchmarks/BENCH_service.json
+
+then commit the updated ``BENCH_*.json`` files with a note on why the
+numbers moved.  See docs/service.md ("Performance baselines").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The service acceptance criterion: warm traffic must be at least this many
+#: times faster than cold traffic, whatever the baseline file says.
+SPEEDUP_FLOOR = 5.0
+
+#: Default relative regression tolerance (15%).
+DEFAULT_TOLERANCE = 0.15
+
+#: Wider default for tail-latency metrics (short-run p95 is noisy).
+TAIL_TOLERANCE = 0.50
+
+
+@dataclass(frozen=True)
+class Check:
+    """One gated metric: where it lives and which direction is a regression."""
+
+    label: str
+    baseline: float
+    current: float
+    higher_is_better: bool
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    @property
+    def regression(self) -> float:
+        """How far past the baseline in the *bad* direction (0 = at/better)."""
+        if self.baseline == 0:
+            return 0.0
+        delta = (self.current - self.baseline) / abs(self.baseline)
+        return max(0.0, -delta if self.higher_is_better else delta)
+
+    @property
+    def passed(self) -> bool:
+        return self.regression <= self.tolerance
+
+    def row(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        arrow = "higher-better" if self.higher_is_better else "lower-better"
+        return (
+            f"{verdict}  {self.label:<44} baseline {self.baseline:>12.4f} "
+            f"current {self.current:>12.4f} ({arrow}, "
+            f"regression {self.regression * 100:>5.1f}% / "
+            f"tol {self.tolerance * 100:.0f}%)"
+        )
+
+
+def _dig(document: dict, path: str) -> float:
+    value = document
+    for part in path.split("."):
+        value = value[part]
+    return float(value)
+
+
+def service_checks(baseline: dict, current: dict, tolerance: float) -> list[Check]:
+    """The gated metrics of one ``bench_service.py`` document pair."""
+    checks = []
+    for path, higher_is_better, tol in (
+        ("cold.throughput_rps", True, tolerance),
+        ("warm.throughput_rps", True, tolerance),
+        ("cold.latency_ms.p50", False, tolerance),
+        ("warm.latency_ms.p50", False, tolerance),
+        ("warm.latency_ms.p95", False, max(tolerance, TAIL_TOLERANCE)),
+        ("speedup_warm_over_cold", True, max(tolerance, 0.30)),
+    ):
+        checks.append(
+            Check(
+                label=path,
+                baseline=_dig(baseline, path),
+                current=_dig(current, path),
+                higher_is_better=higher_is_better,
+                tolerance=tol,
+            )
+        )
+    # The absolute floor is machine-independent: however fast the runner,
+    # warm traffic must beat cold traffic by 5x or the caches are broken.
+    checks.append(
+        Check(
+            label="speedup_warm_over_cold >= floor",
+            baseline=SPEEDUP_FLOOR,
+            current=_dig(current, "speedup_warm_over_cold"),
+            higher_is_better=True,
+            tolerance=0.0,
+        )
+    )
+    return checks
+
+
+def routing_checks(baseline: dict, current: dict, tolerance: float) -> list[Check]:
+    """The gated metrics of one ``bench_routing.py`` document pair.
+
+    Rows pair up by (circuit, mapping); a circuit present in the baseline
+    but missing from the current run fails loudly (coverage must not shrink
+    silently).
+    """
+    current_rows = {row["circuit"]: row["mappings"] for row in current["rows"]}
+    checks = []
+    for row in baseline["rows"]:
+        circuit = row["circuit"]
+        if circuit not in current_rows:
+            checks.append(
+                Check(
+                    label=f"{circuit}: present in current run",
+                    baseline=1.0,
+                    current=0.0,
+                    higher_is_better=True,
+                    tolerance=0.0,
+                )
+            )
+            continue
+        for mapping, cell in row["mappings"].items():
+            fresh = current_rows[circuit].get(mapping)
+            if fresh is None:
+                checks.append(
+                    Check(
+                        label=f"{circuit}/{mapping}: present in current run",
+                        baseline=1.0,
+                        current=0.0,
+                        higher_is_better=True,
+                        tolerance=0.0,
+                    )
+                )
+                continue
+            for metric, higher_is_better in (
+                ("swap_count", False),
+                ("swap_duration_ns", False),
+                ("duration_ns", False),
+                ("fidelity", True),
+            ):
+                checks.append(
+                    Check(
+                        label=f"{circuit}/{mapping}/{metric}",
+                        baseline=float(cell[metric]),
+                        current=float(fresh[metric]),
+                        higher_is_better=higher_is_better,
+                        tolerance=tolerance,
+                    )
+                )
+    return checks
+
+
+KINDS = {"service": service_checks, "routing": routing_checks}
+
+
+def run_gate(baseline_path: Path, current_path: Path, tolerance: float) -> bool:
+    """Print the check table for one baseline/current pair; True = all pass."""
+    baseline = json.loads(baseline_path.read_text())
+    current = json.loads(current_path.read_text())
+    kind = baseline.get("benchmark")
+    if kind != current.get("benchmark"):
+        print(
+            f"FAIL  benchmark kind mismatch: baseline {kind!r} vs "
+            f"current {current.get('benchmark')!r}"
+        )
+        return False
+    builder = KINDS.get(kind)
+    if builder is None:
+        print(f"FAIL  unknown benchmark kind {kind!r}; expected one of {sorted(KINDS)}")
+        return False
+    print(f"== {kind} gate: {current_path} vs baseline {baseline_path} ==")
+    checks = builder(baseline, current, tolerance)
+    failed = 0
+    for check in checks:
+        print(check.row())
+        failed += 0 if check.passed else 1
+    print(
+        f"{len(checks) - failed}/{len(checks)} checks passed"
+        + (f"; {failed} FAILED" if failed else "")
+    )
+    return failed == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        required=True,
+        help="committed baseline JSON (repeatable, pairs with --current)",
+    )
+    parser.add_argument(
+        "--current",
+        action="append",
+        required=True,
+        help="freshly produced JSON of the same benchmark (repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="relative regression tolerance (default 0.15; "
+        "PERF_GATE_TOLERANCE env overrides)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.baseline) != len(args.current):
+        parser.error("--baseline and --current must pair up")
+    ok = True
+    for baseline, current in zip(args.baseline, args.current):
+        ok = run_gate(Path(baseline), Path(current), args.tolerance) and ok
+        print()
+    if not ok:
+        print("perf gate FAILED -- see rows above; refresh baselines only for")
+        print("intentional changes (see the module docstring / docs/service.md).")
+    return 0 if ok else 1
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,8 +8,7 @@ turned into a full unitary for testing with :meth:`QuantumCircuit.unitary`.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np

@@ -19,7 +19,7 @@ single-qubit gates cost one 20 ns layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

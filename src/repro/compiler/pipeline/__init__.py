@@ -32,8 +32,10 @@ from repro.compiler.pipeline.batch import (
     DEFAULT_STRATEGIES,
     EXECUTORS,
     compile_with_targets,
+    resolve_targets,
     transpile_batch,
 )
+from repro.compiler.pipeline.dispatch import BatchDispatcher, DispatchContext
 from repro.compiler.pipeline.manager import PassManager
 from repro.compiler.pipeline.passes import (
     AnalysisPass,
@@ -72,7 +74,10 @@ __all__ = [
     "validate_mapping",
     "DEFAULT_STRATEGIES",
     "EXECUTORS",
+    "BatchDispatcher",
+    "DispatchContext",
     "compile_with_targets",
+    "resolve_targets",
     "transpile_batch",
     "PassManager",
     "AnalysisPass",

@@ -11,6 +11,14 @@ methodology:
   batch instead of being re-derived per circuit;
 * independent circuits fan out over a ``concurrent.futures`` executor.
 
+The execution machinery itself lives in
+:mod:`~repro.compiler.pipeline.dispatch`: a :class:`DispatchContext` bundles
+the batch inputs and a :class:`BatchDispatcher` owns the worker pool.
+``transpile_batch`` is the one-shot wrapper -- it builds a context, runs a
+throwaway dispatcher and tears the pool down again.  Long-lived callers (the
+compilation service) keep a persistent dispatcher instead so warm batches
+reuse live workers; both produce byte-identical seeded results.
+
 Two executors are available.  ``executor="thread"`` shares the device and
 targets in-process; the compilation stages are mostly GIL-bound pure Python,
 so threads mainly help workloads that release the GIL in numpy.
@@ -27,165 +35,32 @@ skip ``build_target`` entirely.
 
 from __future__ import annotations
 
-import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Mapping, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.basis_translation import translate_operations
-from repro.compiler.cost import DEFAULT_MAPPING, get_mapping_spec, validate_mapping
-from repro.compiler.layout import sabre_layout
+from repro.compiler.cost import DEFAULT_MAPPING, validate_mapping
+from repro.compiler.pipeline.dispatch import (
+    EXECUTORS,
+    BatchDispatcher,
+    DispatchContext,
+    compile_with_targets,
+)
 from repro.compiler.pipeline.registry import validate_strategy
 from repro.compiler.pipeline.result import CompiledCircuit
 from repro.compiler.pipeline.target import Target, build_target
-from repro.compiler.routing import SabreRouter
-from repro.compiler.pipeline.passes import schedule_operations
+
+__all__ = [
+    "DEFAULT_STRATEGIES",
+    "EXECUTORS",
+    "compile_with_targets",
+    "resolve_targets",
+    "transpile_batch",
+]
 
 DEFAULT_STRATEGIES = ("baseline", "criterion1", "criterion2")
 
-#: Supported ``transpile_batch`` executors.
-EXECUTORS = ("thread", "process")
 
-
-def compile_with_targets(
-    circuit: QuantumCircuit,
-    device,
-    targets: dict[str, Target],
-    seed: int = 17,
-    mapping: str = DEFAULT_MAPPING,
-    cost_models: Mapping[str, object] | None = None,
-    metrics: Mapping[str, object] | None = None,
-) -> dict[str, CompiledCircuit]:
-    """Compile one circuit against several pre-built targets.
-
-    Under a basis-agnostic mapping (the ``"hop_count"`` default), layout and
-    routing run once with a shared router (matching the RNG behaviour of the
-    single-circuit pipeline) and translation/scheduling run once per target.
-    Under a cost-model mapping (``"basis_aware"``), each strategy's own
-    :class:`~repro.compiler.cost.CostModel` shapes its distances, so layout
-    and routing run per strategy -- each from an identically seeded router.
-
-    The stages call the same ``translate_operations`` /
-    ``schedule_operations`` primitives the PassManager passes wrap -- this
-    hot path deliberately skips the PropertySet machinery, so stage *logic*
-    stays single-sourced while the batch glue stays cheap.
-
-    ``cost_models`` optionally supplies pre-built per-strategy cost models
-    (e.g. deserialized from the fleet cache); omitted entries are derived
-    from the targets (and memoised there).  ``metrics`` likewise supplies
-    pre-built per-strategy :class:`~repro.compiler.cost.MappingMetric`
-    objects -- a cost-aware metric's all-pairs distance matrix depends only
-    on (device, cost model), so batch callers build each one once instead of
-    once per circuit.
-    """
-    spec = get_mapping_spec(mapping)
-    results: dict[str, CompiledCircuit] = {}
-    routings: dict[str, object] = {}
-    models: dict[str, object] = {}
-    if not spec.requires_cost_model:
-        metric = spec.build(device)
-        router = SabreRouter(device, seed=seed, metric=metric)
-        layout = sabre_layout(circuit, device, router=router, iterations=1, seed=seed)
-        routing = router.run(circuit, layout)
-        for strategy in targets:
-            routings[strategy] = routing
-            models[strategy] = None  # translation stays lazily selection-driven
-    else:
-        for strategy, target in targets.items():
-            cost_model = (cost_models or {}).get(strategy)
-            if cost_model is None:
-                cost_model = target.cost_model()
-            elif not cost_model.matches_options(
-                target.strategy, target.translation_options()
-            ):
-                # Same must-fail-loudly contract as Target.attach_cost_model
-                # and TranslationPass: foreign edge costs would silently skew
-                # both the routing and the emitted durations.
-                raise ValueError(
-                    f"cost model for strategy {cost_model.strategy!r} "
-                    f"(1Q duration {cost_model.one_qubit_duration}) does not "
-                    f"match target {target.strategy!r} "
-                    f"(1Q duration {target.single_qubit_duration})"
-                )
-            metric = (metrics or {}).get(strategy)
-            if metric is None:
-                metric = spec.build(device, cost_model)
-            router = SabreRouter(device, seed=seed, metric=metric)
-            layout = sabre_layout(
-                circuit, device, router=router, iterations=1, seed=seed
-            )
-            routings[strategy] = router.run(circuit, layout)
-            models[strategy] = cost_model
-    for strategy, target in targets.items():
-        routing = routings[strategy]
-        options = target.translation_options()
-        operations = translate_operations(
-            routing.circuit, target.basis_gate, options, cost_model=models[strategy]
-        )
-        schedule = schedule_operations(operations, target.n_qubits)
-        results[strategy] = CompiledCircuit(
-            name=circuit.name or "circuit",
-            strategy=strategy,
-            routing=routing,
-            operations=operations,
-            schedule=schedule,
-            device=device,
-        )
-    return results
-
-
-#: Per-worker state installed by :func:`_init_process_worker`.  A process pool
-#: ships the (calibration-stripped) device and the completed targets exactly
-#: once per worker instead of once per task.
-_WORKER_CONTEXT: dict = {}
-
-
-def _init_process_worker(
-    device_bytes: bytes, target_payloads: dict[str, dict], seed: int, mapping: str
-) -> None:
-    _WORKER_CONTEXT["device"] = pickle.loads(device_bytes)
-    _WORKER_CONTEXT["targets"] = {
-        strategy: Target.from_dict(payload) for strategy, payload in target_payloads.items()
-    }
-    _WORKER_CONTEXT["seed"] = seed
-    _WORKER_CONTEXT["mapping"] = mapping
-    spec = get_mapping_spec(mapping)
-    if spec.requires_cost_model:
-        # Derive each strategy's cost model (and its metric's all-pairs
-        # distance matrix) once per worker, not once per circuit;
-        # serialization round-trips selections exactly, so the derived costs
-        # and Dijkstra distances are byte-identical to the parent's.
-        _WORKER_CONTEXT["cost_models"] = {
-            strategy: target.cost_model()
-            for strategy, target in _WORKER_CONTEXT["targets"].items()
-        }
-        _WORKER_CONTEXT["metrics"] = {
-            strategy: spec.build(_WORKER_CONTEXT["device"], cost_model)
-            for strategy, cost_model in _WORKER_CONTEXT["cost_models"].items()
-        }
-    else:
-        _WORKER_CONTEXT["cost_models"] = None
-        _WORKER_CONTEXT["metrics"] = None
-
-
-def _compile_in_process_worker(circuit: QuantumCircuit) -> dict[str, CompiledCircuit]:
-    results = compile_with_targets(
-        circuit,
-        _WORKER_CONTEXT["device"],
-        _WORKER_CONTEXT["targets"],
-        seed=_WORKER_CONTEXT["seed"],
-        mapping=_WORKER_CONTEXT["mapping"],
-        cost_models=_WORKER_CONTEXT["cost_models"],
-        metrics=_WORKER_CONTEXT["metrics"],
-    )
-    for compiled in results.values():
-        # The parent re-attaches its own device; shipping the worker's copy
-        # back with every result would dominate the IPC payload.
-        compiled.device = None
-    return results
-
-
-def _resolve_targets(
+def resolve_targets(
     device,
     strategies: tuple[str, ...],
     targets: Mapping[str, Target] | None,
@@ -239,78 +114,11 @@ def transpile_batch(
     for strategy in strategies:
         validate_strategy(strategy)
     validate_mapping(mapping)
-    if executor not in EXECUTORS:
-        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
-    resolved = _resolve_targets(device, strategies, targets)
-    circuits = list(circuits)
-
-    mapping_spec = get_mapping_spec(mapping)
-
-    def mapping_context() -> tuple[dict | None, dict | None]:
-        """Per-strategy cost models + metrics for in-process compilation.
-
-        Derived once per batch, not once per circuit: ``Target.cost_model()``
-        memoises on the target and the metric's all-pairs weighted distances
-        depend only on (device, cost model).  The process executor skips this
-        entirely -- its workers derive their own from the shipped snapshots.
-        """
-        if not mapping_spec.requires_cost_model:
-            return None, None
-        cost_models = {
-            strategy: target.cost_model() for strategy, target in resolved.items()
-        }
-        metrics = {
-            strategy: mapping_spec.build(device, cost_model)
-            for strategy, cost_model in cost_models.items()
-        }
-        return cost_models, metrics
-
-    def compile_one(
-        circuit: QuantumCircuit, cost_models, batch_metrics
-    ) -> dict[str, CompiledCircuit]:
-        return compile_with_targets(
-            circuit,
-            device,
-            resolved,
-            seed=seed,
-            mapping=mapping,
-            cost_models=cost_models,
-            metrics=batch_metrics,
-        )
-
-    if max_workers is None or max_workers <= 1 or len(circuits) <= 1:
-        # Serial: selections resolve lazily, so a small workload only pays
-        # for the edges it touches -- exactly like single-circuit transpile.
-        cost_models, batch_metrics = mapping_context()
-        return [compile_one(circuit, cost_models, batch_metrics) for circuit in circuits]
-
-    # Fanning out: resolve every target edge (and the device's distance
-    # matrix) up front -- the device's lazy calibration/distance caches are
-    # not guarded by locks, and process workers cannot share them at all.
-    for target in resolved.values():
-        target.complete()
-    if device.n_qubits:
-        device.distance(0, 0)
-
-    if executor == "process":
-        device_bytes = pickle.dumps(device)
-        payloads = {strategy: target.to_dict() for strategy, target in resolved.items()}
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_process_worker,
-            initargs=(device_bytes, payloads, seed, mapping),
-        ) as pool:
-            batch = list(pool.map(_compile_in_process_worker, circuits))
-        for results in batch:
-            for compiled in results.values():
-                compiled.device = device
-        return batch
-
-    cost_models, batch_metrics = mapping_context()
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(
-            pool.map(
-                lambda circuit: compile_one(circuit, cost_models, batch_metrics),
-                circuits,
-            )
-        )
+    context = DispatchContext(
+        device,
+        resolve_targets(device, strategies, targets),
+        mapping=mapping,
+        seed=seed,
+    )
+    with BatchDispatcher(executor=executor, max_workers=max_workers) as dispatcher:
+        return dispatcher.dispatch(circuits, context)

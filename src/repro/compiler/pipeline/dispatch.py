@@ -1,0 +1,413 @@
+"""The shared batch-dispatch core behind ``transpile_batch`` and the service.
+
+One compilation batch is *many circuits x one device x several strategy
+targets* under one mapping and seed.  Three callers push work through this
+shape -- the one-shot :func:`~repro.compiler.pipeline.batch.transpile_batch`
+API, the fleet sweep engine, and the long-lived
+:class:`~repro.service.service.CompilationService` -- and they share a
+single implementation here instead of three parallel ones:
+
+* :class:`DispatchContext` bundles everything one batch needs (device,
+  resolved targets, mapping, seed) and memoises the per-strategy cost
+  models / mapping metrics so they derive once per context, not once per
+  circuit;
+* :class:`BatchDispatcher` owns the executor.  Constructed per call it
+  behaves exactly like the historical ``transpile_batch`` fan-out;
+  constructed once and kept (``CompilationService`` does this) its worker
+  pool is *persistent*: thread pools survive across batches unconditionally,
+  and a process pool survives as long as consecutive contexts share a
+  ``key`` -- workers then keep their deserialized targets, cost models and
+  all-pairs metric distances hot between micro-batches.
+
+Results are byte-identical across serial, thread and process dispatch (the
+pipeline test suite asserts this at the operation level), so callers choose
+an executor on performance grounds only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Hashable, Mapping, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.basis_translation import translate_operations
+from repro.compiler.cost import DEFAULT_MAPPING, get_mapping_spec
+from repro.compiler.layout import sabre_layout
+from repro.compiler.pipeline.passes import schedule_operations
+from repro.compiler.pipeline.result import CompiledCircuit
+from repro.compiler.pipeline.target import Target
+from repro.compiler.routing import SabreRouter
+
+#: Supported executor flavours (``"serial"`` is implied by ``max_workers<=1``).
+EXECUTORS = ("thread", "process")
+
+
+def compile_with_targets(
+    circuit: QuantumCircuit,
+    device,
+    targets: dict[str, Target],
+    seed: int = 17,
+    mapping: str = DEFAULT_MAPPING,
+    cost_models: Mapping[str, object] | None = None,
+    metrics: Mapping[str, object] | None = None,
+) -> dict[str, CompiledCircuit]:
+    """Compile one circuit against several pre-built targets.
+
+    Under a basis-agnostic mapping (the ``"hop_count"`` default), layout and
+    routing run once with a shared router (matching the RNG behaviour of the
+    single-circuit pipeline) and translation/scheduling run once per target.
+    Under a cost-model mapping (``"basis_aware"``), each strategy's own
+    :class:`~repro.compiler.cost.CostModel` shapes its distances, so layout
+    and routing run per strategy -- each from an identically seeded router.
+
+    The stages call the same ``translate_operations`` /
+    ``schedule_operations`` primitives the PassManager passes wrap -- this
+    hot path deliberately skips the PropertySet machinery, so stage *logic*
+    stays single-sourced while the batch glue stays cheap.
+
+    ``cost_models`` optionally supplies pre-built per-strategy cost models
+    (e.g. deserialized from the fleet cache); omitted entries are derived
+    from the targets (and memoised there).  ``metrics`` likewise supplies
+    pre-built per-strategy :class:`~repro.compiler.cost.MappingMetric`
+    objects -- a cost-aware metric's all-pairs distance matrix depends only
+    on (device, cost model), so batch callers build each one once instead of
+    once per circuit.
+    """
+    spec = get_mapping_spec(mapping)
+    results: dict[str, CompiledCircuit] = {}
+    routings: dict[str, object] = {}
+    models: dict[str, object] = {}
+    if not spec.requires_cost_model:
+        metric = spec.build(device)
+        router = SabreRouter(device, seed=seed, metric=metric)
+        layout = sabre_layout(circuit, device, router=router, iterations=1, seed=seed)
+        routing = router.run(circuit, layout)
+        for strategy in targets:
+            routings[strategy] = routing
+            models[strategy] = None  # translation stays lazily selection-driven
+    else:
+        for strategy, target in targets.items():
+            cost_model = (cost_models or {}).get(strategy)
+            if cost_model is None:
+                cost_model = target.cost_model()
+            elif not cost_model.matches_options(
+                target.strategy, target.translation_options()
+            ):
+                # Same must-fail-loudly contract as Target.attach_cost_model
+                # and TranslationPass: foreign edge costs would silently skew
+                # both the routing and the emitted durations.
+                raise ValueError(
+                    f"cost model for strategy {cost_model.strategy!r} "
+                    f"(1Q duration {cost_model.one_qubit_duration}) does not "
+                    f"match target {target.strategy!r} "
+                    f"(1Q duration {target.single_qubit_duration})"
+                )
+            metric = (metrics or {}).get(strategy)
+            if metric is None:
+                metric = spec.build(device, cost_model)
+            router = SabreRouter(device, seed=seed, metric=metric)
+            layout = sabre_layout(
+                circuit, device, router=router, iterations=1, seed=seed
+            )
+            routings[strategy] = router.run(circuit, layout)
+            models[strategy] = cost_model
+    for strategy, target in targets.items():
+        routing = routings[strategy]
+        options = target.translation_options()
+        operations = translate_operations(
+            routing.circuit, target.basis_gate, options, cost_model=models[strategy]
+        )
+        schedule = schedule_operations(operations, target.n_qubits)
+        results[strategy] = CompiledCircuit(
+            name=circuit.name or "circuit",
+            strategy=strategy,
+            routing=routing,
+            operations=operations,
+            schedule=schedule,
+            device=device,
+        )
+    return results
+
+
+class DispatchContext:
+    """One batch's shared inputs: device, resolved targets, mapping, seed.
+
+    ``key`` is an optional hashable identity for the context.  A persistent
+    :class:`BatchDispatcher` reuses its process pool across consecutive
+    dispatches whose contexts carry the *same* non-None key (the service
+    keys contexts by device fingerprint + strategies + mapping + seed);
+    ``key=None`` means "never assume worker state matches" and forces a
+    fresh process pool per dispatch, which is the one-shot
+    ``transpile_batch`` behaviour.
+    """
+
+    def __init__(
+        self,
+        device,
+        targets: dict[str, Target],
+        *,
+        mapping: str = DEFAULT_MAPPING,
+        seed: int = 17,
+        key: Hashable | None = None,
+    ):
+        self.device = device
+        self.targets = targets
+        self.mapping = mapping
+        self.seed = seed
+        self.key = key
+        self._spec = get_mapping_spec(mapping)
+        self._cost_models: dict | None = None
+        self._metrics: dict | None = None
+        self._fanout_ready = False
+
+    def mapping_context(self) -> tuple[dict | None, dict | None]:
+        """Per-strategy cost models + metrics for in-process compilation.
+
+        Derived once per context, not once per circuit: ``Target.cost_model``
+        memoises on the target and the metric's all-pairs weighted distances
+        depend only on (device, cost model).  Process workers skip this
+        entirely -- they derive their own from the shipped snapshots.
+        """
+        if not self._spec.requires_cost_model:
+            return None, None
+        if self._metrics is None:
+            self._cost_models = {
+                strategy: target.cost_model()
+                for strategy, target in self.targets.items()
+            }
+            self._metrics = {
+                strategy: self._spec.build(self.device, cost_model)
+                for strategy, cost_model in self._cost_models.items()
+            }
+        return self._cost_models, self._metrics
+
+    def prepare_for_fanout(self) -> None:
+        """Resolve every lazy input before concurrent compilation.
+
+        Forces each target's full edge set and the device's distance matrix
+        -- the device's lazy calibration/distance caches are not guarded by
+        locks, and process workers cannot share them at all.  Serial dispatch
+        never calls this, preserving per-edge laziness for small workloads.
+        """
+        if self._fanout_ready:
+            return
+        for target in self.targets.values():
+            target.complete()
+        if self.device.n_qubits:
+            self.device.distance(0, 0)
+        self._fanout_ready = True
+
+    def compile_one(self, circuit: QuantumCircuit) -> dict[str, CompiledCircuit]:
+        """Compile one circuit in-process against this context."""
+        cost_models, metrics = self.mapping_context()
+        return compile_with_targets(
+            circuit,
+            self.device,
+            self.targets,
+            seed=self.seed,
+            mapping=self.mapping,
+            cost_models=cost_models,
+            metrics=metrics,
+        )
+
+    def worker_initargs(self) -> tuple:
+        """The pickled payload a process-pool initializer needs."""
+        self.prepare_for_fanout()
+        return (
+            pickle.dumps(self.device),
+            {strategy: target.to_dict() for strategy, target in self.targets.items()},
+            self.seed,
+            self.mapping,
+        )
+
+
+#: Per-worker state installed by :func:`_init_process_worker`.  A process pool
+#: ships the (calibration-stripped) device and the completed targets exactly
+#: once per worker instead of once per task.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_process_worker(
+    device_bytes: bytes, target_payloads: dict[str, dict], seed: int, mapping: str
+) -> None:
+    _WORKER_CONTEXT["device"] = pickle.loads(device_bytes)
+    _WORKER_CONTEXT["targets"] = {
+        strategy: Target.from_dict(payload)
+        for strategy, payload in target_payloads.items()
+    }
+    _WORKER_CONTEXT["seed"] = seed
+    _WORKER_CONTEXT["mapping"] = mapping
+    spec = get_mapping_spec(mapping)
+    if spec.requires_cost_model:
+        # Derive each strategy's cost model (and its metric's all-pairs
+        # distance matrix) once per worker, not once per circuit;
+        # serialization round-trips selections exactly, so the derived costs
+        # and Dijkstra distances are byte-identical to the parent's.
+        _WORKER_CONTEXT["cost_models"] = {
+            strategy: target.cost_model()
+            for strategy, target in _WORKER_CONTEXT["targets"].items()
+        }
+        _WORKER_CONTEXT["metrics"] = {
+            strategy: spec.build(_WORKER_CONTEXT["device"], cost_model)
+            for strategy, cost_model in _WORKER_CONTEXT["cost_models"].items()
+        }
+    else:
+        _WORKER_CONTEXT["cost_models"] = None
+        _WORKER_CONTEXT["metrics"] = None
+
+
+def _compile_in_process_worker(circuit: QuantumCircuit) -> dict[str, CompiledCircuit]:
+    results = compile_with_targets(
+        circuit,
+        _WORKER_CONTEXT["device"],
+        _WORKER_CONTEXT["targets"],
+        seed=_WORKER_CONTEXT["seed"],
+        mapping=_WORKER_CONTEXT["mapping"],
+        cost_models=_WORKER_CONTEXT["cost_models"],
+        metrics=_WORKER_CONTEXT["metrics"],
+    )
+    for compiled in results.values():
+        # The parent re-attaches its own device; shipping the worker's copy
+        # back with every result would dominate the IPC payload.
+        compiled.device = None
+    return results
+
+
+class BatchDispatcher:
+    """Executes compilation batches over a (possibly persistent) worker pool.
+
+    ``max_workers=None`` or ``<= 1`` dispatches serially in the calling
+    thread, preserving per-edge target laziness.  Otherwise ``executor``
+    selects the fan-out flavour:
+
+    * ``"thread"`` -- one :class:`ThreadPoolExecutor`, created lazily and
+      kept for the dispatcher's lifetime.  Contexts share the device
+      in-process, so nothing is shipped.
+    * ``"process"`` -- a :class:`ProcessPoolExecutor` whose workers are
+      initialized with the context's pickled device + target snapshots.  The
+      pool is kept while consecutive contexts carry the same non-None
+      ``key`` and rebuilt (workers re-initialized) when the key changes.
+
+    Dispatchers are safe to share across threads: thread-pool dispatches run
+    concurrently, while process-pool dispatches serialize end to end behind
+    an internal lock (rotating the pool on a key change must never tear it
+    down under another thread's in-flight batch).
+
+    Use as a context manager, or call :meth:`close` when done; the one-shot
+    ``transpile_batch`` wrapper does exactly that.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: str = "thread",
+        max_workers: int | None = None,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.executor = executor
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        # Process dispatches serialize end to end: pool rotation on a key
+        # change must never shut a pool down while another thread's map()
+        # is still running on it.  Lock order is _process_lock -> _lock.
+        self._process_lock = threading.Lock()
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._process_key: Hashable | None = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "BatchDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down any live pools; the dispatcher is unusable afterwards."""
+        with self._process_lock:
+            with self._lock:
+                self._closed = True
+                if self._thread_pool is not None:
+                    self._thread_pool.shutdown(wait=True)
+                    self._thread_pool = None
+                if self._process_pool is not None:
+                    self._process_pool.shutdown(wait=True)
+                    self._process_pool = None
+                    self._process_key = None
+
+    @property
+    def fans_out(self) -> bool:
+        """True when dispatches may use a worker pool at all."""
+        return self.max_workers is not None and self.max_workers > 1
+
+    # -- dispatch -------------------------------------------------------------
+
+    def dispatch(
+        self, circuits: Sequence[QuantumCircuit], context: DispatchContext
+    ) -> list[dict[str, CompiledCircuit]]:
+        """Compile every circuit against the context, in input order.
+
+        Serial when the dispatcher has no fan-out width or the batch has a
+        single circuit (pool overhead cannot pay for itself); otherwise the
+        batch fans out over the configured executor.
+        """
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        circuits = list(circuits)
+        if not self.fans_out or len(circuits) <= 1:
+            # Serial: selections resolve lazily, so a small workload only
+            # pays for the edges it touches -- like single-circuit transpile.
+            return [context.compile_one(circuit) for circuit in circuits]
+        if self.executor == "process":
+            return self._dispatch_process(circuits, context)
+        return self._dispatch_thread(circuits, context)
+
+    def _dispatch_thread(
+        self, circuits: list[QuantumCircuit], context: DispatchContext
+    ) -> list[dict[str, CompiledCircuit]]:
+        context.prepare_for_fanout()
+        context.mapping_context()  # derive shared models once, pre-fan-out
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            pool = self._thread_pool
+        return list(pool.map(context.compile_one, circuits))
+
+    def _dispatch_process(
+        self, circuits: list[QuantumCircuit], context: DispatchContext
+    ) -> list[dict[str, CompiledCircuit]]:
+        # The whole dispatch holds _process_lock: a concurrent dispatch with
+        # a different key would otherwise rotate (shut down) the pool while
+        # this thread's map() is still running on it.
+        with self._process_lock:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("dispatcher is closed")
+            reusable = (
+                self._process_pool is not None
+                and context.key is not None
+                and context.key == self._process_key
+            )
+            if not reusable:
+                if self._process_pool is not None:
+                    self._process_pool.shutdown(wait=True)
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_init_process_worker,
+                    initargs=context.worker_initargs(),
+                )
+                self._process_key = context.key
+            batch = list(self._process_pool.map(_compile_in_process_worker, circuits))
+        for results in batch:
+            for compiled in results.values():
+                compiled.device = context.device
+        return batch

@@ -16,7 +16,7 @@ stages::
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.compiler.basis_translation import TranslationOptions
 from repro.compiler.cost import DEFAULT_MAPPING, validate_mapping

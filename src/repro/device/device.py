@@ -8,7 +8,6 @@ trajectories and selected basis gates for each selection strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 import networkx as nx

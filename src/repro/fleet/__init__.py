@@ -47,6 +47,7 @@ from repro.fleet.sweep import (
     aggregate_cells,
     aggregate_label,
     build_circuit,
+    circuit_qubit_count,
     compare_mappings,
     run_sweep,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "aggregate_cells",
     "aggregate_label",
     "build_circuit",
+    "circuit_qubit_count",
     "compare_mappings",
     "run_sweep",
 ]

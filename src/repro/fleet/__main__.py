@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import fields as dataclass_fields
 
 from repro.compiler.cost import available_mapping_names
@@ -115,22 +116,29 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> FleetResult:
     args = build_parser().parse_args(argv)
     topology_texts = args.topologies or list(DEFAULT_TOPOLOGIES)
-    spec = FleetSpec(
-        topologies=tuple(TopologySpec.parse(text) for text in topology_texts),
-        draws=args.draws,
-        base_seed=args.seed,
-        strategies=tuple(args.strategies),
-        baseline_strategy=args.baseline,
-        circuits=tuple(args.circuits),
-        mappings=tuple(args.mappings),
-        compile_seed=args.compile_seed,
-        max_workers=args.workers,
-        executor=args.executor,
-        cache_dir=args.cache_dir,
-        coherence_time_us=args.coherence_us,
-        single_qubit_gate_ns=args.gate_ns,
-    )
-    result = run_sweep(spec)
+    try:
+        spec = FleetSpec(
+            topologies=tuple(TopologySpec.parse(text) for text in topology_texts),
+            draws=args.draws,
+            base_seed=args.seed,
+            strategies=tuple(args.strategies),
+            baseline_strategy=args.baseline,
+            circuits=tuple(args.circuits),
+            mappings=tuple(args.mappings),
+            compile_seed=args.compile_seed,
+            max_workers=args.workers,
+            executor=args.executor,
+            cache_dir=args.cache_dir,
+            coherence_time_us=args.coherence_us,
+            single_qubit_gate_ns=args.gate_ns,
+        )
+        result = run_sweep(spec)
+    except ValueError as error:
+        # Malformed specs (bad topology/circuit/strategy names, impossible
+        # circuit sizes, ...) exit nonzero with a one-line readable message
+        # instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
     if not args.quiet:
         print(
             f"Fleet: {spec.device_count} devices "

@@ -42,6 +42,23 @@ from repro.fleet.devices import device_fingerprint
 CACHE_FORMAT_VERSION = 2
 
 
+def target_cache_key(device, strategy: str, fingerprint: str | None = None) -> str:
+    """The content-addressed key for one (device, strategy) cell.
+
+    Shared by the on-disk :class:`TargetCache` and the service layer's
+    in-memory hot cache (:class:`~repro.service.hotcache.TargetHotCache`),
+    so the two cache layers always agree on entry identity.
+    """
+    fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
+    safe_strategy = re.sub(r"[^A-Za-z0-9_.-]", "_", strategy)
+    if safe_strategy != strategy:
+        # Sanitization can collide distinct names (e.g. "crit@v2" and
+        # "crit_v2"); a digest of the raw name keeps their keys apart.
+        digest = hashlib.sha256(strategy.encode("utf-8")).hexdigest()[:8]
+        safe_strategy = f"{safe_strategy}.{digest}"
+    return f"{fingerprint}-{safe_strategy}-g{REGISTRY.generation(strategy)}"
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one :class:`TargetCache` instance."""
@@ -76,14 +93,7 @@ class TargetCache:
 
     def cache_key(self, device, strategy: str, fingerprint: str | None = None) -> str:
         """The content-addressed key for one (device, strategy) cell."""
-        fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
-        safe_strategy = re.sub(r"[^A-Za-z0-9_.-]", "_", strategy)
-        if safe_strategy != strategy:
-            # Sanitization can collide distinct names (e.g. "crit@v2" and
-            # "crit_v2"); a digest of the raw name keeps their keys apart.
-            digest = hashlib.sha256(strategy.encode("utf-8")).hexdigest()[:8]
-            safe_strategy = f"{safe_strategy}.{digest}"
-        return f"{fingerprint}-{safe_strategy}-g{REGISTRY.generation(strategy)}"
+        return target_cache_key(device, strategy, fingerprint)
 
     def path_for(self, device, strategy: str, fingerprint: str | None = None) -> Path:
         """Where the entry for one (device, strategy) cell lives on disk."""

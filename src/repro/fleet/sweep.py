@@ -3,8 +3,10 @@
 :func:`run_sweep` is the engine's entry point.  For each device of the fleet
 it obtains one completed :class:`Target` per strategy -- from the persistent
 :class:`~repro.fleet.cache.TargetCache` when the spec names a ``cache_dir``,
-else built in-memory -- and pushes the whole circuit suite through
-``transpile_batch`` (serial, thread- or process-pooled per the spec).  The
+else built in-memory -- and pushes the whole circuit suite through the
+shared dispatch core (:class:`~repro.compiler.pipeline.dispatch.BatchDispatcher`,
+serial, thread- or process-pooled per the spec; one pool persists across the
+whole sweep).  The
 per-cell fidelities and durations aggregate into per-strategy distributions
 (mean, p50, p95) plus a win rate against the spec's fixed-basis baseline,
 demonstrating the paper's claim across topologies and frequency draws rather
@@ -15,6 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable
 
@@ -28,7 +31,7 @@ from repro.circuits.library import (
     qaoa_circuit,
     qft_circuit,
 )
-from repro.compiler.pipeline.batch import transpile_batch
+from repro.compiler.pipeline.dispatch import BatchDispatcher, DispatchContext
 from repro.compiler.pipeline.registry import validate_strategy
 from repro.compiler.pipeline.target import build_target
 from repro.fleet.cache import TargetCache
@@ -46,6 +49,17 @@ _CIRCUIT_FAMILIES: dict[str, Callable[..., QuantumCircuit]] = {
     "cuccaro": lambda n: cuccaro_adder(n),
     "qaoa": lambda density, n: qaoa_circuit(n, density, seed=_QAOA_GRAPH_SEED),
 }
+
+
+@lru_cache(maxsize=512)
+def circuit_qubit_count(name: str) -> int:
+    """Qubit count of a named benchmark circuit (memoised).
+
+    Request validation needs only the width, not the gate list; caching it
+    keeps per-request parsing O(1) instead of rebuilding e.g. a full
+    ``qft_10`` on every wire message.
+    """
+    return build_circuit(name).n_qubits
 
 
 def build_circuit(name: str) -> QuantumCircuit:
@@ -374,47 +388,59 @@ def run_sweep(spec: FleetSpec) -> FleetResult:
     cache = TargetCache(spec.cache_dir) if spec.cache_dir is not None else None
 
     cells: list[CellResult] = []
-    for scenario in fleet_scenarios(spec):
-        device = build_device(scenario, spec)
-        if cache is not None:
-            fingerprint = device_fingerprint(device)  # hash the device once
-            targets = {
-                strategy: cache.get_or_build(device, strategy, fingerprint=fingerprint)
-                for strategy in spec.strategies
-            }
-        else:
-            targets = {
-                strategy: build_target(device, strategy) for strategy in spec.strategies
-            }
-        for mapping in spec.mappings:
-            batch = transpile_batch(
-                circuits,
-                device,
-                spec.strategies,
-                seed=spec.compile_seed,
-                max_workers=spec.max_workers,
-                executor=spec.executor,
-                targets=targets,
-                mapping=mapping,
-            )
-            for name, compiled in zip(spec.circuits, batch):
-                for strategy in spec.strategies:
-                    cell = compiled[strategy]
-                    cells.append(
-                        CellResult(
-                            scenario=scenario.scenario_id,
-                            topology=scenario.topology.label,
-                            device_seed=scenario.seed,
-                            circuit=name,
-                            strategy=strategy,
-                            mapping=mapping,
-                            fidelity=float(cell.fidelity),
-                            duration_ns=float(cell.total_duration),
-                            swap_count=int(cell.swap_count),
-                            swap_duration_ns=float(cell.swap_duration_ns),
-                            two_qubit_layers=int(cell.two_qubit_layer_count),
-                        )
+    # One dispatcher for the whole sweep: its worker pool persists across
+    # scenarios instead of being torn down per (device, mapping) batch.  The
+    # service layer shares this exact dispatch core (docs/service.md).
+    with BatchDispatcher(
+        executor=spec.executor, max_workers=spec.max_workers
+    ) as dispatcher:
+        for scenario in fleet_scenarios(spec):
+            device = build_device(scenario, spec)
+            if cache is not None:
+                fingerprint = device_fingerprint(device)  # hash the device once
+                targets = {
+                    strategy: cache.get_or_build(
+                        device, strategy, fingerprint=fingerprint
                     )
+                    for strategy in spec.strategies
+                }
+            else:
+                targets = {
+                    strategy: build_target(device, strategy)
+                    for strategy in spec.strategies
+                }
+            for mapping in spec.mappings:
+                context = DispatchContext(
+                    device,
+                    targets,
+                    mapping=mapping,
+                    seed=spec.compile_seed,
+                    key=(
+                        scenario.scenario_id,
+                        spec.strategies,
+                        mapping,
+                        spec.compile_seed,
+                    ),
+                )
+                batch = dispatcher.dispatch(circuits, context)
+                for name, compiled in zip(spec.circuits, batch):
+                    for strategy in spec.strategies:
+                        cell = compiled[strategy]
+                        cells.append(
+                            CellResult(
+                                scenario=scenario.scenario_id,
+                                topology=scenario.topology.label,
+                                device_seed=scenario.seed,
+                                circuit=name,
+                                strategy=strategy,
+                                mapping=mapping,
+                                fidelity=float(cell.fidelity),
+                                duration_ns=float(cell.total_duration),
+                                swap_count=int(cell.swap_count),
+                                swap_duration_ns=float(cell.swap_duration_ns),
+                                two_qubit_layers=int(cell.two_qubit_layer_count),
+                            )
+                        )
 
     return FleetResult(
         spec=spec,

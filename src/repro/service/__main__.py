@@ -1,0 +1,224 @@
+"""Command-line entry points for the compilation service.
+
+Two subcommands::
+
+    # Long-lived JSON-lines TCP server (Ctrl-C or the 'shutdown' op stops
+    # it; final metrics are printed as JSON on exit):
+    python -m repro.service serve --port 7421 --cache-dir .service-cache
+
+    # Load generator: in-process by default, or against a running server
+    # with --connect HOST:PORT; prints the load report as JSON:
+    python -m repro.service load --circuits ghz_4 bv_5 --repeats 3 \
+        --device-seeds 11 12 --output service_load.json
+
+Malformed arguments and requests exit nonzero with a one-line readable
+message -- never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import sys
+from pathlib import Path
+
+from repro.compiler.cost import available_mapping_names
+from repro.compiler.pipeline.dispatch import EXECUTORS
+from repro.service.loadgen import LoadSpec, run_phase_inprocess, run_phase_wire
+from repro.service.net import ServiceServer
+from repro.service.requests import RequestError
+from repro.service.service import CompilationService, ServiceConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="High-throughput compilation service over the per-edge "
+        "basis-gate pipeline.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the JSON-lines TCP server until shutdown"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7421, help="bind port (0 = ephemeral)"
+    )
+    load = commands.add_parser(
+        "load", help="generate compile traffic and print a JSON report"
+    )
+    for sub in (serve, load):
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persistent on-disk target cache directory",
+        )
+        sub.add_argument(
+            "--target-capacity",
+            type=int,
+            default=64,
+            help="bound of the in-memory hot target LRU",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="fan-out width per micro-batch; omitted or <= 1 compiles "
+            "in the service thread",
+        )
+        sub.add_argument(
+            "--executor",
+            choices=EXECUTORS,
+            default="thread",
+            help="worker-pool flavour when --workers > 1",
+        )
+        sub.add_argument(
+            "--batch-window-ms",
+            type=float,
+            default=2.0,
+            help="how long to wait for co-batchable requests",
+        )
+        sub.add_argument(
+            "--max-batch", type=int, default=32, help="micro-batch size cap"
+        )
+        sub.add_argument(
+            "--output",
+            default=None,
+            metavar="PATH",
+            help="also write the final JSON document here",
+        )
+
+    load.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running 'serve' instance instead of in-process",
+    )
+    load.add_argument(
+        "--circuits",
+        nargs="+",
+        default=["ghz_4", "bv_5", "qft_4"],
+        help="fleet circuit names to request",
+    )
+    load.add_argument("--topology", default="grid:3x3", help="device topology label")
+    load.add_argument(
+        "--device-seeds",
+        nargs="+",
+        type=int,
+        default=[11],
+        help="device frequency seeds (one simulated device each)",
+    )
+    load.add_argument(
+        "--strategies",
+        nargs="+",
+        default=["baseline", "criterion2"],
+        help="strategies each request compiles under",
+    )
+    load.add_argument(
+        "--mapping",
+        default="hop_count",
+        help=f"mapping metric (registered: {list(available_mapping_names())})",
+    )
+    load.add_argument(
+        "--compile-seed", type=int, default=17, help="layout/routing seed"
+    )
+    load.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="passes over the request list (repeats > 1 exercise hot caches)",
+    )
+    load.add_argument(
+        "--concurrency", type=int, default=8, help="in-flight request cap"
+    )
+    return parser
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        cache_dir=args.cache_dir,
+        target_capacity=args.target_capacity,
+        executor=args.executor,
+        max_workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+    )
+
+
+async def _run_serve(args: argparse.Namespace) -> dict:
+    service = CompilationService(_service_config(args))
+    server = ServiceServer(service, host=args.host, port=args.port)
+    await server.start()
+    host, port = server.address
+    print(f"serving on {host}:{port} (JSON lines; op=shutdown stops)", file=sys.stderr)
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, server.request_shutdown)
+    except ImportError:  # pragma: no cover - signal is stdlib everywhere
+        pass
+    metrics = await server.serve_until_shutdown()
+    return metrics
+
+
+async def _run_load(args: argparse.Namespace) -> dict:
+    spec = LoadSpec(
+        circuits=tuple(args.circuits),
+        topology=args.topology,
+        device_seeds=tuple(args.device_seeds),
+        strategies=tuple(args.strategies),
+        mapping=args.mapping,
+        seed=args.compile_seed,
+        repeats=args.repeats,
+        concurrency=args.concurrency,
+    )
+    requests = spec.requests()  # validates every field before any traffic
+    if args.connect is not None:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise RequestError(
+                f"cannot parse --connect {args.connect!r}; expected HOST:PORT"
+            )
+        phase = await run_phase_wire(
+            host, int(port_text), requests, spec.concurrency, name="wire"
+        )
+        return {"load": phase, "connect": args.connect}
+    async with CompilationService(_service_config(args)) as service:
+        phase = await run_phase_inprocess(
+            service, requests, spec.concurrency, name="in-process"
+        )
+        return {"load": phase, "service": service.metrics_snapshot()}
+
+
+def main(argv: list[str] | None = None) -> dict:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            document = asyncio.run(_run_serve(args))
+        else:
+            document = asyncio.run(_run_load(args))
+    except (RequestError, ValueError, ConnectionError, OSError) as error:
+        # Covers malformed specs AND an unreachable --connect target: both
+        # exit 2 with a one-line message, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+    except KeyboardInterrupt as error:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        raise SystemExit(130) from error
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Bounded in-process LRU of hot ``Target`` snapshots over the disk cache.
+
+The compilation service answers most traffic from a small working set of
+(device, strategy) pairs.  :class:`TargetHotCache` keeps those pairs'
+completed :class:`~repro.compiler.pipeline.target.Target` snapshots (with
+their derived :class:`~repro.compiler.cost.CostModel`) in memory, bounded by
+an LRU capacity, layered over the persistent on-disk
+:class:`~repro.fleet.cache.TargetCache`:
+
+* **memory hit** -- the snapshot is already hot; nothing is rebuilt or read;
+* **disk hit** -- a previous run (or an evicted entry) left the snapshot in
+  the on-disk cache; it deserializes without touching device calibration;
+* **build** -- the target is built from the device (per-edge trajectory
+  simulation -- the expensive path), completed, persisted to disk when a
+  disk layer is configured, and promoted to memory.
+
+Both layers key entries by the same content-addressed
+:func:`~repro.fleet.cache.target_cache_key` (device fingerprint + strategy +
+registry generation), so in-place device mutation or strategy
+re-registration naturally miss instead of serving stale selections.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compiler.pipeline.target import Target, build_target
+from repro.fleet.cache import TargetCache, target_cache_key
+from repro.fleet.devices import device_fingerprint
+
+#: Where a served target came from (reported per request in service metrics).
+SOURCES = ("memory", "disk", "built")
+
+
+@dataclass
+class HotCacheStats:
+    """Per-layer hit counters for one :class:`TargetHotCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    builds: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.memory_hits + self.disk_hits + self.builds
+
+    @property
+    def warm_rate(self) -> float:
+        """Fraction of lookups that avoided a target build (0.0 when none)."""
+        if not self.lookups:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / self.lookups
+
+    def as_dict(self) -> dict:
+        """Plain-data form for metrics snapshots."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "builds": self.builds,
+            "warm_rate": self.warm_rate,
+        }
+
+
+class TargetHotCache:
+    """LRU of completed targets, optionally backed by an on-disk cache.
+
+    ``capacity`` bounds the in-memory layer; the least-recently-used entry
+    is evicted first.  ``cache_dir=None`` runs memory-only (evicted entries
+    rebuild); otherwise evicted entries are still one disk read away.
+    """
+
+    def __init__(self, capacity: int = 64, cache_dir: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.disk = TargetCache(cache_dir) if cache_dir is not None else None
+        self.stats = HotCacheStats()
+        self._lru: OrderedDict[str, Target] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lru
+
+    def get(
+        self, device, strategy: str, fingerprint: str | None = None
+    ) -> tuple[Target, str]:
+        """The completed target for a cell, plus which layer served it.
+
+        Returns ``(target, source)`` with ``source`` one of :data:`SOURCES`.
+        ``fingerprint`` lets callers that already hashed the device (it walks
+        every edge) skip re-hashing.
+        """
+        fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
+        key = target_cache_key(device, strategy, fingerprint)
+        target = self._lru.get(key)
+        if target is not None:
+            self._lru.move_to_end(key)
+            self.stats.memory_hits += 1
+            return target, "memory"
+        if self.disk is not None:
+            target = self.disk.load(device, strategy, fingerprint)
+            if target is not None:
+                self.stats.disk_hits += 1
+                self._admit(key, target)
+                return target, "disk"
+        # The expensive path: per-edge basis-gate selection on the device.
+        target = build_target(device, strategy).complete()
+        if self.disk is not None:
+            self.disk.store(device, strategy, target, fingerprint)
+        # Derive the cost model while the entry is hot so basis-aware
+        # requests never pay for it inside a dispatch.
+        target.cost_model()
+        self.stats.builds += 1
+        self._admit(key, target)
+        return target, "built"
+
+    def _admit(self, key: str, target: Target) -> None:
+        self._lru[key] = target
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is left untouched)."""
+        self._lru.clear()
+
+    def as_dict(self) -> dict:
+        """Metrics snapshot: layer sizes and hit counters."""
+        payload = {
+            "capacity": self.capacity,
+            "entries": len(self._lru),
+            **self.stats.as_dict(),
+        }
+        if self.disk is not None:
+            payload["disk"] = {
+                "root": str(self.disk.root),
+                **self.disk.stats.as_dict(),
+            }
+        return payload

@@ -1,0 +1,142 @@
+"""Load generation for the compilation service.
+
+Builds deterministic request workloads (the cross product of circuits x
+device seeds, repeated) and fires them at a service -- either **in-process**
+against a :class:`~repro.service.service.CompilationService` (how
+``benchmarks/bench_service.py`` measures cold-vs-warm throughput without
+socket noise) or **over the wire** against a running
+``python -m repro.service serve`` (several JSON-lines connections, each
+pipelining its share of the workload).
+
+Both paths report the same phase document: client-observed wall time,
+throughput, latency percentiles and error count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.service.metrics import percentiles
+from repro.service.net import ServiceClient
+from repro.service.requests import CompileRequest
+from repro.service.service import CompilationService
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """A deterministic request workload.
+
+    The request list is ``circuits x device_seeds``, in that nesting order,
+    repeated ``repeats`` times -- every repeat after the first re-requests
+    identical (device, strategy) cells, which is what exercises the
+    service's hot-target path.
+    """
+
+    circuits: tuple[str, ...] = ("ghz_4", "bv_5", "qft_4")
+    topology: str = "grid:3x3"
+    device_seeds: tuple[int, ...] = (11,)
+    strategies: tuple[str, ...] = ("baseline", "criterion2")
+    mapping: str = "hop_count"
+    seed: int = 17
+    repeats: int = 1
+    concurrency: int = 8
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be positive")
+
+    def requests(self) -> list[CompileRequest]:
+        """The validated request list (raises RequestError on bad fields)."""
+        one_pass = [
+            CompileRequest(
+                circuit=circuit,
+                topology=self.topology,
+                device_seed=device_seed,
+                strategies=self.strategies,
+                mapping=self.mapping,
+                seed=self.seed,
+            )
+            for device_seed in self.device_seeds
+            for circuit in self.circuits
+        ]
+        return one_pass * self.repeats
+
+
+def _phase_document(
+    name: str, latencies_ms: list[float], wall_time_s: float, errors: int
+) -> dict:
+    completed = len(latencies_ms)
+    return {
+        "phase": name,
+        "requests": completed,
+        "errors": errors,
+        "wall_time_s": wall_time_s,
+        "throughput_rps": completed / wall_time_s if wall_time_s > 0 else 0.0,
+        "latency_ms": percentiles(latencies_ms),
+    }
+
+
+async def run_phase_inprocess(
+    service: CompilationService,
+    requests: list[CompileRequest],
+    concurrency: int,
+    name: str = "load",
+) -> dict:
+    """Fire a request list at an in-process service; returns the phase doc."""
+    semaphore = asyncio.Semaphore(concurrency)
+    latencies: list[float] = []
+    errors = 0
+
+    async def one(request: CompileRequest) -> None:
+        nonlocal errors
+        async with semaphore:
+            started = time.perf_counter()
+            try:
+                await service.compile(request)
+            except Exception:  # noqa: BLE001 - load gen counts, never raises
+                errors += 1
+                return
+            latencies.append((time.perf_counter() - started) * 1000.0)
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(one(request) for request in requests))
+    wall_time = time.perf_counter() - wall_start
+    return _phase_document(name, latencies, wall_time, errors)
+
+
+async def run_phase_wire(
+    host: str,
+    port: int,
+    requests: list[CompileRequest],
+    concurrency: int,
+    name: str = "load",
+) -> dict:
+    """Fire a request list over TCP using ``concurrency`` connections."""
+    lanes: list[list[CompileRequest]] = [[] for _ in range(concurrency)]
+    for index, request in enumerate(requests):
+        lanes[index % concurrency].append(request)
+    latencies: list[float] = []
+    errors = 0
+
+    async def drain(lane: list[CompileRequest]) -> None:
+        nonlocal errors
+        if not lane:
+            return
+        async with ServiceClient(host, port) as client:
+            for request in lane:
+                started = time.perf_counter()
+                try:
+                    await client.compile(**request.to_dict())
+                except Exception:  # noqa: BLE001 - load gen counts, never raises
+                    errors += 1
+                    continue
+                latencies.append((time.perf_counter() - started) * 1000.0)
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(drain(lane) for lane in lanes))
+    wall_time = time.perf_counter() - wall_start
+    return _phase_document(name, latencies, wall_time, errors)

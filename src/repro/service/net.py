@@ -1,0 +1,186 @@
+"""TCP JSON-lines front end for the compilation service.
+
+One request per line, one response per line (both UTF-8 JSON).  The wire
+envelope is deliberately tiny -- stdlib asyncio streams only, no web
+framework:
+
+Request lines::
+
+    {"op": "compile", "circuit": "ghz_4", "topology": "grid:3x3", ...}
+    {"op": "metrics"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Response lines::
+
+    {"ok": true, "result": {...}}
+    {"ok": false, "error": "readable message"}
+
+Malformed traffic (bad JSON, unknown ``op``, invalid request fields) is
+answered with ``ok: false`` and a client-readable message; the connection
+stays open.  ``shutdown`` asks the server to stop accepting and drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.requests import RequestError
+from repro.service.service import CompilationService
+
+#: Operations the wire protocol understands.
+OPS = ("compile", "metrics", "ping", "shutdown")
+
+
+class ServiceServer:
+    """An asyncio TCP server wrapping one :class:`CompilationService`."""
+
+    def __init__(
+        self, service: CompilationService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) -- useful with ``port=0`` (ephemeral)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "ServiceServer":
+        """Start the service (if needed) and begin accepting connections."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self
+
+    async def serve_until_shutdown(self) -> dict:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`);
+        returns the service's final metrics snapshot."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        return await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_until_shutdown` to wind the server down."""
+        self._shutdown.set()
+
+    async def stop(self) -> dict:
+        """Close the listener and stop the service; returns final metrics."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._shutdown.set()
+        return await self.service.stop()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                response = await self._handle_line(text)
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+                if response.get("shutdown"):
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return  # client went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+
+    async def _handle_line(self, text: str) -> dict:
+        try:
+            message = json.loads(text)
+        except ValueError:
+            return {"ok": False, "error": f"invalid JSON: {text[:120]!r}"}
+        if not isinstance(message, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = message.pop("op", "compile")
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "metrics":
+            return {"ok": True, "result": self.service.metrics_snapshot()}
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"ok": True, "result": "shutting down", "shutdown": True}
+        if op == "compile":
+            try:
+                response = await self.service.compile(message)
+            except RequestError as error:
+                return {"ok": False, "error": str(error)}
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                return {"ok": False, "error": f"internal error: {error}"}
+            return {"ok": True, "result": response.to_dict()}
+        return {"ok": False, "error": f"unknown op {op!r}; expected one of {list(OPS)}"}
+
+
+class ServiceClient:
+    """A minimal JSON-lines client for :class:`ServiceServer`."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, message: dict) -> dict:
+        """Send one envelope and return the decoded response envelope."""
+        if self._writer is None or self._reader is None:
+            raise RuntimeError("client is not connected")
+        self._writer.write((json.dumps(message) + "\n").encode("utf-8"))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    async def compile(self, **fields) -> dict:
+        """Compile via the wire; raises :class:`RequestError` on rejection."""
+        envelope = await self.request({"op": "compile", **fields})
+        if not envelope.get("ok"):
+            raise RequestError(envelope.get("error", "unknown service error"))
+        return envelope["result"]
+
+    async def metrics(self) -> dict:
+        envelope = await self.request({"op": "metrics"})
+        return envelope["result"]
+
+    async def shutdown(self) -> None:
+        await self.request({"op": "shutdown"})

@@ -1,0 +1,213 @@
+"""Request/response model for the compilation service.
+
+A :class:`CompileRequest` names everything one compilation needs -- a
+benchmark circuit, a device (topology + seed + physical constants, i.e. the
+same axes the fleet engine sweeps), the basis-gate strategies to compile
+under, the mapping metric and the layout/routing seed.  Requests parse from
+plain dicts (the JSON wire format of ``python -m repro.service``) with
+readable errors: :class:`RequestError` messages are meant to be shown to a
+client verbatim, never as a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.compiler.cost import validate_mapping
+from repro.compiler.pipeline.registry import available_strategy_names, validate_strategy
+from repro.fleet.spec import TopologySpec
+from repro.fleet.sweep import circuit_qubit_count
+
+#: Default physical constants -- match :class:`repro.fleet.spec.FleetSpec`.
+DEFAULT_COHERENCE_US = 80.0
+DEFAULT_GATE_NS = 20.0
+
+
+class RequestError(ValueError):
+    """A malformed compile request; the message is client-readable."""
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One unit of service traffic.
+
+    Attributes:
+        circuit: fleet circuit name, e.g. ``ghz_4``, ``qaoa_0.33_8``.
+        topology: device topology label, e.g. ``grid:3x3``, ``heavy_hex:2``.
+        device_seed: frequency-draw seed of the simulated device.
+        strategies: basis-gate strategies to compile under (one compiled
+            circuit per strategy comes back).
+        mapping: layout/routing metric name.
+        seed: layout/routing seed.
+        coherence_us: per-qubit coherence time of the device.
+        gate_ns: single-qubit gate duration of the device.
+    """
+
+    circuit: str
+    topology: str = "grid:3x3"
+    device_seed: int = 11
+    strategies: tuple[str, ...] = ("criterion2",)
+    mapping: str = "hop_count"
+    seed: int = 17
+    coherence_us: float = DEFAULT_COHERENCE_US
+    gate_ns: float = DEFAULT_GATE_NS
+
+    def __post_init__(self) -> None:
+        try:
+            spec = TopologySpec.parse(self.topology)
+            for strategy in self.strategies:
+                validate_strategy(strategy)
+            validate_mapping(self.mapping)
+            width = circuit_qubit_count(self.circuit)
+        except ValueError as error:
+            raise RequestError(str(error)) from error
+        if not self.strategies:
+            raise RequestError("request needs at least one strategy")
+        if len(set(self.strategies)) != len(self.strategies):
+            raise RequestError(f"duplicate strategies in {list(self.strategies)}")
+        if width > spec.n_qubits:
+            raise RequestError(
+                f"circuit {self.circuit!r} needs {width} qubits but "
+                f"topology {self.topology!r} has {spec.n_qubits}"
+            )
+        if self.coherence_us <= 0 or self.gate_ns <= 0:
+            raise RequestError(
+                "coherence_us and gate_ns must be positive, got "
+                f"{self.coherence_us} and {self.gate_ns}"
+            )
+
+    @property
+    def device_key(self) -> tuple:
+        """Identity of the simulated device this request targets."""
+        return (self.topology, self.device_seed, self.coherence_us, self.gate_ns)
+
+    @property
+    def batch_key(self) -> tuple:
+        """Micro-batching key: requests with equal keys compile together.
+
+        Everything a :class:`~repro.compiler.pipeline.dispatch.DispatchContext`
+        is parameterized by -- device, strategy set, mapping and seed -- so
+        coalesced requests are exactly the ones one dispatch can serve.
+        """
+        return (self.device_key, self.strategies, self.mapping, self.seed)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CompileRequest":
+        """Parse the JSON wire form, raising readable :class:`RequestError`.
+
+        Unknown fields are rejected (a typo like ``stategy`` must not
+        silently compile with defaults).
+        """
+        if not isinstance(data, Mapping):
+            raise RequestError(
+                f"compile request must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "circuit",
+            "topology",
+            "device_seed",
+            "strategies",
+            "mapping",
+            "seed",
+            "coherence_us",
+            "gate_ns",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RequestError(
+                f"unknown request field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        if "circuit" not in data:
+            raise RequestError("compile request is missing required field 'circuit'")
+        kwargs = dict(data)
+        strategies = kwargs.pop("strategies", None)
+        if strategies is not None:
+            if isinstance(strategies, str):
+                strategies = [strategies]
+            if not isinstance(strategies, (list, tuple)) or not all(
+                isinstance(s, str) for s in strategies
+            ):
+                raise RequestError(
+                    f"strategies must be a list of names, got {strategies!r}; "
+                    f"registered: {list(available_strategy_names())}"
+                )
+            kwargs["strategies"] = tuple(strategies)
+        for name, kind in (
+            ("circuit", str),
+            ("topology", str),
+            ("mapping", str),
+        ):
+            if name in kwargs and not isinstance(kwargs[name], kind):
+                raise RequestError(f"{name} must be a string, got {kwargs[name]!r}")
+        for name in ("device_seed", "seed"):
+            if name in kwargs and not isinstance(kwargs[name], int):
+                raise RequestError(f"{name} must be an integer, got {kwargs[name]!r}")
+        for name in ("coherence_us", "gate_ns"):
+            if name in kwargs:
+                value = kwargs[name]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise RequestError(f"{name} must be a number, got {value!r}")
+                kwargs[name] = float(value)
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise RequestError(str(error)) from error
+
+    def to_dict(self) -> dict:
+        """JSON wire form (round-trips through :meth:`from_dict`)."""
+        return {
+            "circuit": self.circuit,
+            "topology": self.topology,
+            "device_seed": self.device_seed,
+            "strategies": list(self.strategies),
+            "mapping": self.mapping,
+            "seed": self.seed,
+            "coherence_us": self.coherence_us,
+            "gate_ns": self.gate_ns,
+        }
+
+
+@dataclass
+class CompileResponse:
+    """What the service returns for one :class:`CompileRequest`.
+
+    ``results`` carries the headline metrics per strategy;
+    ``target_sources`` says which cache layer served each strategy's target
+    (``memory`` / ``disk`` / ``built``); the timing fields expose where the
+    request spent its latency (coalescing wait vs compile).
+    """
+
+    request: CompileRequest
+    results: dict[str, dict] = field(default_factory=dict)
+    target_sources: dict[str, str] = field(default_factory=dict)
+    batch_size: int = 1
+    queue_ms: float = 0.0
+    compile_ms: float = 0.0
+    total_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON wire form."""
+        return {
+            "request": self.request.to_dict(),
+            "results": self.results,
+            "target_sources": self.target_sources,
+            "batch_size": self.batch_size,
+            "timing_ms": {
+                "queue": self.queue_ms,
+                "compile": self.compile_ms,
+                "total": self.total_ms,
+            },
+        }
+
+
+def summarize_compiled(compiled) -> dict:
+    """Headline metrics of one :class:`CompiledCircuit` for the wire."""
+    return {
+        "fidelity": float(compiled.fidelity),
+        "duration_ns": float(compiled.total_duration),
+        "swap_count": int(compiled.swap_count),
+        "swap_duration_ns": float(compiled.swap_duration_ns),
+        "two_qubit_layers": int(compiled.two_qubit_layer_count),
+    }

@@ -1,0 +1,348 @@
+"""The async compilation service: coalesce, batch, dispatch, measure.
+
+:class:`CompilationService` is the long-lived front end over the shared
+dispatch core.  Requests (:class:`~repro.service.requests.CompileRequest`)
+arrive one at a time via :meth:`CompilationService.compile`; the service
+
+1. **coalesces** them into micro-batches -- requests that arrive within
+   ``batch_window_ms`` of each other (up to ``max_batch``) and share a
+   batch key (device, strategies, mapping, seed) compile together through
+   one :class:`~repro.compiler.pipeline.dispatch.DispatchContext`;
+2. **serves targets hot** -- each batch's per-strategy ``Target`` /
+   ``CostModel`` snapshots come from the bounded in-memory
+   :class:`~repro.service.hotcache.TargetHotCache` layered over the on-disk
+   fleet :class:`~repro.fleet.cache.TargetCache`, so repeated traffic for
+   the same (device, strategy) never rebuilds a target;
+3. **dispatches** to one *persistent* worker pool
+   (:class:`~repro.compiler.pipeline.dispatch.BatchDispatcher`) that
+   survives across batches -- the same core ``transpile_batch`` and the
+   fleet sweep use, so service results are byte-identical to the one-shot
+   APIs under the same seeds;
+4. **measures** everything: per-request queue/compile/total latency,
+   batch shapes, throughput and per-layer cache hits
+   (:class:`~repro.service.metrics.ServiceMetrics`).
+
+The service is an asyncio component (``await service.start()`` /
+``compile()`` / ``stop()``); ``python -m repro.service`` wraps it in a TCP
+JSON-lines server and a load generator.  See docs/service.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.compiler.pipeline.dispatch import (
+    EXECUTORS,
+    BatchDispatcher,
+    DispatchContext,
+)
+from repro.compiler.pipeline.registry import REGISTRY
+from repro.device.device import Device, DeviceParameters
+from repro.fleet.spec import TopologySpec
+from repro.fleet.devices import device_fingerprint
+from repro.fleet.sweep import build_circuit
+from repro.service.hotcache import TargetHotCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import (
+    CompileRequest,
+    CompileResponse,
+    RequestError,
+    summarize_compiled,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`CompilationService`.
+
+    Attributes:
+        cache_dir: on-disk target cache directory (None = memory-only).
+        target_capacity: bound of the in-memory hot target LRU.
+        device_capacity: bound of the simulated-device LRU.
+        executor: worker-pool flavour when ``max_workers > 1``
+            (``"thread"`` or ``"process"``).
+        max_workers: fan-out width per micro-batch (None/<=1 = in-thread).
+        batch_window_ms: how long the batcher waits for co-batchable
+            requests after the first one arrives.
+        max_batch: micro-batch size cap; a full batch flushes immediately.
+    """
+
+    cache_dir: str | None = None
+    target_capacity: int = 64
+    device_capacity: int = 16
+    executor: str = "thread"
+    max_workers: int | None = None
+    batch_window_ms: float = 2.0
+    max_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.target_capacity < 1 or self.device_capacity < 1:
+            raise ValueError("cache capacities must be positive")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+
+
+class _Pending:
+    """One enqueued request awaiting its micro-batch."""
+
+    __slots__ = ("request", "future", "enqueued_at", "dispatched_at")
+
+    def __init__(self, request: CompileRequest, future: asyncio.Future):
+        self.request = request
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+        self.dispatched_at = self.enqueued_at
+
+
+#: Queue sentinel that tells the batcher to drain and exit.
+_SHUTDOWN = object()
+
+
+class CompilationService:
+    """Async facade over the hot caches and the persistent dispatcher."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.hot_targets = TargetHotCache(
+            capacity=self.config.target_capacity, cache_dir=self.config.cache_dir
+        )
+        self.dispatcher = BatchDispatcher(
+            executor=self.config.executor, max_workers=self.config.max_workers
+        )
+        self.metrics = ServiceMetrics()
+        self._devices: OrderedDict[tuple, tuple[Device, str]] = OrderedDict()
+        self._circuits: dict[str, object] = {}
+        self._state_lock = threading.Lock()
+        self._queue: asyncio.Queue | None = None
+        self._batcher: asyncio.Task | None = None
+        self._groups: set[asyncio.Task] = set()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._batcher is not None and not self._batcher.done()
+
+    async def start(self) -> "CompilationService":
+        """Spawn the micro-batching loop; idempotent."""
+        if self.running:
+            return self
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.create_task(self._batch_loop())
+        return self
+
+    async def stop(self) -> dict:
+        """Drain in-flight work, shut the pools down, return final metrics."""
+        if self._queue is not None and self.running:
+            await self._queue.put(_SHUTDOWN)
+            await self._batcher
+        if self._queue is not None:
+            # Requests that raced the shutdown sentinel must not hang their
+            # callers: fail them loudly instead of leaving futures pending.
+            while not self._queue.empty():
+                leftover = self._queue.get_nowait()
+                if leftover is not _SHUTDOWN and not leftover.future.done():
+                    leftover.future.set_exception(
+                        RuntimeError("service stopped before the request ran")
+                    )
+        if self._groups:
+            await asyncio.gather(*self._groups, return_exceptions=True)
+        await asyncio.get_running_loop().run_in_executor(None, self.dispatcher.close)
+        self._batcher = None
+        self._queue = None
+        return self.metrics_snapshot()
+
+    async def __aenter__(self) -> "CompilationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the public request path ----------------------------------------------
+
+    async def compile(self, request: CompileRequest | Mapping) -> CompileResponse:
+        """Compile one request (parsing it first when given a plain dict).
+
+        Raises:
+            RequestError: on a malformed request (client-readable message);
+                the request is counted in ``requests.failed``.
+            RuntimeError: when the service is not running.
+        """
+        if not self.running or self._queue is None:
+            raise RuntimeError("service is not running; call start() first")
+        if not isinstance(request, CompileRequest):
+            try:
+                request = CompileRequest.from_dict(request)
+            except RequestError:
+                self.metrics.record_failure()
+                raise
+        pending = _Pending(request, asyncio.get_running_loop().create_future())
+        await self._queue.put(pending)
+        try:
+            return await pending.future
+        except Exception:
+            self.metrics.record_failure()
+            raise
+
+    def metrics_snapshot(self) -> dict:
+        """Current machine-readable metrics document."""
+        return self.metrics.snapshot(cache=self.hot_targets.as_dict())
+
+    # -- micro-batching -------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        window_s = self.config.batch_window_ms / 1000.0
+        while True:
+            item = await self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            pending = [item]
+            shutdown = False
+            deadline = loop.time() + window_s
+            while len(pending) < self.config.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    shutdown = True
+                    break
+                pending.append(item)
+            groups: dict[tuple, list[_Pending]] = {}
+            for entry in pending:
+                groups.setdefault(entry.request.batch_key, []).append(entry)
+            for key, group in groups.items():
+                task = asyncio.create_task(self._run_group(key, group))
+                self._groups.add(task)
+                task.add_done_callback(self._groups.discard)
+            if shutdown:
+                return
+
+    async def _run_group(self, key: tuple, group: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        for entry in group:
+            entry.dispatched_at = time.perf_counter()
+        try:
+            responses = await loop.run_in_executor(
+                None, self._execute_batch, key, group
+            )
+        except Exception as error:  # noqa: BLE001 - forwarded to every waiter
+            for entry in group:
+                if not entry.future.done():
+                    entry.future.set_exception(error)
+            return
+        for entry, response in zip(group, responses):
+            if not entry.future.done():
+                entry.future.set_result(response)
+
+    # -- batch execution (worker-thread side) ---------------------------------
+
+    def _device_for(self, request: CompileRequest) -> tuple[Device, str]:
+        """The (device, fingerprint) for a request's device key, LRU-cached."""
+        key = request.device_key
+        with self._state_lock:
+            hit = self._devices.get(key)
+            if hit is not None:
+                self._devices.move_to_end(key)
+                return hit
+        topology = TopologySpec.parse(request.topology)
+        device = Device(
+            graph=topology.graph(),
+            params=DeviceParameters(
+                coherence_time_us=request.coherence_us,
+                single_qubit_gate_ns=request.gate_ns,
+                seed=request.device_seed,
+            ),
+        )
+        if device.n_qubits:
+            device.distance(0, 0)  # warm the BFS matrix before any fan-out
+        fingerprint = device_fingerprint(device)
+        with self._state_lock:
+            self._devices[key] = (device, fingerprint)
+            self._devices.move_to_end(key)
+            while len(self._devices) > self.config.device_capacity:
+                self._devices.popitem(last=False)
+        return device, fingerprint
+
+    def _circuit_for(self, name: str):
+        """Built benchmark circuit by fleet name (memoised; circuits are
+        immutable through compilation, so sharing one instance is safe)."""
+        with self._state_lock:
+            circuit = self._circuits.get(name)
+        if circuit is None:
+            circuit = build_circuit(name)
+            with self._state_lock:
+                self._circuits.setdefault(name, circuit)
+        return circuit
+
+    def _execute_batch(
+        self, key: tuple, group: list[_Pending]
+    ) -> list[CompileResponse]:
+        """Compile one coalesced micro-batch (runs on an executor thread)."""
+        start = time.perf_counter()
+        request = group[0].request
+        device, fingerprint = self._device_for(request)
+        targets: dict[str, object] = {}
+        sources: dict[str, str] = {}
+        with self._state_lock:
+            # One build at a time: concurrent groups must not race the
+            # device's lazy calibration caches for the same cold target.
+            for strategy in request.strategies:
+                target, source = self.hot_targets.get(device, strategy, fingerprint)
+                targets[strategy] = target
+                sources[strategy] = source
+        # The pool-reuse key mirrors target_cache_key: device fingerprint
+        # AND per-strategy registry generations, so re-registering a
+        # strategy rotates the process pool (whose workers hold deserialized
+        # targets from init) instead of serving stale selections.
+        generations = tuple(
+            REGISTRY.generation(strategy) for strategy in request.strategies
+        )
+        context = DispatchContext(
+            device,
+            targets,
+            mapping=request.mapping,
+            seed=request.seed,
+            key=(fingerprint, generations) + key[1:],
+        )
+        circuits = [self._circuit_for(entry.request.circuit) for entry in group]
+        batch = self.dispatcher.dispatch(circuits, context)
+        done = time.perf_counter()
+        compile_ms = (done - start) * 1000.0
+        self.metrics.record_batch(len(group), len(group) * len(request.strategies))
+        responses = []
+        for entry, compiled in zip(group, batch):
+            queue_ms = (entry.dispatched_at - entry.enqueued_at) * 1000.0
+            total_ms = (done - entry.enqueued_at) * 1000.0
+            self.metrics.record_response(queue_ms, compile_ms, total_ms)
+            responses.append(
+                CompileResponse(
+                    request=entry.request,
+                    results={
+                        strategy: summarize_compiled(one)
+                        for strategy, one in compiled.items()
+                    },
+                    target_sources=dict(sources),
+                    batch_size=len(group),
+                    queue_ms=queue_ms,
+                    compile_ms=compile_ms,
+                    total_ms=total_ms,
+                )
+            )
+        return responses

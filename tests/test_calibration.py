@@ -1,6 +1,5 @@
 """Tests for the calibration stack: QPT, GST-like refinement, protocol."""
 
-import numpy as np
 import pytest
 
 from repro.calibration import (

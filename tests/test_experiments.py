@@ -1,6 +1,5 @@
 """Tests for the experiment regeneration code (tables and figures)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

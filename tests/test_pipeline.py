@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.circuits import QuantumCircuit, bernstein_vazirani, ghz_circuit, qaoa_circuit
+from repro.circuits import bernstein_vazirani, ghz_circuit, qaoa_circuit
 from repro.compiler import (
     AnalysisPass,
     PassManager,

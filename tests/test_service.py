@@ -1,0 +1,444 @@
+"""Tests for the compilation service: caches, batching, wire, CLIs.
+
+Covers the PR acceptance criterion directly: warm-cache service throughput
+must beat cold-cache throughput by at least 5x on the bench workload
+(``TestColdWarm.test_warm_throughput_at_least_5x_cold``).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.compiler import transpile
+from repro.compiler.pipeline.dispatch import BatchDispatcher, DispatchContext
+from repro.compiler.pipeline.target import build_target
+from repro.device import Device, DeviceParameters
+from repro.fleet import TopologySpec
+from repro.fleet.__main__ import main as fleet_main
+from repro.fleet.sweep import build_circuit
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    LoadSpec,
+    RequestError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    TargetHotCache,
+    run_phase_inprocess,
+)
+from repro.service.__main__ import main as service_main
+
+
+def run(coro):
+    """Run one coroutine on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def make_device(seed=11, topology="linear:4"):
+    spec = TopologySpec.parse(topology)
+    return Device(graph=spec.graph(), params=DeviceParameters(seed=seed))
+
+
+class TestTargetHotCache:
+    def test_layering_memory_disk_build(self, tmp_path):
+        cache = TargetHotCache(capacity=4, cache_dir=tmp_path)
+        device = make_device()
+        target, source = cache.get(device, "criterion2")
+        assert source == "built"
+        again, source = cache.get(device, "criterion2")
+        assert source == "memory"
+        assert again is target
+        # A fresh cache over the same directory hits disk, then memory.
+        resumed = TargetHotCache(capacity=4, cache_dir=tmp_path)
+        _, source = resumed.get(device, "criterion2")
+        assert source == "disk"
+        _, source = resumed.get(device, "criterion2")
+        assert source == "memory"
+        assert resumed.stats.disk_hits == 1 and resumed.stats.memory_hits == 1
+
+    def test_eviction_respects_capacity_and_disk_backstop(self, tmp_path):
+        cache = TargetHotCache(capacity=1, cache_dir=tmp_path)
+        device = make_device()
+        cache.get(device, "baseline")
+        cache.get(device, "criterion2")  # evicts baseline from memory
+        assert len(cache) == 1
+        _, source = cache.get(device, "baseline")
+        assert source == "disk"  # not rebuilt: the disk layer caught it
+
+    def test_memory_only_mode_rebuilds_after_eviction(self):
+        cache = TargetHotCache(capacity=1, cache_dir=None)
+        device = make_device()
+        cache.get(device, "baseline")
+        cache.get(device, "criterion2")
+        _, source = cache.get(device, "baseline")
+        assert source == "built"
+        assert cache.stats.builds == 3
+
+    def test_distinct_devices_get_distinct_entries(self, tmp_path):
+        cache = TargetHotCache(capacity=8, cache_dir=tmp_path)
+        a, _ = cache.get(make_device(seed=11), "criterion2")
+        b, _ = cache.get(make_device(seed=12), "criterion2")
+        assert a is not b
+        assert cache.stats.builds == 2
+
+    def test_served_targets_have_cost_models_attached(self, tmp_path):
+        cache = TargetHotCache(capacity=4, cache_dir=tmp_path)
+        device = make_device()
+        target, _ = cache.get(device, "criterion2")
+        assert target.cost_model().strategy == "criterion2"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TargetHotCache(capacity=0)
+
+
+class TestCompileRequest:
+    def test_defaults_and_batch_key(self):
+        request = CompileRequest(circuit="ghz_3", topology="linear:4")
+        assert request.strategies == ("criterion2",)
+        assert request.batch_key[0] == request.device_key
+
+    @pytest.mark.parametrize(
+        "fields, message",
+        [
+            ({"circuit": "nope_3"}, "unknown circuit"),
+            ({"circuit": "ghz_99", "topology": "linear:4"}, "needs 99 qubits"),
+            ({"circuit": "ghz_3", "topology": "ring:4"}, "cannot parse topology"),
+            (
+                {"circuit": "ghz_3", "topology": "linear:4", "mapping": "psychic"},
+                "unknown mapping",
+            ),
+            (
+                {
+                    "circuit": "ghz_3",
+                    "topology": "linear:4",
+                    "strategies": ["criterion9"],
+                },
+                "unknown strategy",
+            ),
+            (
+                {
+                    "circuit": "ghz_3",
+                    "topology": "linear:4",
+                    "strategies": ["baseline", "baseline"],
+                },
+                "duplicate strategies",
+            ),
+            ({"circuit": "ghz_3", "coherence_us": -1.0}, "must be positive"),
+        ],
+    )
+    def test_invalid_requests_raise_readable_errors(self, fields, message):
+        with pytest.raises(RequestError, match=message):
+            CompileRequest(**{"topology": "grid:3x3", **fields})
+
+    def test_from_dict_rejects_unknown_fields_and_bad_types(self):
+        with pytest.raises(RequestError, match="unknown request field"):
+            CompileRequest.from_dict({"circuit": "ghz_3", "stategy": "x"})
+        with pytest.raises(RequestError, match="missing required field"):
+            CompileRequest.from_dict({})
+        with pytest.raises(RequestError, match="must be an integer"):
+            CompileRequest.from_dict({"circuit": "ghz_3", "seed": "17"})
+        with pytest.raises(RequestError, match="must be a list"):
+            CompileRequest.from_dict({"circuit": "ghz_3", "strategies": 7})
+
+    def test_round_trip(self):
+        request = CompileRequest(
+            circuit="bv_3", topology="linear:4", strategies=("baseline", "criterion2")
+        )
+        assert CompileRequest.from_dict(request.to_dict()) == request
+
+
+class TestServiceCompile:
+    def test_results_match_single_circuit_transpile(self, tmp_path):
+        """The service path is the one-shot pipeline, byte for byte."""
+
+        async def go():
+            config = ServiceConfig(cache_dir=str(tmp_path))
+            async with CompilationService(config) as service:
+                return await service.compile(
+                    {
+                        "circuit": "ghz_3",
+                        "topology": "linear:4",
+                        "device_seed": 11,
+                        "strategies": ["baseline", "criterion2"],
+                    }
+                )
+
+        response = run(go())
+        device = make_device(seed=11)
+        for strategy in ("baseline", "criterion2"):
+            direct = transpile(build_circuit("ghz_3"), device, strategy=strategy)
+            got = response.results[strategy]
+            assert got["fidelity"] == pytest.approx(float(direct.fidelity), abs=0)
+            assert got["duration_ns"] == float(direct.total_duration)
+            assert got["swap_count"] == int(direct.swap_count)
+
+    def test_burst_coalesces_into_one_batch(self):
+        async def go():
+            config = ServiceConfig(batch_window_ms=50.0, max_batch=8)
+            async with CompilationService(config) as service:
+                # Warm the target first so the burst isn't serialized by builds.
+                await service.compile({"circuit": "ghz_3", "topology": "linear:4"})
+                return await asyncio.gather(
+                    *(
+                        service.compile({"circuit": name, "topology": "linear:4"})
+                        for name in ("ghz_3", "bv_3", "qft_3", "ghz_4")
+                    )
+                )
+
+        responses = run(go())
+        assert [r.batch_size for r in responses] == [4, 4, 4, 4]
+        assert all(r.target_sources == {"criterion2": "memory"} for r in responses)
+
+    def test_different_batch_keys_do_not_mix(self):
+        async def go():
+            config = ServiceConfig(batch_window_ms=50.0)
+            async with CompilationService(config) as service:
+                return await asyncio.gather(
+                    service.compile({"circuit": "ghz_3", "topology": "linear:4"}),
+                    service.compile(
+                        {"circuit": "ghz_3", "topology": "linear:4", "seed": 23}
+                    ),
+                )
+
+        responses = run(go())
+        assert [r.batch_size for r in responses] == [1, 1]
+
+    def test_malformed_request_counts_failure_and_raises(self):
+        async def go():
+            async with CompilationService() as service:
+                with pytest.raises(RequestError, match="unknown circuit"):
+                    await service.compile({"circuit": "nope_1"})
+                return service.metrics_snapshot()
+
+        snapshot = run(go())
+        assert snapshot["requests"]["failed"] == 1
+        assert snapshot["requests"]["ok"] == 0
+
+    def test_compile_after_stop_raises(self):
+        async def go():
+            service = CompilationService()
+            await service.start()
+            await service.stop()
+            with pytest.raises(RuntimeError, match="not running"):
+                await service.compile({"circuit": "ghz_3", "topology": "linear:4"})
+
+        run(go())
+
+    def test_metrics_snapshot_schema(self, tmp_path):
+        async def go():
+            config = ServiceConfig(cache_dir=str(tmp_path))
+            async with CompilationService(config) as service:
+                await service.compile({"circuit": "ghz_3", "topology": "linear:4"})
+                return service.metrics_snapshot()
+
+        snapshot = run(go())
+        assert snapshot["requests"]["ok"] == 1
+        assert snapshot["batches"]["total"] == 1
+        assert snapshot["cache"]["builds"] == 1
+        assert snapshot["cache"]["disk"]["misses"] == 1
+        for block in ("queue", "compile", "total"):
+            assert set(snapshot["latency_ms"][block]) == {"p50", "p95", "mean", "max"}
+        json.dumps(snapshot)  # the whole document must be JSON-serializable
+
+
+class TestColdWarm:
+    def test_warm_throughput_at_least_5x_cold(self, tmp_path):
+        """The acceptance criterion, measured exactly like bench_service.py."""
+        spec = LoadSpec(
+            circuits=("ghz_3", "bv_3"),
+            topology="linear:4",
+            device_seeds=(11, 12),
+            strategies=("baseline", "criterion2"),
+            concurrency=4,
+        )
+        one_pass = spec.requests()
+
+        async def go():
+            config = ServiceConfig(cache_dir=str(tmp_path))
+            async with CompilationService(config) as service:
+                cold = await run_phase_inprocess(service, one_pass, 4, name="cold")
+                warm = await run_phase_inprocess(service, one_pass * 5, 4, name="warm")
+                return cold, warm, service.hot_targets.stats.as_dict()
+
+        cold, warm, cache = run(go())
+        assert cold["errors"] == 0 and warm["errors"] == 0
+        assert cache["builds"] == 4  # 2 devices x 2 strategies, cold only
+        assert cache["memory_hits"] > 0
+        speedup = warm["throughput_rps"] / cold["throughput_rps"]
+        assert speedup >= 5.0, (cold, warm)
+
+
+class TestWire:
+    def test_round_trip_metrics_and_shutdown(self):
+        async def go():
+            service = CompilationService(ServiceConfig())
+            server = ServiceServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            async with ServiceClient(host, port) as client:
+                assert (await client.request({"op": "ping"}))["result"] == "pong"
+                result = await client.compile(circuit="ghz_3", topology="linear:4")
+                assert result["results"]["criterion2"]["fidelity"] > 0
+                assert (await client.metrics())["requests"]["ok"] == 1
+                bad = await client.request({"op": "compile", "circuit": "nope_1"})
+                assert not bad["ok"] and "unknown circuit" in bad["error"]
+                weird = await client.request({"op": "divine"})
+                assert not weird["ok"] and "unknown op" in weird["error"]
+                await client.shutdown()
+            return await server.serve_until_shutdown()
+
+        metrics = run(go())
+        assert metrics["requests"]["ok"] == 1
+        assert metrics["requests"]["failed"] == 1
+
+    def test_invalid_json_line_is_answered_not_fatal(self):
+        async def go():
+            server = ServiceServer(CompilationService(), port=0)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"{not json}\n")
+            await writer.drain()
+            line = json.loads(await reader.readline())
+            assert not line["ok"] and "invalid JSON" in line["error"]
+            # The connection survives and still answers well-formed traffic.
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            assert json.loads(await reader.readline())["ok"]
+            writer.close()
+            await server.stop()
+
+        run(go())
+
+
+class TestServiceCli:
+    def test_load_in_process_reports_metrics(self, tmp_path, capsys):
+        output = tmp_path / "load.json"
+        document = service_main(
+            [
+                "load",
+                "--circuits",
+                "ghz_3",
+                "--topology",
+                "linear:4",
+                "--strategies",
+                "criterion2",
+                "--repeats",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--output",
+                str(output),
+            ]
+        )
+        assert document["load"]["requests"] == 2
+        assert document["service"]["cache"]["builds"] == 1
+        assert json.loads(output.read_text()) == document
+        assert '"throughput_rps"' in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["load", "--circuits", "nope_3"], "unknown circuit"),
+            (
+                ["load", "--circuits", "ghz_99", "--topology", "linear:4"],
+                "needs 99 qubits",
+            ),
+            (
+                ["load", "--circuits", "ghz_3", "--mapping", "psychic"],
+                "unknown mapping",
+            ),
+            (
+                ["load", "--circuits", "ghz_3", "--connect", "nowhere"],
+                "cannot parse --connect",
+            ),
+            (["load", "--circuits", "ghz_3", "--repeats", "0"], "repeats"),
+            # An unreachable server is an OSError, not a parse error; it
+            # must still exit 2 with a one-liner, never a traceback.
+            (
+                ["load", "--circuits", "ghz_3", "--connect", "127.0.0.1:1"],
+                "",
+            ),
+            (["serve", "--max-batch", "0"], "max_batch"),
+        ],
+    )
+    def test_malformed_args_exit_2_with_readable_message(self, argv, message, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            service_main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert message in err
+        assert "Traceback" not in err
+
+
+class TestFleetCliErrors:
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["--topology", "ring:4"], "cannot parse topology"),
+            (["--circuits", "nope_3"], "unknown circuit"),
+            (
+                ["--topology", "linear:4", "--circuits", "ghz_99"],
+                "need more qubits",
+            ),
+            (["--strategies", "baseline", "criterion9"], "unknown strategy"),
+            (["--mappings", "psychic"], "unknown mapping"),
+            (["--baseline", "criterion9"], "baseline_strategy"),
+            (["--draws", "0"], "draws must be positive"),
+        ],
+    )
+    def test_malformed_specs_exit_2_with_readable_message(self, argv, message, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            fleet_main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert message in err
+        assert "Traceback" not in err
+
+
+class TestDispatcherReuse:
+    def test_thread_pool_persists_across_dispatches(self):
+        device = make_device()
+        targets = {"criterion2": build_target(device, "criterion2")}
+        circuits = [build_circuit("ghz_3"), build_circuit("bv_3")]
+        with BatchDispatcher(executor="thread", max_workers=2) as dispatcher:
+            first = dispatcher.dispatch(
+                circuits, DispatchContext(device, targets, key=("a",))
+            )
+            pool = dispatcher._thread_pool
+            assert pool is not None
+            second = dispatcher.dispatch(
+                circuits, DispatchContext(device, targets, key=("a",))
+            )
+            assert dispatcher._thread_pool is pool
+        for one, two in zip(first, second):
+            assert one["criterion2"].fidelity == two["criterion2"].fidelity
+
+    def test_dispatch_after_close_raises(self):
+        device = make_device()
+        targets = {"criterion2": build_target(device, "criterion2")}
+        dispatcher = BatchDispatcher(executor="thread", max_workers=2)
+        dispatcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            dispatcher.dispatch(
+                [build_circuit("ghz_3")] * 2, DispatchContext(device, targets)
+            )
+
+    def test_serial_dispatch_matches_transpile_batch(self):
+        from repro.compiler import transpile_batch
+
+        device = make_device()
+        circuits = [build_circuit("ghz_3"), build_circuit("qft_3")]
+        expected = transpile_batch(circuits, device, ("baseline", "criterion2"))
+        targets = {s: build_target(device, s) for s in ("baseline", "criterion2")}
+        with BatchDispatcher() as dispatcher:
+            got = dispatcher.dispatch(circuits, DispatchContext(device, targets))
+        for want, have in zip(expected, got):
+            for strategy in want:
+                assert want[strategy].fidelity == have[strategy].fidelity
+                assert want[strategy].total_duration == have[strategy].total_duration
