@@ -16,7 +16,14 @@ The package is organised by subsystem:
 * :mod:`repro.experiments` -- regeneration of every table and figure;
 * :mod:`repro.fleet` -- Monte-Carlo strategy sweeps over a fleet of devices
   (many topologies x seeded frequency draws) with a persistent on-disk
-  target cache and process-pool compilation.
+  target cache and process-pool compilation;
+* :mod:`repro.service` -- the long-lived async compilation service:
+  micro-batching, layered hot/disk target caches, JSON-lines TCP wire
+  protocol (``python -m repro.service``);
+* :mod:`repro.drift` -- calibration drift over time: seeded drift models,
+  recalibration policies and the ``python -m repro.drift`` sweep.
+
+``docs/index.md`` is the architecture overview tying these together.
 
 Quickstart::
 

@@ -24,6 +24,7 @@ from repro.calibration.protocol import (
     CalibrationProtocol,
     CalibrationRecord,
     RetuneResult,
+    retune_selection,
 )
 from repro.calibration.scheduling import calibration_batches
 
@@ -35,5 +36,6 @@ __all__ = [
     "CalibrationProtocol",
     "CalibrationRecord",
     "RetuneResult",
+    "retune_selection",
     "calibration_batches",
 ]

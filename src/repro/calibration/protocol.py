@@ -12,7 +12,7 @@ day-to-day stability of the measured trajectories (Fig. 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -49,6 +49,40 @@ class RetuneResult:
     retuned_duration: float
     speed_ratio: float
     gate_fidelity_after_retune: float
+
+
+def retune_selection(
+    selection: BasisGateSelection,
+    reference_xy_rate: float,
+    drifted_xy_rate: float,
+) -> BasisGateSelection:
+    """Rescale a stored selection's duration after drift (the daily retune).
+
+    The lab's 1-5 minute amplitude/frequency calibration re-estimates the
+    trajectory speed and stretches the stored pulse duration by
+    ``reference_rate / drifted_rate`` so the *same point* of the trajectory
+    is reached again; everything else (the intended unitary, the layer
+    counts the decomposition was derived for) is reused from the initial
+    tuneup.  The returned selection keeps the reference unitary as the
+    intended gate -- any residual mismatch between it and the drifted
+    Hamiltonian at the rescaled duration is exactly the retune's
+    approximation error, which the drift engine's fidelity evaluation
+    measures.
+
+    Example::
+
+        fresh = retune_selection(stale, reference_xy_rate=0.076,
+                                 drifted_xy_rate=0.071)
+        fresh.duration / stale.duration      # == 0.076 / 0.071
+    """
+    if reference_xy_rate <= 0 or drifted_xy_rate <= 0:
+        raise ValueError(
+            "xy rates must be positive, got "
+            f"{reference_xy_rate} and {drifted_xy_rate}"
+        )
+    return replace(
+        selection, duration=selection.duration * reference_xy_rate / drifted_xy_rate
+    )
 
 
 @dataclass
@@ -144,13 +178,14 @@ class CalibrationProtocol:
         the simulation the speed ratio comes from comparing the drifted
         exchange rate to the reference one.
         """
-        speed_ratio = reference_model.xy_rate / drifted_model.xy_rate
-        new_duration = record.selection.duration * speed_ratio
-        retuned_gate = drifted_model.unitary(new_duration)
+        retuned = retune_selection(
+            record.selection, reference_model.xy_rate, drifted_model.xy_rate
+        )
+        retuned_gate = drifted_model.unitary(retuned.duration)
         fidelity = process_fidelity(retuned_gate, record.true_unitary)
         return RetuneResult(
             previous_duration=record.selection.duration,
-            retuned_duration=new_duration,
-            speed_ratio=speed_ratio,
+            retuned_duration=retuned.duration,
+            speed_ratio=reference_model.xy_rate / drifted_model.xy_rate,
             gate_fidelity_after_retune=fidelity,
         )

@@ -65,7 +65,19 @@ def resolve_targets(
     strategies: tuple[str, ...],
     targets: Mapping[str, Target] | None,
 ) -> dict[str, Target]:
-    """The targets to compile against, in strategy order."""
+    """The targets to compile against, in strategy order.
+
+    With ``targets=None`` every strategy's target is built (memoised) from
+    the device; otherwise the provided mapping must cover every requested
+    strategy -- a partially supplied batch would silently mix cached and
+    freshly built snapshots.
+
+    Example::
+
+        resolve_targets(device, ("baseline", "criterion2"), None)
+        # {'baseline': <Target>, 'criterion2': <Target>}
+        resolve_targets(device, ("criterion2",), {})   # ValueError: missing
+    """
     if targets is None:
         return {strategy: build_target(device, strategy) for strategy in strategies}
     missing = [strategy for strategy in strategies if strategy not in targets]
@@ -109,6 +121,16 @@ def transpile_batch(
     ``"basis_aware"`` routes each strategy against its own
     :class:`~repro.compiler.cost.CostModel`, which resolves every target
     edge even in serial runs).
+
+    Example::
+
+        results = transpile_batch(
+            [ghz_circuit(4), qft_circuit(4)], device,
+            strategies=("baseline", "criterion2"),
+            max_workers=4, executor="process",
+        )
+        for per_strategy in results:
+            print({s: c.fidelity for s, c in per_strategy.items()})
     """
     strategies = tuple(strategies)
     for strategy in strategies:

@@ -43,6 +43,12 @@ class PassManager:
     target (set by :meth:`default`; optional for hand-built managers).
     After :meth:`run`, the final PropertySet of the last compilation is kept
     on :attr:`property_set` for inspection.
+
+    Example::
+
+        pm = PassManager.default("criterion2")
+        compiled = pm.run(circuit, device=device)      # a CompiledCircuit
+        pm.property_set["metrics"]                     # == compiled.summary()
     """
 
     def __init__(self, passes: Iterable[CompilerPass] = (), strategy: str | None = None):

@@ -161,6 +161,20 @@ def register_strategy(
 
     Works on :class:`SelectionStrategy` subclasses and on zero-argument
     factories returning an instance; returns the decorated object unchanged.
+    A registered name works everywhere strategies are named -- ``transpile``,
+    ``transpile_batch``, ``Device.basis_gate``, fleet specs, service
+    requests.
+
+    Example::
+
+        @register_strategy("pe_swap3")
+        class PerfectEntanglerSwap3(SelectionStrategy):
+            name = "pe_swap3"
+
+            def predicate(self, coords):
+                return is_perfect_entangler(coords)
+
+        transpile(circuit, device, strategy="pe_swap3")
     """
 
     def decorator(factory: Callable[[], SelectionStrategy]):

@@ -53,6 +53,13 @@ class Target:
         direct_targets: two-qubit gate names translated directly into the
             basis gate (snapshotted from the strategy's registry spec so a
             deserialized target translates correctly without the registry).
+
+    Example::
+
+        target = build_target(device, "criterion2")
+        target.basis_gate((3, 4)).duration     # resolved on demand, memoised
+        target.complete()                      # force-resolve every edge
+        clone = Target.from_dict(target.to_dict())   # ship/cache the snapshot
     """
 
     strategy: str
@@ -222,6 +229,31 @@ class Target:
             direct_targets=self.direct_targets,
             edge_count=self.edge_count,
         )
+
+    def with_selections(self, updates) -> "Target":
+        """A detached copy with some edges' selections replaced.
+
+        The drift engine's selective/retune recalibration paths graft
+        freshly-resolved (or duration-rescaled) selections onto an otherwise
+        stale snapshot without touching the shared cached target.  Unknown
+        edges raise ``ValueError`` -- silently adding an uncoupled pair
+        would desynchronize the snapshot from its device.
+
+        Example::
+
+            hybrid = target.with_selections({(3, 4): fresh_selection})
+            hybrid.basis_gate((3, 4)) is fresh_selection   # True
+        """
+        fresh = self.copy()
+        for edge, selection in updates.items():
+            key = self._key(edge)
+            if key not in fresh.selections:
+                raise ValueError(
+                    f"{tuple(edge)} is not an edge of the target "
+                    f"(strategy {self.strategy!r})"
+                )
+            fresh.selections[key] = selection
+        return fresh
 
     def translation_options(self):
         """Default :class:`TranslationOptions` for compiling against this target.
@@ -449,6 +481,13 @@ def build_target(device, strategy: str, *, refresh: bool = False) -> Target:
     device state -- use it after mutating frequencies or parameters in
     place.  The returned object is shared -- use :meth:`Target.copy` before
     editing selections.
+
+    Example::
+
+        target = build_target(device, "criterion2")      # built once...
+        target is build_target(device, "criterion2")     # ...True
+        device.update_calibration(frequency_shifts={0: 0.02})
+        fresh = build_target(device, "criterion2")       # rebuilt post-drift
     """
     from repro.compiler.pipeline.registry import REGISTRY
 

@@ -129,6 +129,12 @@ class Device:
             for edge in self.graph.edges
         }
         self._calibrations: dict[tuple[Edge, float], EdgeCalibration] = {}
+        #: Per-edge residual ZZ crosstalk (rad/ns) on top of the drive-induced
+        #: deviation.  Zero for a freshly fabricated device; calibration drift
+        #: (e.g. a TLS defect activating near a coupler) can set it, so it is
+        #: genuine calibration *input* state: pickled with the device and
+        #: covered by the fleet cache fingerprint.
+        self._static_zz: dict[Edge, float] = {}
         #: Lazy (n, n) int matrix of BFS shortest-path distances; excluded
         #: from pickles like the other derived caches.
         self._distance_matrix: np.ndarray | None = None
@@ -217,6 +223,10 @@ class Device:
         """Pair-specific strong-drive deviation multiplier."""
         return self._deviation_scales[self._key(edge)]
 
+    def static_zz(self, edge: Edge) -> float:
+        """Residual always-on ZZ crosstalk for an edge (rad/ns; 0 by default)."""
+        return self._static_zz.get(self._key(edge), 0.0)
+
     def entangler_model(self, edge: Edge, drive_amplitude: float) -> EffectiveEntanglerModel:
         """Effective entangler model for an edge at a drive amplitude."""
         a, b = self._key(edge)
@@ -227,7 +237,75 @@ class Device:
             self.frequencies[b],
             drive_amplitude,
             deviation_scale=self.deviation_scale(edge),
+            static_zz=self.static_zz((a, b)),
         )
+
+    def update_calibration(
+        self,
+        *,
+        frequencies: dict[int, float] | None = None,
+        frequency_shifts: dict[int, float] | None = None,
+        coherence_time_us: float | None = None,
+        deviation_scales: dict[Edge, float] | None = None,
+        static_zz: dict[Edge, float] | None = None,
+        invalidate: bool = True,
+    ) -> None:
+        """Mutate the device's calibration inputs in place, then invalidate.
+
+        The single sanctioned way to model calibration drift: qubit
+        frequencies move (absolute ``frequencies`` or additive
+        ``frequency_shifts``), coherence degrades, pair deviation scales or
+        residual ZZ terms jump.  Unknown qubit labels or non-edges raise
+        ``ValueError`` before anything is touched, and every mutation ends in
+        :meth:`invalidate_calibrations` (unless ``invalidate=False``, used by
+        the drift engine to batch several models' mutations into one epoch
+        bump).
+
+        Example::
+
+            device.update_calibration(frequency_shifts={0: 0.02},
+                                      coherence_time_us=72.0)
+            # held Target snapshots for this device are now stale; rebuild
+            # with build_target(device, strategy)
+        """
+        def _as_floats(mapping, what: str) -> dict:
+            try:
+                return {key: float(value) for key, value in mapping.items()}
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"{what} values must be numbers: {error}") from error
+
+        # Validate everything -- labels, edges AND values -- before touching
+        # any state: a mid-loop failure must not leave the device partially
+        # drifted with no epoch bump (stale caches would then be served).
+        frequencies = _as_floats(frequencies or {}, "frequencies")
+        frequency_shifts = _as_floats(frequency_shifts or {}, "frequency_shifts")
+        deviation_scales = _as_floats(deviation_scales or {}, "deviation_scales")
+        static_zz = _as_floats(static_zz or {}, "static_zz")
+        for label in list(frequencies) + list(frequency_shifts):
+            if label not in self.frequencies:
+                raise ValueError(f"unknown qubit label {label!r} in calibration update")
+        for edge in list(deviation_scales) + list(static_zz):
+            a, b = edge
+            if not self.graph.has_edge(a, b):
+                raise ValueError(f"{tuple(edge)} is not an edge of the device")
+        if coherence_time_us is not None:
+            coherence_time_us = float(coherence_time_us)
+            if coherence_time_us <= 0:
+                raise ValueError(
+                    f"coherence_time_us must be positive, got {coherence_time_us}"
+                )
+        for label, value in frequencies.items():
+            self.frequencies[label] = value
+        for label, delta in frequency_shifts.items():
+            self.frequencies[label] = float(self.frequencies[label] + delta)
+        if coherence_time_us is not None:
+            self.params.coherence_time_us = coherence_time_us
+        for edge, scale in deviation_scales.items():
+            self._deviation_scales[self._key(edge)] = scale
+        for edge, value in static_zz.items():
+            self._static_zz[self._key(edge)] = value
+        if invalidate:
+            self.invalidate_calibrations()
 
     def invalidate_calibrations(self) -> None:
         """Drop every memoised trajectory and basis-gate selection.

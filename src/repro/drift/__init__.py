@@ -1,0 +1,94 @@
+"""Calibration drift and live recalibration over time-evolving devices.
+
+The paper's per-edge basis-gate selections are only as good as the
+calibrations they were derived from, and real calibrations *drift*: qubit
+frequencies wander, TLS defects activate near couplers, coherence degrades.
+This package closes the loop the production story needs:
+
+* :mod:`~repro.drift.models` -- seeded, deterministic drift models
+  (Ornstein-Uhlenbeck frequency wander, TLS-style per-edge jumps, coherence
+  decay) that evolve a :class:`~repro.device.device.Device` in place across
+  discrete epochs through ``Device.update_calibration``;
+* :mod:`~repro.drift.policies` -- recalibration policies (never / always /
+  periodic / prediction-threshold / per-edge selective / Section-VI retune)
+  deciding when to rebuild ``Target`` snapshots through the PR-1 staleness
+  machinery and the PR-4 layered caches;
+* :mod:`~repro.drift.sweep` -- :func:`run_drift_sweep`, which runs every
+  policy against an identical drift trajectory, compiles a benchmark suite
+  at every epoch, and reports *true* (miscalibration-aware) fidelity,
+  recalibration counts and cache churn.
+
+Quickstart::
+
+    from repro.drift import DriftSpec, run_drift_sweep
+    from repro.fleet import TopologySpec
+
+    spec = DriftSpec(topology=TopologySpec.parse("grid:3x3"), epochs=4)
+    result = run_drift_sweep(spec)
+    print(result.format_table())
+    result.recovery("threshold:0.001")    # fraction of lost fidelity won back
+
+or, from the shell: ``python -m repro.drift --topology heavy_hex:2
+--policies never always threshold:0.001``.  See docs/drift.md for the drift
+models, the epoch/staleness contract and the JSON schema.
+"""
+
+from repro.drift.models import (
+    DRIFT_MODELS,
+    CoherenceDecayDrift,
+    DriftEvent,
+    DriftModel,
+    OUFrequencyDrift,
+    TLSJumpDrift,
+    apply_drift,
+    parse_drift_model,
+)
+from repro.drift.policies import (
+    NeverRecalibrate,
+    PeriodicRecalibration,
+    RecalibrationPlan,
+    RecalibrationPolicy,
+    RetuneRecalibration,
+    SelectiveRecalibration,
+    ThresholdRecalibration,
+    parse_policy,
+    predicted_edge_losses,
+    summarize_losses,
+)
+from repro.drift.sweep import (
+    DEFAULT_POLICIES,
+    DriftResult,
+    DriftSpec,
+    EpochRecord,
+    PolicyRun,
+    drifted_circuit_fidelity,
+    run_drift_sweep,
+)
+
+__all__ = [
+    "DRIFT_MODELS",
+    "CoherenceDecayDrift",
+    "DriftEvent",
+    "DriftModel",
+    "OUFrequencyDrift",
+    "TLSJumpDrift",
+    "apply_drift",
+    "parse_drift_model",
+    "NeverRecalibrate",
+    "PeriodicRecalibration",
+    "RecalibrationPlan",
+    "RecalibrationPolicy",
+    "RetuneRecalibration",
+    "SelectiveRecalibration",
+    "ThresholdRecalibration",
+    "parse_policy",
+    "predicted_edge_losses",
+    "summarize_losses",
+    "DEFAULT_POLICIES",
+    "DriftResult",
+    "DriftSpec",
+    "EpochRecord",
+    "PolicyRun",
+    "drifted_circuit_fidelity",
+    "run_drift_sweep",
+]

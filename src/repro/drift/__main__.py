@@ -1,0 +1,188 @@
+"""Command-line entry point for calibration-drift sweeps.
+
+Examples::
+
+    python -m repro.drift                                   # tiny default sweep
+    python -m repro.drift --topology heavy_hex:2 --epochs 8 \
+        --drift ou:sigma_ghz=0.08 --drift coherence:decay=0.02 \
+        --policies never always threshold:0.001 selective:0.002 \
+        --strategies criterion2 --circuits ghz_4 qft_4 \
+        --cache-dir .drift-cache --output benchmarks/drift_results.json
+
+Malformed specs exit 2 with a one-line ``error: ...`` message, never a
+traceback -- the same contract as ``python -m repro.fleet`` and
+``python -m repro.service``.  The JSON document schema is documented in
+docs/drift.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import fields as dataclass_fields
+
+from repro.compiler.pipeline.dispatch import EXECUTORS
+from repro.drift.models import DRIFT_MODELS
+from repro.drift.sweep import DriftResult, DriftSpec, run_drift_sweep
+from repro.fleet.spec import TopologySpec
+
+#: CLI defaults come straight from the DriftSpec dataclass, so the two entry
+#: points (`run_drift_sweep(DriftSpec(...))` and `python -m repro.drift`)
+#: cannot silently drift apart.
+_SPEC_DEFAULTS = {field.name: field.default for field in dataclass_fields(DriftSpec)}
+
+DEFAULT_TOPOLOGY = "grid:3x3"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.drift",
+        description="Calibration-drift sweep: evolve a simulated device over "
+        "time epochs and compare recalibration policies.",
+    )
+    parser.add_argument(
+        "--topology",
+        default=DEFAULT_TOPOLOGY,
+        metavar="FAMILY:SIZE",
+        help="device topology: grid:RxC, linear:N or heavy_hex:D",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=_SPEC_DEFAULTS["device_seed"],
+        help="device frequency-draw seed",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=_SPEC_DEFAULTS["epochs"],
+        help="time epochs (epoch 0 is freshly calibrated)",
+    )
+    parser.add_argument(
+        "--drift",
+        action="append",
+        dest="drift",
+        metavar="MODEL[:k=v,...]",
+        help="drift model to apply each epoch (repeatable); "
+        f"models: {sorted(DRIFT_MODELS)}; default: "
+        f"{list(_SPEC_DEFAULTS['drift'])}",
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(_SPEC_DEFAULTS["policies"]),
+        help="recalibration policies to compare: never, always, periodic:K, "
+        "threshold:X, selective:X, retune:X",
+    )
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        default=list(_SPEC_DEFAULTS["strategies"]),
+        help="basis-gate selection strategies to track",
+    )
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=list(_SPEC_DEFAULTS["circuits"]),
+        help="benchmark circuits compiled at every epoch",
+    )
+    parser.add_argument(
+        "--mapping",
+        default=_SPEC_DEFAULTS["mapping"],
+        help="layout/routing metric",
+    )
+    parser.add_argument(
+        "--compile-seed",
+        type=int,
+        default=_SPEC_DEFAULTS["compile_seed"],
+        help="layout/routing seed",
+    )
+    parser.add_argument(
+        "--drift-seed",
+        type=int,
+        default=_SPEC_DEFAULTS["drift_seed"],
+        help="seed of the per-epoch drift randomness",
+    )
+    parser.add_argument(
+        "--coherence-us",
+        type=float,
+        default=_SPEC_DEFAULTS["coherence_time_us"],
+        help="initial per-qubit T in microseconds",
+    )
+    parser.add_argument(
+        "--gate-ns",
+        type=float,
+        default=_SPEC_DEFAULTS["single_qubit_gate_ns"],
+        help="single-qubit gate duration in nanoseconds",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent target-cache directory under the hot layer",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out width for per-epoch compilation; omitted or <= 1 serial",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=_SPEC_DEFAULTS["executor"],
+        help="fan-out flavour when --workers > 1",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable JSON results here",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human-readable table"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> DriftResult:
+    args = build_parser().parse_args(argv)
+    try:
+        spec = DriftSpec(
+            topology=TopologySpec.parse(args.topology),
+            device_seed=args.seed,
+            epochs=args.epochs,
+            drift=tuple(args.drift or _SPEC_DEFAULTS["drift"]),
+            policies=tuple(args.policies),
+            strategies=tuple(args.strategies),
+            circuits=tuple(args.circuits),
+            mapping=args.mapping,
+            compile_seed=args.compile_seed,
+            drift_seed=args.drift_seed,
+            coherence_time_us=args.coherence_us,
+            single_qubit_gate_ns=args.gate_ns,
+            cache_dir=args.cache_dir,
+            hot_capacity=_SPEC_DEFAULTS["hot_capacity"],
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+        result = run_drift_sweep(spec)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+    if not args.quiet:
+        print(
+            f"Drift: {spec.topology.label} seed {spec.device_seed}, "
+            f"{spec.epochs} epochs x {len(spec.policies)} policies x "
+            f"{len(spec.strategies)} strategies x {len(spec.circuits)} circuits "
+            f"(drift: {', '.join(spec.drift)})\n"
+        )
+        print(result.format_table())
+    if args.output is not None:
+        path = result.write_json(args.output)
+        if not args.quiet:
+            print(f"\nWrote {path}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,253 @@
+"""Calibration-drift models: how a device's calibrations evolve over time.
+
+A :class:`DriftModel` turns one discrete time epoch into a set of in-place
+mutations of a :class:`~repro.device.device.Device`'s calibration inputs
+(qubit frequencies, coherence time, pair deviation scales, residual ZZ
+terms).  Three families cover the physics the paper's Section VI worries
+about:
+
+* :class:`OUFrequencyDrift` -- slow stochastic wander of every qubit
+  frequency, modelled as a mean-reverting Ornstein-Uhlenbeck process around
+  the fabrication values (flux noise / junction ageing);
+* :class:`TLSJumpDrift` -- rare, sudden jumps of a single pair's coupling
+  systematics when a two-level-system defect activates near its coupler
+  (a deviation-scale jump plus a residual static ZZ term);
+* :class:`CoherenceDecayDrift` -- monotonic decay of the device-wide
+  coherence time toward a floor.
+
+Determinism contract: :func:`apply_drift` derives one RNG per
+``(drift_seed, epoch)`` and feeds every model from it in listed order, so
+two runs of the same spec -- and two *policies* inside one
+:func:`~repro.drift.sweep.run_drift_sweep` -- see byte-identical drift
+trajectories regardless of when (or whether) they recalibrate.  All
+mutations funnel through ``Device.update_calibration`` and the epoch ends
+with exactly one ``invalidate_calibrations()`` bump.
+
+Models are built from compact CLI-friendly spec strings via
+:func:`parse_drift_model`::
+
+    >>> model = parse_drift_model("ou:sigma_ghz=0.05,reversion=0.2")
+    >>> model.name
+    'ou'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.device.device import Device
+
+Edge = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """What one drift model did to one device during one epoch."""
+
+    model: str
+    epoch: int
+    #: Model-specific summary numbers (e.g. RMS frequency shift, jump count).
+    summary: dict
+
+    def as_dict(self) -> dict:
+        """Plain-data row for JSON results."""
+        return {"model": self.model, "epoch": self.epoch, **self.summary}
+
+
+@runtime_checkable
+class DriftModel(Protocol):
+    """Protocol every drift model implements.
+
+    ``step`` inspects the device, draws from the supplied RNG, applies its
+    mutations via ``device.update_calibration(..., invalidate=False)`` and
+    returns a :class:`DriftEvent` describing what changed.  The caller
+    (:func:`apply_drift`) owns the single end-of-epoch invalidation.
+    """
+
+    name: str
+
+    def step(
+        self, device: Device, epoch: int, rng: np.random.Generator
+    ) -> DriftEvent: ...  # pragma: no cover - protocol signature
+
+
+@dataclass
+class OUFrequencyDrift:
+    """Ornstein-Uhlenbeck wander of every qubit frequency.
+
+    Per epoch each frequency moves by
+    ``reversion * (mu - f) + sigma_ghz * N(0, 1)`` where ``mu`` is the
+    frequency observed the first time this model touches the device (the
+    fabrication value).  Mean reversion keeps the two frequency bands from
+    diffusing into each other over long horizons; the per-step shift is
+    additionally clamped to ``max_step_ghz`` so one unlucky draw cannot
+    collapse a pair's detuning.
+    """
+
+    sigma_ghz: float = 0.03
+    reversion: float = 0.1
+    max_step_ghz: float = 0.3
+    name: str = field(default="ou", init=False)
+    _mu: dict[int, float] | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sigma_ghz < 0 or not 0 <= self.reversion <= 1:
+            raise ValueError(
+                f"ou drift needs sigma_ghz >= 0 and 0 <= reversion <= 1, got "
+                f"sigma_ghz={self.sigma_ghz}, reversion={self.reversion}"
+            )
+
+    def step(self, device: Device, epoch: int, rng: np.random.Generator) -> DriftEvent:
+        if self._mu is None:
+            self._mu = {q: float(f) for q, f in device.frequencies.items()}
+        shifts: dict[int, float] = {}
+        for qubit in sorted(device.frequencies):
+            current = float(device.frequencies[qubit])
+            step = self.reversion * (self._mu[qubit] - current)
+            step += self.sigma_ghz * float(rng.standard_normal())
+            shifts[qubit] = float(np.clip(step, -self.max_step_ghz, self.max_step_ghz))
+        device.update_calibration(frequency_shifts=shifts, invalidate=False)
+        rms = float(np.sqrt(np.mean([s**2 for s in shifts.values()])))
+        return DriftEvent(
+            model=self.name,
+            epoch=epoch,
+            summary={"rms_shift_ghz": rms, "qubits": len(shifts)},
+        )
+
+
+@dataclass
+class TLSJumpDrift:
+    """Sudden TLS-style jumps of individual pairs' coupling systematics.
+
+    Each epoch every edge independently jumps with probability ``rate``;
+    a jumping edge has its strong-drive deviation scale multiplied by a
+    draw in ``[1, 1 + scale_jump]`` and a residual static ZZ term of up to
+    ``zz_jump`` rad/ns added.  This is the failure mode periodic
+    recalibration handles worst -- nothing happens for many epochs, then one
+    edge's stale selection is suddenly badly miscalibrated -- and what the
+    per-edge *selective* policy exists for.
+    """
+
+    rate: float = 0.05
+    zz_jump: float = 0.002
+    scale_jump: float = 0.5
+    name: str = field(default="tls", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate <= 1:
+            raise ValueError(f"tls jump rate must be in [0, 1], got {self.rate}")
+
+    def step(self, device: Device, epoch: int, rng: np.random.Generator) -> DriftEvent:
+        scales: dict[Edge, float] = {}
+        zz: dict[Edge, float] = {}
+        for edge in device.edges():
+            if float(rng.random()) >= self.rate:
+                continue
+            scales[edge] = device.deviation_scale(edge) * float(
+                1.0 + self.scale_jump * rng.random()
+            )
+            zz[edge] = device.static_zz(edge) + float(self.zz_jump * rng.random())
+        if scales or zz:
+            device.update_calibration(
+                deviation_scales=scales, static_zz=zz, invalidate=False
+            )
+        return DriftEvent(
+            model=self.name,
+            epoch=epoch,
+            summary={"jumps": len(scales), "edges": [list(e) for e in sorted(scales)]},
+        )
+
+
+@dataclass
+class CoherenceDecayDrift:
+    """Exponential decay of the device-wide coherence time toward a floor."""
+
+    decay: float = 0.02
+    floor_us: float = 5.0
+    name: str = field(default="coherence", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.decay < 1 or self.floor_us <= 0:
+            raise ValueError(
+                f"coherence drift needs 0 <= decay < 1 and floor_us > 0, got "
+                f"decay={self.decay}, floor_us={self.floor_us}"
+            )
+
+    def step(self, device: Device, epoch: int, rng: np.random.Generator) -> DriftEvent:
+        before = float(device.params.coherence_time_us)
+        after = max(self.floor_us, before * (1.0 - self.decay))
+        if after != before:
+            device.update_calibration(coherence_time_us=after, invalidate=False)
+        return DriftEvent(
+            model=self.name,
+            epoch=epoch,
+            summary={"coherence_us": after, "previous_us": before},
+        )
+
+
+#: Spec-string prefix -> model class, for :func:`parse_drift_model`.
+DRIFT_MODELS = {
+    "ou": OUFrequencyDrift,
+    "tls": TLSJumpDrift,
+    "coherence": CoherenceDecayDrift,
+}
+
+
+def parse_drift_model(text: str) -> DriftModel:
+    """Build a drift model from CLI syntax ``name[:key=value,...]``.
+
+    Examples: ``"ou"``, ``"ou:sigma_ghz=0.05,reversion=0.2"``,
+    ``"tls:rate=0.1,zz_jump=0.003"``, ``"coherence:decay=0.05"``.
+    Unknown names and parameters raise ``ValueError`` listing what is
+    available -- the same contract as the strategy and mapping registries.
+    """
+    name, _, params_text = text.partition(":")
+    name = name.strip()
+    cls = DRIFT_MODELS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown drift model {name!r}; expected one of {sorted(DRIFT_MODELS)}"
+        )
+    kwargs: dict[str, float] = {}
+    if params_text.strip():
+        for item in params_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"cannot parse drift parameter {item!r} in {text!r}; "
+                    "expected key=value"
+                )
+            try:
+                kwargs[key.strip()] = float(value)
+            except ValueError as error:
+                raise ValueError(
+                    f"drift parameter {key.strip()!r} in {text!r} is not a number"
+                ) from error
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise ValueError(f"bad parameters for drift model {name!r}: {error}") from error
+
+
+def apply_drift(
+    device: Device,
+    models: list[DriftModel],
+    epoch: int,
+    drift_seed: int,
+) -> list[DriftEvent]:
+    """Advance a device by one epoch under every model, then invalidate.
+
+    One RNG is derived per ``(drift_seed, epoch)`` and shared by the models
+    in order, so the drift a device experiences is a pure function of the
+    spec -- independent of recalibration decisions.  Exactly one
+    ``invalidate_calibrations()`` happens per epoch (one calibration-epoch
+    bump), after every model has mutated, so held ``Target`` snapshots see a
+    single consistent staleness step.
+    """
+    rng = np.random.default_rng((drift_seed, epoch))
+    events = [model.step(device, epoch, rng) for model in models]
+    device.invalidate_calibrations()
+    return events

@@ -1,0 +1,272 @@
+"""Recalibration policies: when (and how much) to recalibrate after drift.
+
+After each drift epoch the engine computes the **predicted per-application
+infidelity** of every held (stale) selection against the device's *current*
+Hamiltonian -- :func:`predicted_edge_losses`, the cheap probe a lab would
+run before deciding whether to spend tuneup time.  A
+:class:`RecalibrationPolicy` turns those predictions into a
+:class:`RecalibrationPlan`:
+
+| Policy | Plan |
+|---|---|
+| ``never`` | never recalibrate (the degradation baseline) |
+| ``always`` | full recalibration every epoch (the recovery oracle) |
+| ``periodic:K`` | full recalibration every ``K`` epochs |
+| ``threshold:X`` | full recalibration when the mean predicted loss >= X |
+| ``selective:X`` | re-select only the edges whose predicted loss >= X |
+| ``retune:X`` | duration-rescale every selection when mean loss >= X |
+
+*Full* recalibration reuses the PR-1 staleness machinery end to end: drift
+already called ``Device.invalidate_calibrations()`` (one calibration-epoch
+bump per epoch), so rebuilding via ``build_target``/the layered caches
+yields snapshots of the drifted state, and any partially-resolved stale
+snapshot raises rather than mixing epochs.  *Selective* recalibration
+resolves only the flagged edges on a fresh lazy target and grafts them onto
+the stale snapshot (``Target.with_selections``); *retune* applies the
+Section VI daily-retune duration rescale
+(:func:`repro.calibration.protocol.retune_selection`) without re-simulating
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.pipeline.target import Target
+from repro.device.device import Device
+from repro.gates.unitary import process_fidelity
+
+Edge = tuple[int, int]
+
+
+def predicted_edge_losses(
+    device: Device, targets: dict[str, Target]
+) -> dict[str, dict[Edge, float]]:
+    """Per-strategy, per-edge predicted per-application infidelity.
+
+    For each held selection, compares the *intended* unitary (what the
+    decomposition was derived for) against what the device's current
+    effective Hamiltonian produces when driven for the selection's stored
+    duration: ``1 - F_pro(intended, drifted)``.  Uses only the closed-form
+    entangler model -- no trajectory simulation -- so policies can afford to
+    probe every edge every epoch.
+    """
+    losses: dict[str, dict[Edge, float]] = {}
+    for strategy, target in targets.items():
+        per_edge: dict[Edge, float] = {}
+        for edge, selection in target.selections.items():
+            if selection.unitary is None:
+                per_edge[edge] = 0.0
+                continue
+            model = device.entangler_model(edge, target.drive_amplitude)
+            actual = model.unitary(selection.duration)
+            per_edge[edge] = float(
+                max(0.0, 1.0 - process_fidelity(selection.unitary, actual))
+            )
+        losses[strategy] = per_edge
+    return losses
+
+
+def summarize_losses(losses: dict[str, dict[Edge, float]]) -> tuple[float, float]:
+    """(mean, max) predicted loss over every (strategy, edge) cell."""
+    flat = [loss for per_edge in losses.values() for loss in per_edge.values()]
+    if not flat:
+        return 0.0, 0.0
+    return float(np.mean(flat)), float(np.max(flat))
+
+
+@dataclass(frozen=True)
+class RecalibrationPlan:
+    """What one policy decided to do at one epoch.
+
+    ``action`` is ``"none"``, ``"full"``, ``"selective"`` or ``"retune"``;
+    ``edges`` names the flagged pairs for selective plans (None otherwise).
+    """
+
+    action: str
+    reason: str
+    edges: tuple[Edge, ...] | None = None
+
+    @property
+    def recalibrates(self) -> bool:
+        """True when the plan touches the calibration at all."""
+        return self.action != "none"
+
+
+class RecalibrationPolicy:
+    """Base class: subclasses implement :meth:`plan`.
+
+    ``label`` is the human-readable identity used in result rows (e.g.
+    ``"threshold:0.001"``); it doubles as the round-trippable spec string
+    for :func:`parse_policy`.
+    """
+
+    label = "base"
+
+    def plan(
+        self, epoch: int, losses: dict[str, dict[Edge, float]]
+    ) -> RecalibrationPlan:
+        """Decide the action for one epoch from the predicted losses."""
+        raise NotImplementedError
+
+
+@dataclass
+class NeverRecalibrate(RecalibrationPolicy):
+    """The degradation baseline: compile on the original snapshots forever."""
+
+    label: str = field(default="never", init=False)
+
+    def plan(self, epoch, losses):
+        return RecalibrationPlan(action="none", reason="policy never recalibrates")
+
+
+@dataclass
+class PeriodicRecalibration(RecalibrationPolicy):
+    """Full recalibration every ``period`` epochs, predictions ignored."""
+
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be positive, got {self.period}")
+
+    @property
+    def label(self) -> str:
+        return "always" if self.period == 1 else f"periodic:{self.period}"
+
+    def plan(self, epoch, losses):
+        if epoch % self.period == 0:
+            return RecalibrationPlan(
+                action="full", reason=f"scheduled (every {self.period} epochs)"
+            )
+        return RecalibrationPlan(
+            action="none", reason=f"not scheduled (every {self.period} epochs)"
+        )
+
+
+@dataclass
+class ThresholdRecalibration(RecalibrationPolicy):
+    """Full recalibration when the mean predicted loss crosses a threshold."""
+
+    max_mean_loss: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_mean_loss <= 0:
+            raise ValueError(
+                f"max_mean_loss must be positive, got {self.max_mean_loss}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"threshold:{self.max_mean_loss:g}"
+
+    def plan(self, epoch, losses):
+        mean, peak = summarize_losses(losses)
+        if mean >= self.max_mean_loss:
+            return RecalibrationPlan(
+                action="full",
+                reason=f"mean predicted loss {mean:.2e} >= {self.max_mean_loss:g}",
+            )
+        return RecalibrationPlan(
+            action="none",
+            reason=f"mean predicted loss {mean:.2e} < {self.max_mean_loss:g}",
+        )
+
+
+@dataclass
+class SelectiveRecalibration(RecalibrationPolicy):
+    """Re-select only the edges whose predicted loss crosses a threshold."""
+
+    edge_loss_threshold: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.edge_loss_threshold <= 0:
+            raise ValueError(
+                f"edge_loss_threshold must be positive, got {self.edge_loss_threshold}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"selective:{self.edge_loss_threshold:g}"
+
+    def plan(self, epoch, losses):
+        flagged = sorted(
+            {
+                edge
+                for per_edge in losses.values()
+                for edge, loss in per_edge.items()
+                if loss >= self.edge_loss_threshold
+            }
+        )
+        if flagged:
+            return RecalibrationPlan(
+                action="selective",
+                reason=f"{len(flagged)} edge(s) over {self.edge_loss_threshold:g}",
+                edges=tuple(flagged),
+            )
+        return RecalibrationPlan(
+            action="none", reason=f"no edge over {self.edge_loss_threshold:g}"
+        )
+
+
+@dataclass
+class RetuneRecalibration(RecalibrationPolicy):
+    """Cheap Section-VI retune (duration rescale) when mean loss crosses."""
+
+    max_mean_loss: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_mean_loss <= 0:
+            raise ValueError(
+                f"max_mean_loss must be positive, got {self.max_mean_loss}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"retune:{self.max_mean_loss:g}"
+
+    def plan(self, epoch, losses):
+        mean, peak = summarize_losses(losses)
+        if mean >= self.max_mean_loss:
+            return RecalibrationPlan(
+                action="retune",
+                reason=f"mean predicted loss {mean:.2e} >= {self.max_mean_loss:g}",
+            )
+        return RecalibrationPlan(
+            action="none",
+            reason=f"mean predicted loss {mean:.2e} < {self.max_mean_loss:g}",
+        )
+
+
+def parse_policy(text: str) -> RecalibrationPolicy:
+    """Build a policy from CLI syntax.
+
+    ``"never"``, ``"always"``, ``"periodic:K"``, ``"threshold:X"``,
+    ``"selective:X"`` and ``"retune:X"`` -- unknown names raise
+    ``ValueError`` listing the grammar, matching the CLI error contract of
+    the fleet and service entry points.
+    """
+    name, _, arg = text.partition(":")
+    name = name.strip()
+    arg = arg.strip()
+    try:
+        if name == "never" and not arg:
+            return NeverRecalibrate()
+        if name == "always" and not arg:
+            return PeriodicRecalibration(period=1)
+        if name == "periodic":
+            return PeriodicRecalibration(period=int(arg))
+        if name == "threshold":
+            return ThresholdRecalibration(max_mean_loss=float(arg))
+        if name == "selective":
+            return SelectiveRecalibration(edge_loss_threshold=float(arg))
+        if name == "retune":
+            return RetuneRecalibration(max_mean_loss=float(arg))
+    except ValueError as error:
+        raise ValueError(f"cannot parse policy {text!r}: {error}") from error
+    raise ValueError(
+        f"unknown recalibration policy {text!r}; expected 'never', 'always', "
+        "'periodic:K', 'threshold:X', 'selective:X' or 'retune:X'"
+    )

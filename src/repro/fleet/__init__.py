@@ -33,11 +33,14 @@ See ``docs/fleet.md`` for the full specification and cache semantics.
 
 from repro.fleet.cache import CacheStats, TargetCache
 from repro.fleet.devices import (
+    FINGERPRINT_FIELDS,
     Scenario,
     build_device,
     device_fingerprint,
+    fingerprint_payload,
     fleet_scenarios,
     iter_fleet,
+    make_device,
 )
 from repro.fleet.spec import TOPOLOGY_FAMILIES, FleetSpec, TopologySpec
 from repro.fleet.sweep import (
@@ -55,11 +58,14 @@ from repro.fleet.sweep import (
 __all__ = [
     "CacheStats",
     "TargetCache",
+    "FINGERPRINT_FIELDS",
     "Scenario",
     "build_device",
     "device_fingerprint",
+    "fingerprint_payload",
     "fleet_scenarios",
     "iter_fleet",
+    "make_device",
     "TOPOLOGY_FAMILIES",
     "FleetSpec",
     "TopologySpec",

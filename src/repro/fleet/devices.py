@@ -42,19 +42,43 @@ def fleet_scenarios(spec: FleetSpec) -> list[Scenario]:
     ]
 
 
-def build_device(scenario: Scenario, spec: FleetSpec) -> Device:
-    """Instantiate the simulated device for one scenario.
+def make_device(
+    topology: TopologySpec,
+    seed: int = 11,
+    *,
+    coherence_time_us: float = 80.0,
+    single_qubit_gate_ns: float = 20.0,
+) -> Device:
+    """One simulated device from its identity fields.
 
-    Frequencies are sampled by ``Device`` itself (checkerboard on grids,
-    greedy two-colouring elsewhere) from the scenario seed, so the same
-    (topology, seed) always yields the same device.
+    The single construction path shared by the fleet engine, the
+    compilation service and the drift engine: the same
+    ``(topology, seed, coherence, gate duration)`` identity must yield the
+    same device everywhere, or caches keyed by those fields would disagree
+    about what they cache.  Frequencies are sampled by ``Device`` itself
+    (checkerboard on grids, two-colouring elsewhere) from the seed.
+
+    Example::
+
+        device = make_device(TopologySpec.parse("heavy_hex:2"), seed=11)
+        device.n_qubits     # 55
     """
     params = DeviceParameters(
+        coherence_time_us=coherence_time_us,
+        single_qubit_gate_ns=single_qubit_gate_ns,
+        seed=seed,
+    )
+    return Device(graph=topology.graph(), params=params)
+
+
+def build_device(scenario: Scenario, spec: FleetSpec) -> Device:
+    """Instantiate the simulated device for one fleet scenario."""
+    return make_device(
+        scenario.topology,
+        scenario.seed,
         coherence_time_us=spec.coherence_time_us,
         single_qubit_gate_ns=spec.single_qubit_gate_ns,
-        seed=scenario.seed,
     )
-    return Device(graph=scenario.topology.graph(), params=params)
 
 
 def iter_fleet(spec: FleetSpec) -> Iterator[tuple[Scenario, Device]]:
@@ -63,22 +87,37 @@ def iter_fleet(spec: FleetSpec) -> Iterator[tuple[Scenario, Device]]:
         yield scenario, build_device(scenario, spec)
 
 
-def device_fingerprint(device: Device) -> str:
-    """SHA-256 over everything basis-gate selection reads from a device.
+#: Every field the fingerprint hashes, pinned so a drifted calibration field
+#: can never be *silently* missing from the key (a field that selection reads
+#: but the fingerprint skips would serve stale cached targets after drift).
+#: ``tests/test_fleet.py`` asserts this list matches the payload exactly and
+#: that mutating each field changes the fingerprint.
+FINGERPRINT_FIELDS = (
+    "n_qubits",
+    "edges",
+    "frequencies",
+    "deviation_scales",
+    "static_zz",
+    "coherence_time_ns",
+    "single_qubit_duration",
+    "baseline_amplitude",
+    "nonstandard_amplitude",
+    "trajectory_resolution_ns",
+)
 
-    Covered: the coupling graph, every qubit frequency, every pair's
-    deviation scale, the coherence/single-qubit-gate constants, both drive
-    amplitudes and the trajectory resolution.  Floats are hashed via
-    ``float.hex`` so the fingerprint distinguishes values that ``repr``
-    might round identically.
 
-    Deliberately *not* covered: lazy caches (trajectories, selections,
-    distance matrix) and ``calibration_epoch`` -- the epoch says "recompute",
-    but recomputing from identical inputs gives identical selections, so a
-    cache entry fingerprinted from the same inputs is still valid.
+def fingerprint_payload(device: Device) -> dict:
+    """The exact plain-data payload :func:`device_fingerprint` hashes.
+
+    One entry per :data:`FINGERPRINT_FIELDS` name -- everything basis-gate
+    selection reads from a device: the coupling graph, every qubit frequency,
+    every pair's deviation scale and residual ZZ term, the
+    coherence/single-qubit-gate constants, both drive amplitudes and the
+    trajectory resolution.  Floats are rendered via ``float.hex`` so the
+    fingerprint distinguishes values that ``repr`` might round identically.
     """
     edges = device.edges()
-    payload = {
+    return {
         "n_qubits": device.n_qubits,
         "edges": [list(edge) for edge in edges],
         "frequencies": [
@@ -88,11 +127,31 @@ def device_fingerprint(device: Device) -> str:
         "deviation_scales": [
             [list(edge), float(device.deviation_scale(edge)).hex()] for edge in edges
         ],
+        "static_zz": [
+            [list(edge), float(device.static_zz(edge)).hex()] for edge in edges
+        ],
         "coherence_time_ns": float(device.coherence_time_ns).hex(),
         "single_qubit_duration": float(device.single_qubit_duration).hex(),
         "baseline_amplitude": float(device.params.baseline_amplitude).hex(),
         "nonstandard_amplitude": float(device.params.nonstandard_amplitude).hex(),
         "trajectory_resolution_ns": float(device.params.trajectory_resolution_ns).hex(),
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def device_fingerprint(device: Device) -> str:
+    """SHA-256 over everything basis-gate selection reads from a device.
+
+    The hashed payload is :func:`fingerprint_payload`; its field list is
+    pinned in :data:`FINGERPRINT_FIELDS`.  Any in-place calibration drift
+    (``Device.update_calibration``) therefore changes the key, so stale
+    cached targets are simply never matched again.
+
+    Deliberately *not* covered: lazy caches (trajectories, selections,
+    distance matrix) and ``calibration_epoch`` -- the epoch says "recompute",
+    but recomputing from identical inputs gives identical selections, so a
+    cache entry fingerprinted from the same inputs is still valid.
+    """
+    blob = json.dumps(
+        fingerprint_payload(device), sort_keys=True, separators=(",", ":")
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

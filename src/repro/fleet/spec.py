@@ -27,6 +27,12 @@ class TopologySpec:
     for ``linear`` and ``(distance,)`` for ``heavy_hex``.  Use the
     :meth:`grid` / :meth:`linear` / :meth:`heavy_hex` constructors or
     :meth:`parse` rather than spelling the tuple by hand.
+
+    Example::
+
+        TopologySpec.parse("heavy_hex:3") == TopologySpec.heavy_hex(3)
+        TopologySpec.grid(3, 4).label      # 'grid:3x4'
+        TopologySpec.linear(6).n_qubits    # 6
     """
 
     family: str
@@ -127,6 +133,15 @@ class FleetSpec:
             reruns skip calibration entirely.
         coherence_time_us: per-qubit coherence time for every fleet device.
         single_qubit_gate_ns: single-qubit gate duration for every device.
+
+    Example::
+
+        spec = FleetSpec(
+            topologies=(TopologySpec.grid(3, 3), TopologySpec.heavy_hex(2)),
+            draws=3, strategies=("baseline", "criterion2"),
+            circuits=("ghz_4", "bv_5"), cache_dir=".fleet-cache",
+        )
+        run_sweep(spec).format_table()
     """
 
     topologies: tuple[TopologySpec, ...]

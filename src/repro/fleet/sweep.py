@@ -367,6 +367,12 @@ def run_sweep(spec: FleetSpec) -> FleetResult:
     derived cost model -- is served from or persisted to the on-disk
     :class:`TargetCache`; a warm rerun of the same spec therefore hits the
     cache for 100% of cells and never simulates an edge.
+
+    Example::
+
+        result = run_sweep(FleetSpec(topologies=(TopologySpec.linear(6),)))
+        print(result.format_table())           # per-strategy distributions
+        result.write_json("fleet_results.json")
     """
     for strategy in spec.strategies:
         validate_strategy(strategy)

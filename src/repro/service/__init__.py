@@ -42,6 +42,7 @@ from repro.service.loadgen import LoadSpec, run_phase_inprocess, run_phase_wire
 from repro.service.metrics import ServiceMetrics, percentiles
 from repro.service.net import OPS, ServiceClient, ServiceServer
 from repro.service.requests import (
+    CalibrationUpdate,
     CompileRequest,
     CompileResponse,
     RequestError,
@@ -61,6 +62,7 @@ __all__ = [
     "OPS",
     "ServiceClient",
     "ServiceServer",
+    "CalibrationUpdate",
     "CompileRequest",
     "CompileResponse",
     "RequestError",

@@ -70,6 +70,14 @@ class TargetHotCache:
     ``capacity`` bounds the in-memory layer; the least-recently-used entry
     is evicted first.  ``cache_dir=None`` runs memory-only (evicted entries
     rebuild); otherwise evicted entries are still one disk read away.
+
+    Example::
+
+        hot = TargetHotCache(capacity=8, cache_dir=".svc")
+        target, source = hot.get(device, "criterion2")   # source: 'built'
+        target, source = hot.get(device, "criterion2")   # source: 'memory'
+        device.update_calibration(frequency_shifts={0: 0.02})
+        target, source = hot.get(device, "criterion2")   # new key: 'built'
     """
 
     def __init__(self, capacity: int = 64, cache_dir: str | Path | None = None):
@@ -124,6 +132,22 @@ class TargetHotCache:
         self._lru.move_to_end(key)
         while len(self._lru) > self.capacity:
             self._lru.popitem(last=False)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Evict every hot entry keyed by one device fingerprint.
+
+        Called by the service's calibration-update op: a device that drifted
+        in place gets a new fingerprint, so its *old* entries would never be
+        matched again anyway -- but they would squat in the LRU until
+        capacity pressure pushed them out.  Eviction is bookkeeping, not
+        correctness (the content-addressed key scheme already guarantees
+        stale entries are never served).  Returns how many entries went.
+        """
+        prefix = f"{fingerprint}-"
+        stale = [key for key in self._lru if key.startswith(prefix)]
+        for key in stale:
+            del self._lru[key]
+        return len(stale)
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk layer is left untouched)."""

@@ -41,6 +41,7 @@ class ServiceMetrics:
         self.requests_failed = 0
         self.batches_total = 0
         self.cells_total = 0  # (circuit x strategy) compilations performed
+        self.calibrations_total = 0  # calibration-update ops applied
         self.batch_sizes: deque[int] = deque(maxlen=reservoir_size)
         self.queue_ms: deque[float] = deque(maxlen=reservoir_size)
         self.compile_ms: deque[float] = deque(maxlen=reservoir_size)
@@ -69,6 +70,10 @@ class ServiceMetrics:
         self.requests_total += 1
         self.requests_failed += 1
 
+    def record_calibration(self) -> None:
+        """One calibration-update op applied to a device."""
+        self.calibrations_total += 1
+
     # -- reading --------------------------------------------------------------
 
     @property
@@ -95,6 +100,7 @@ class ServiceMetrics:
                 "total": self.requests_total,
                 "ok": self.requests_ok,
                 "failed": self.requests_failed,
+                "calibrations": self.calibrations_total,
                 "throughput_rps": self.throughput_rps,
             },
             "latency_ms": {

@@ -7,6 +7,7 @@ framework:
 Request lines::
 
     {"op": "compile", "circuit": "ghz_4", "topology": "grid:3x3", ...}
+    {"op": "calibrate", "topology": "grid:3x3", "frequency_shifts": {"0": 0.02}}
     {"op": "metrics"}
     {"op": "ping"}
     {"op": "shutdown"}
@@ -30,11 +31,20 @@ from repro.service.requests import RequestError
 from repro.service.service import CompilationService
 
 #: Operations the wire protocol understands.
-OPS = ("compile", "metrics", "ping", "shutdown")
+OPS = ("compile", "calibrate", "metrics", "ping", "shutdown")
 
 
 class ServiceServer:
-    """An asyncio TCP server wrapping one :class:`CompilationService`."""
+    """An asyncio TCP server wrapping one :class:`CompilationService`.
+
+    Example::
+
+        server = ServiceServer(CompilationService(), port=0)   # ephemeral port
+        await server.start()
+        host, port = server.address
+        ...                                # serve ServiceClient traffic
+        final_metrics = await server.stop()
+    """
 
     def __init__(
         self, service: CompilationService, host: str = "127.0.0.1", port: int = 0
@@ -129,11 +139,27 @@ class ServiceServer:
             except Exception as error:  # noqa: BLE001 - wire boundary
                 return {"ok": False, "error": f"internal error: {error}"}
             return {"ok": True, "result": response.to_dict()}
+        if op == "calibrate":
+            try:
+                report = await self.service.calibrate(message)
+            except RequestError as error:
+                return {"ok": False, "error": str(error)}
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                return {"ok": False, "error": f"internal error: {error}"}
+            return {"ok": True, "result": report}
         return {"ok": False, "error": f"unknown op {op!r}; expected one of {list(OPS)}"}
 
 
 class ServiceClient:
-    """A minimal JSON-lines client for :class:`ServiceServer`."""
+    """A minimal JSON-lines client for :class:`ServiceServer`.
+
+    Example::
+
+        async with ServiceClient(host, port) as client:
+            result = await client.compile(circuit="ghz_4", topology="grid:3x3")
+            print(result["results"]["criterion2"]["fidelity"])
+            print(await client.metrics())
+    """
 
     def __init__(self, host: str, port: int):
         self.host = host
@@ -178,7 +204,15 @@ class ServiceClient:
             raise RequestError(envelope.get("error", "unknown service error"))
         return envelope["result"]
 
+    async def calibrate(self, **fields) -> dict:
+        """Apply a calibration update via the wire; raises on rejection."""
+        envelope = await self.request({"op": "calibrate", **fields})
+        if not envelope.get("ok"):
+            raise RequestError(envelope.get("error", "unknown service error"))
+        return envelope["result"]
+
     async def metrics(self) -> dict:
+        """Fetch the service's current metrics document."""
         envelope = await self.request({"op": "metrics"})
         return envelope["result"]
 

@@ -169,6 +169,179 @@ class CompileRequest:
         }
 
 
+def _parse_edge_key(text: str) -> tuple[int, int]:
+    """Parse a wire edge key like ``"3-4"`` into a sorted qubit pair."""
+    a, sep, b = str(text).partition("-")
+    if not sep or not a.strip().isdigit() or not b.strip().isdigit():
+        raise RequestError(
+            f"cannot parse edge {text!r}; expected 'A-B' with qubit labels"
+        )
+    pair = (int(a), int(b))
+    return pair if pair[0] < pair[1] else (pair[1], pair[0])
+
+
+@dataclass(frozen=True)
+class CalibrationUpdate:
+    """One calibration-update op: drift a served device's calibrations.
+
+    Targets the same device identity axes as :class:`CompileRequest`
+    (``topology`` / ``device_seed`` / ``coherence_us`` / ``gate_ns`` -- the
+    *initial* constants, which keep identifying the device after updates),
+    and carries the in-place mutations to apply: absolute ``frequencies`` or
+    additive ``frequency_shifts`` per qubit, a new ``set_coherence_us``, and
+    per-edge ``deviation_scales`` / ``static_zz`` (edge keys are ``"A-B"``
+    strings on the wire).  At least one mutation is required -- an empty
+    update is almost certainly a malformed request.
+
+    Example wire form::
+
+        {"op": "calibrate", "topology": "grid:3x3", "device_seed": 11,
+         "frequency_shifts": {"0": 0.02}, "set_coherence_us": 72.0}
+    """
+
+    topology: str = "grid:3x3"
+    device_seed: int = 11
+    coherence_us: float = DEFAULT_COHERENCE_US
+    gate_ns: float = DEFAULT_GATE_NS
+    frequencies: tuple[tuple[int, float], ...] = ()
+    frequency_shifts: tuple[tuple[int, float], ...] = ()
+    set_coherence_us: float | None = None
+    deviation_scales: tuple[tuple[tuple[int, int], float], ...] = ()
+    static_zz: tuple[tuple[tuple[int, int], float], ...] = ()
+
+    def __post_init__(self) -> None:
+        try:
+            TopologySpec.parse(self.topology)
+        except ValueError as error:
+            raise RequestError(str(error)) from error
+        if self.coherence_us <= 0 or self.gate_ns <= 0:
+            raise RequestError(
+                "coherence_us and gate_ns must be positive, got "
+                f"{self.coherence_us} and {self.gate_ns}"
+            )
+        if self.set_coherence_us is not None and self.set_coherence_us <= 0:
+            raise RequestError(
+                f"set_coherence_us must be positive, got {self.set_coherence_us}"
+            )
+        if not (
+            self.frequencies
+            or self.frequency_shifts
+            or self.set_coherence_us is not None
+            or self.deviation_scales
+            or self.static_zz
+        ):
+            raise RequestError(
+                "calibration update carries no mutations; provide at least one "
+                "of frequencies, frequency_shifts, set_coherence_us, "
+                "deviation_scales, static_zz"
+            )
+
+    @property
+    def device_key(self) -> tuple:
+        """Identity of the device this update targets (same as compile traffic)."""
+        return (self.topology, self.device_seed, self.coherence_us, self.gate_ns)
+
+    def mutation_kwargs(self) -> dict:
+        """Keyword arguments for ``Device.update_calibration``."""
+        kwargs: dict = {}
+        if self.frequencies:
+            kwargs["frequencies"] = dict(self.frequencies)
+        if self.frequency_shifts:
+            kwargs["frequency_shifts"] = dict(self.frequency_shifts)
+        if self.set_coherence_us is not None:
+            kwargs["coherence_time_us"] = self.set_coherence_us
+        if self.deviation_scales:
+            kwargs["deviation_scales"] = dict(self.deviation_scales)
+        if self.static_zz:
+            kwargs["static_zz"] = dict(self.static_zz)
+        return kwargs
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CalibrationUpdate":
+        """Parse the JSON wire form, raising readable :class:`RequestError`."""
+        if not isinstance(data, Mapping):
+            raise RequestError(
+                f"calibration update must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "topology",
+            "device_seed",
+            "coherence_us",
+            "gate_ns",
+            "frequencies",
+            "frequency_shifts",
+            "set_coherence_us",
+            "deviation_scales",
+            "static_zz",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RequestError(
+                f"unknown calibration field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "topology" in kwargs and not isinstance(kwargs["topology"], str):
+            raise RequestError(
+                f"topology must be a string, got {kwargs['topology']!r}"
+            )
+        for name in ("frequencies", "frequency_shifts"):
+            if name in kwargs:
+                mapping = kwargs[name]
+                if not isinstance(mapping, Mapping):
+                    raise RequestError(
+                        f"{name} must map qubit labels to numbers, got {mapping!r}"
+                    )
+                entries = []
+                for label, value in mapping.items():
+                    try:
+                        qubit = int(str(label), 10)
+                    except ValueError:
+                        raise RequestError(
+                            f"{name} key {label!r} is not a qubit label"
+                        ) from None
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        raise RequestError(
+                            f"{name}[{label!r}] must be a number, got {value!r}"
+                        )
+                    entries.append((qubit, float(value)))
+                if len({qubit for qubit, _ in entries}) != len(entries):
+                    raise RequestError(f"duplicate qubit labels in {name}")
+                kwargs[name] = tuple(sorted(entries))
+        for name in ("deviation_scales", "static_zz"):
+            if name in kwargs:
+                mapping = kwargs[name]
+                if not isinstance(mapping, Mapping):
+                    raise RequestError(
+                        f"{name} must map 'A-B' edges to numbers, got {mapping!r}"
+                    )
+                entries = []
+                for edge_text, value in mapping.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        raise RequestError(
+                            f"{name}[{edge_text!r}] must be a number, got {value!r}"
+                        )
+                    entries.append((_parse_edge_key(edge_text), float(value)))
+                if len({edge for edge, _ in entries}) != len(entries):
+                    # "0-1" and "1-0" normalize to the same pair; keeping a
+                    # value-dependent winner would silently drop a mutation.
+                    raise RequestError(f"duplicate edges in {name} after sorting A-B")
+                kwargs[name] = tuple(sorted(entries))
+        for name in ("device_seed",):
+            if name in kwargs and not isinstance(kwargs[name], int):
+                raise RequestError(f"{name} must be an integer, got {kwargs[name]!r}")
+        for name in ("coherence_us", "gate_ns", "set_coherence_us"):
+            if name in kwargs and kwargs[name] is not None:
+                value = kwargs[name]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise RequestError(f"{name} must be a number, got {value!r}")
+                kwargs[name] = float(value)
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise RequestError(str(error)) from error
+
+
 @dataclass
 class CompileResponse:
     """What the service returns for one :class:`CompileRequest`.

@@ -30,6 +30,7 @@ JSON-lines server and a load generator.  See docs/service.md.
 from __future__ import annotations
 
 import asyncio
+import pickle
 import threading
 import time
 from collections import OrderedDict
@@ -42,13 +43,14 @@ from repro.compiler.pipeline.dispatch import (
     DispatchContext,
 )
 from repro.compiler.pipeline.registry import REGISTRY
-from repro.device.device import Device, DeviceParameters
+from repro.device.device import Device
 from repro.fleet.spec import TopologySpec
-from repro.fleet.devices import device_fingerprint
+from repro.fleet.devices import device_fingerprint, make_device
 from repro.fleet.sweep import build_circuit
 from repro.service.hotcache import TargetHotCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.requests import (
+    CalibrationUpdate,
     CompileRequest,
     CompileResponse,
     RequestError,
@@ -110,7 +112,21 @@ _SHUTDOWN = object()
 
 
 class CompilationService:
-    """Async facade over the hot caches and the persistent dispatcher."""
+    """Async facade over the hot caches and the persistent dispatcher.
+
+    Start/stop it explicitly or use it as an async context manager; requests
+    are plain dicts (the JSON wire form) or :class:`CompileRequest` objects.
+
+    Example::
+
+        async with CompilationService(ServiceConfig(cache_dir=".svc")) as svc:
+            response = await svc.compile(
+                {"circuit": "ghz_4", "strategies": ["criterion2"]})
+            print(response.results["criterion2"]["fidelity"],
+                  response.target_sources)
+            await svc.calibrate(
+                {"topology": "grid:3x3", "frequency_shifts": {"0": 0.02}})
+    """
 
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
@@ -200,6 +216,84 @@ class CompilationService:
         """Current machine-readable metrics document."""
         return self.metrics.snapshot(cache=self.hot_targets.as_dict())
 
+    async def calibrate(self, update: CalibrationUpdate | Mapping) -> dict:
+        """Apply a calibration update to a served device (the wire op).
+
+        Parses plain dicts first (raising readable :class:`RequestError`),
+        then applies the mutation off the event loop.  Unlike
+        :meth:`compile` this does not require the batcher to be running --
+        calibration is valid the moment the service owns its caches.
+        Rejected updates count in ``requests.failed`` exactly like rejected
+        compile traffic, so malformed calibration streams are visible in
+        the metrics document.
+        """
+        try:
+            if not isinstance(update, CalibrationUpdate):
+                update = CalibrationUpdate.from_dict(update)
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.update_calibration, update
+            )
+        except RequestError:
+            self.metrics.record_failure()
+            raise
+
+    def update_calibration(self, update: CalibrationUpdate) -> dict:
+        """Rotate a device's calibration state through every service layer.
+
+        1. a **drifted copy** of the served device is built and mutated
+           (``Device.update_calibration`` -- validation errors surface as
+           :class:`RequestError`); the copy, not the original, is what
+           future traffic sees, so in-flight batches holding the old device
+           keep a fully consistent pre-drift view (selections *and*
+           constants like the coherence time) until they drain;
+        2. the device's **old-fingerprint hot-cache entries are evicted**
+           (they could never be matched again, but would squat in the LRU);
+        3. the device LRU re-keys to the new fingerprint, so the next
+           compile's dispatch-context key changes -- which **rotates a
+           persistent process pool**: workers are re-initialized with fresh
+           device/target snapshots instead of silently reusing pre-drift
+           state (see ``BatchDispatcher``).
+
+        Returns a summary (old/new fingerprint, evictions, epoch) that the
+        wire op reports to the client.
+        """
+        key = update.device_key
+        # One read-modify-write under the state lock: concurrent calibrates
+        # for the same device serialize (neither update is lost), and a
+        # racing cold-miss compile cannot interleave between our read and
+        # our admit.  The work under the lock is small-device construction
+        # at worst; compiles only touch the lock for target/device lookups.
+        with self._state_lock:
+            hit = self._devices.get(key)
+            if hit is None:
+                # First sight of this device: build the base so the update
+                # also applies to future traffic for the same key.
+                hit = self._build_device(update)
+            device, old_fingerprint = hit
+            # Drift a copy, not the live object: batches already dispatched
+            # keep reading the original (pickling round-trips the
+            # calibration inputs and strips the derived caches -- the same
+            # path process workers rely on).
+            drifted = pickle.loads(pickle.dumps(device))
+            try:
+                drifted.update_calibration(**update.mutation_kwargs())
+            except ValueError as error:
+                raise RequestError(str(error)) from error
+            if drifted.n_qubits:
+                drifted.distance(0, 0)  # warm the BFS matrix like _device_for
+            new_fingerprint = device_fingerprint(drifted)
+            evicted = self.hot_targets.invalidate_fingerprint(old_fingerprint)
+            self._admit_device_locked(key, (drifted, new_fingerprint))
+        self.metrics.record_calibration()
+        return {
+            "topology": update.topology,
+            "device_seed": update.device_seed,
+            "old_fingerprint": old_fingerprint,
+            "new_fingerprint": new_fingerprint,
+            "hot_entries_evicted": evicted,
+            "calibration_epoch": drifted.calibration_epoch,
+        }
+
     # -- micro-batching -------------------------------------------------------
 
     async def _batch_loop(self) -> None:
@@ -253,32 +347,51 @@ class CompilationService:
 
     # -- batch execution (worker-thread side) ---------------------------------
 
-    def _device_for(self, request: CompileRequest) -> tuple[Device, str]:
-        """The (device, fingerprint) for a request's device key, LRU-cached."""
+    def _build_device(self, request) -> tuple[Device, str]:
+        """Build (and warm) the simulated device for a request's identity."""
+        device = make_device(
+            TopologySpec.parse(request.topology),
+            request.device_seed,
+            coherence_time_us=request.coherence_us,
+            single_qubit_gate_ns=request.gate_ns,
+        )
+        if device.n_qubits:
+            device.distance(0, 0)  # warm the BFS matrix before any fan-out
+        return device, device_fingerprint(device)
+
+    def _admit_device_locked(self, key: tuple, entry: tuple[Device, str]) -> None:
+        """Install an LRU entry; caller holds ``_state_lock``."""
+        self._devices[key] = entry
+        self._devices.move_to_end(key)
+        while len(self._devices) > self.config.device_capacity:
+            self._devices.popitem(last=False)
+
+    def _device_for(self, request) -> tuple[Device, str]:
+        """The (device, fingerprint) for a request's device key, LRU-cached.
+
+        Accepts anything carrying the device-identity fields
+        (``device_key`` / ``topology`` / ``device_seed`` / ``coherence_us``
+        / ``gate_ns``) -- both :class:`CompileRequest` and
+        :class:`CalibrationUpdate` qualify.  A build that loses a race with
+        another admitter (a concurrent cold miss, or a ``calibrate`` that
+        just installed a drifted copy) defers to the existing entry instead
+        of clobbering it -- overwriting would silently revert an applied
+        calibration.
+        """
         key = request.device_key
         with self._state_lock:
             hit = self._devices.get(key)
             if hit is not None:
                 self._devices.move_to_end(key)
                 return hit
-        topology = TopologySpec.parse(request.topology)
-        device = Device(
-            graph=topology.graph(),
-            params=DeviceParameters(
-                coherence_time_us=request.coherence_us,
-                single_qubit_gate_ns=request.gate_ns,
-                seed=request.device_seed,
-            ),
-        )
-        if device.n_qubits:
-            device.distance(0, 0)  # warm the BFS matrix before any fan-out
-        fingerprint = device_fingerprint(device)
+        entry = self._build_device(request)
         with self._state_lock:
-            self._devices[key] = (device, fingerprint)
-            self._devices.move_to_end(key)
-            while len(self._devices) > self.config.device_capacity:
-                self._devices.popitem(last=False)
-        return device, fingerprint
+            existing = self._devices.get(key)
+            if existing is not None:
+                self._devices.move_to_end(key)
+                return existing
+            self._admit_device_locked(key, entry)
+        return entry
 
     def _circuit_for(self, name: str):
         """Built benchmark circuit by fleet name (memoised; circuits are

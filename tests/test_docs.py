@@ -1,0 +1,85 @@
+"""Documentation CI checks as tier-1 tests.
+
+Runs the same checks as the ``docs-check`` CI job (``tools/check_docs.py``):
+every relative markdown link resolves, and every fenced ``pycon`` example
+in README.md / docs/*.md executes green under doctest.  Keeping them in
+tier-1 means a stale example or broken cross-reference fails locally, not
+just on the CI branch.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+def test_doc_files_exist():
+    files = check_docs.doc_files()
+    names = {path.name for path in files}
+    # The documented architecture: index plus one document per subsystem.
+    assert {
+        "README.md",
+        "index.md",
+        "pipeline.md",
+        "mapping.md",
+        "fleet.md",
+        "service.md",
+        "drift.md",
+    } <= names
+    for path in files:
+        assert path.exists(), path
+
+
+@pytest.mark.parametrize(
+    "path", check_docs.doc_files(), ids=lambda p: p.name
+)
+def test_relative_links_resolve(path):
+    assert check_docs.check_links(path) == []
+
+
+@pytest.mark.parametrize(
+    "path", check_docs.doc_files(), ids=lambda p: p.name
+)
+def test_pycon_examples_execute(path):
+    failures = check_docs.run_examples(path)
+    assert failures == [], "\n".join(failures)
+
+
+def test_broken_link_is_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [missing](does-not-exist.md) and [ok](#anchor)")
+    failures = check_docs.check_links(doc)
+    assert len(failures) == 1 and "does-not-exist.md" in failures[0]
+
+
+def test_failing_example_is_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```pycon\n>>> 1 + 1\n3\n```\n")
+    failures = check_docs.run_examples(doc)
+    assert failures and "1/1" in failures[0]
+
+
+def test_cli_entry_point_is_green():
+    # The exact invocation CI runs; also covers the summary line.
+    import subprocess
+
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert "docs-check OK" in result.stdout

@@ -204,6 +204,73 @@ class TestDeviceFingerprint:
         device.invalidate_calibrations()
         assert device_fingerprint(device) == before
 
+    def test_field_list_is_pinned(self):
+        """The fingerprint must hash *every* calibration input selection
+        reads; a drifted field missing from the payload would serve stale
+        cached targets.  Adding a new calibration input to Device therefore
+        requires updating FINGERPRINT_FIELDS, the payload and this test."""
+        from repro.fleet.devices import FINGERPRINT_FIELDS, fingerprint_payload
+
+        payload = fingerprint_payload(_linear_device())
+        assert tuple(sorted(payload)) == tuple(sorted(FINGERPRINT_FIELDS))
+        assert set(FINGERPRINT_FIELDS) == {
+            "n_qubits",
+            "edges",
+            "frequencies",
+            "deviation_scales",
+            "static_zz",
+            "coherence_time_ns",
+            "single_qubit_duration",
+            "baseline_amplitude",
+            "nonstandard_amplitude",
+            "trajectory_resolution_ns",
+        }
+
+    def test_every_calibration_field_changes_the_fingerprint(self):
+        """One mutation per fingerprint field; each must change the key."""
+        mutations = {
+            "frequencies": lambda d: d.update_calibration(
+                frequency_shifts={0: 0.01}
+            ),
+            "deviation_scales": lambda d: d.update_calibration(
+                deviation_scales={(0, 1): 1.3}
+            ),
+            "static_zz": lambda d: d.update_calibration(static_zz={(0, 1): 5e-4}),
+            "coherence_time_ns": lambda d: d.update_calibration(
+                coherence_time_us=41.0
+            ),
+            "single_qubit_duration": lambda d: setattr(
+                d.params, "single_qubit_gate_ns", 21.0
+            ),
+            "baseline_amplitude": lambda d: setattr(
+                d.params, "baseline_amplitude", 0.006
+            ),
+            "nonstandard_amplitude": lambda d: setattr(
+                d.params, "nonstandard_amplitude", 0.05
+            ),
+            "trajectory_resolution_ns": lambda d: setattr(
+                d.params, "trajectory_resolution_ns", 2.0
+            ),
+            "edges": lambda d: d.graph.remove_edge(0, 1),
+        }
+        for field_name, mutate in mutations.items():
+            device = _linear_device()
+            before = device_fingerprint(device)
+            mutate(device)
+            assert device_fingerprint(device) != before, field_name
+
+    def test_pickled_device_keeps_calibration_identity(self):
+        """__getstate__ strips derived caches but must keep every
+        calibration input -- a worker whose static_zz (or any fingerprint
+        field) was dropped would compute different selections."""
+        import pickle
+
+        device = _linear_device()
+        device.update_calibration(static_zz={(0, 1): 2e-3})
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone._calibrations == {}  # derived caches stripped
+        assert device_fingerprint(clone) == device_fingerprint(device)
+
 
 class TestTargetCache:
     def test_miss_then_hit_round_trip(self, tmp_path):

@@ -18,6 +18,7 @@ from repro.fleet import TopologySpec
 from repro.fleet.__main__ import main as fleet_main
 from repro.fleet.sweep import build_circuit
 from repro.service import (
+    CalibrationUpdate,
     CompilationService,
     CompileRequest,
     LoadSpec,
@@ -148,6 +149,145 @@ class TestCompileRequest:
             circuit="bv_3", topology="linear:4", strategies=("baseline", "criterion2")
         )
         assert CompileRequest.from_dict(request.to_dict()) == request
+
+
+class TestCalibrationUpdate:
+    def test_parses_wire_form(self):
+        update = CalibrationUpdate.from_dict(
+            {
+                "topology": "linear:4",
+                "device_seed": 11,
+                "frequency_shifts": {"0": 0.02, "1": -0.01},
+                "set_coherence_us": 72.0,
+                "static_zz": {"1-0": 0.001},
+            }
+        )
+        assert update.device_key == ("linear:4", 11, 80.0, 20.0)
+        kwargs = update.mutation_kwargs()
+        assert kwargs["frequency_shifts"] == {0: 0.02, 1: -0.01}
+        assert kwargs["coherence_time_us"] == 72.0
+        assert kwargs["static_zz"] == {(0, 1): 0.001}  # edge key sorted
+
+    @pytest.mark.parametrize(
+        "fields, message",
+        [
+            ({"topology": "ring:4"}, "cannot parse topology"),
+            ({"frequency_shifts": {"zero": 0.1}}, "not a qubit label"),
+            ({"frequency_shifts": {"0": "fast"}}, "must be a number"),
+            ({"static_zz": {"0:1": 0.1}}, "cannot parse edge"),
+            ({"static_zz": {"0-1": 0.1, "1-0": 0.2}}, "duplicate edges"),
+            ({"frequency_shifts": {"--1": 0.1}}, "not a qubit label"),
+            ({"frequency_shifts": {"0": 0.1, "00": 0.2}}, "duplicate qubit"),
+            ({"static_zz": 7}, "must map"),
+            ({"set_coherence_us": -2.0}, "must be positive"),
+            ({"frequency_shifts": {"0": 0.1}, "typo": 1}, "unknown calibration field"),
+            ({}, "carries no mutations"),
+        ],
+    )
+    def test_invalid_updates_raise_readable_errors(self, fields, message):
+        with pytest.raises(RequestError, match=message):
+            CalibrationUpdate.from_dict({"topology": "linear:4", **fields})
+
+    def test_service_calibrate_rotates_caches_and_rebuilds(self, tmp_path):
+        """The calibration-update op end to end: warm traffic, drift, the
+        old hot entry is evicted, the next compile rebuilds against the
+        drifted device and produces a different answer."""
+
+        async def go():
+            config = ServiceConfig(cache_dir=str(tmp_path))
+            async with CompilationService(config) as service:
+                fields = {"circuit": "ghz_3", "topology": "linear:4",
+                          "strategies": ["criterion2"]}
+                first = await service.compile(dict(fields))
+                warm = await service.compile(dict(fields))
+                assert warm.target_sources == {"criterion2": "memory"}
+                key = ("linear:4", 11, 80.0, 20.0)
+                old_device, _ = service._devices[key]
+                report = await service.calibrate(
+                    {
+                        "topology": "linear:4",
+                        "frequency_shifts": {"0": 0.05},
+                        "set_coherence_us": 70.0,
+                    }
+                )
+                # a drifted *copy* is swapped in: batches in flight keep a
+                # consistent pre-drift device (constants included)
+                new_device, _ = service._devices[key]
+                assert new_device is not old_device
+                assert old_device.calibration_epoch == 0
+                assert old_device.params.coherence_time_us == 80.0
+                assert new_device.params.coherence_time_us == 70.0
+                after = await service.compile(dict(fields))
+                snapshot = service.metrics_snapshot()
+                return first, report, after, snapshot
+
+        first, report, after, snapshot = run(go())
+        assert report["old_fingerprint"] != report["new_fingerprint"]
+        assert report["hot_entries_evicted"] == 1
+        assert report["calibration_epoch"] == 1
+        # the rebuilt target reflects the drifted device
+        assert after.target_sources == {"criterion2": "built"}
+        assert (
+            after.results["criterion2"]["fidelity"]
+            != first.results["criterion2"]["fidelity"]
+        )
+        assert snapshot["requests"]["calibrations"] == 1
+
+    def test_repeated_calibrates_compound(self):
+        """Each update applies on top of the previous drifted copy -- an
+        update must never be lost by re-reading the pre-drift base."""
+
+        async def go():
+            async with CompilationService() as service:
+                first = await service.calibrate(
+                    {"topology": "linear:4", "frequency_shifts": {"0": 0.05}}
+                )
+                second = await service.calibrate(
+                    {"topology": "linear:4", "frequency_shifts": {"0": 0.05}}
+                )
+                device, _ = service._devices[("linear:4", 11, 80.0, 20.0)]
+                return first, second, device
+
+        first, second, device = run(go())
+        assert second["old_fingerprint"] == first["new_fingerprint"]
+        assert second["calibration_epoch"] == 2
+        base = make_device(topology="linear:4")
+        assert device.frequencies[0] == pytest.approx(base.frequencies[0] + 0.10)
+
+    def test_calibrate_unknown_device_seeds_future_traffic(self):
+        """Calibrating a device the service has not seen yet still applies:
+        the device is built, drifted, and used for subsequent requests."""
+
+        async def go():
+            async with CompilationService() as service:
+                report = await service.calibrate(
+                    {"topology": "linear:4", "frequency_shifts": {"0": 0.05}}
+                )
+                response = await service.compile(
+                    {"circuit": "ghz_3", "topology": "linear:4"}
+                )
+                return report, response
+
+        report, response = run(go())
+        assert report["hot_entries_evicted"] == 0
+        assert report["calibration_epoch"] == 1
+        assert response.target_sources == {"criterion2": "built"}
+
+    def test_calibrate_rejects_bad_mutations_readably(self):
+        async def go():
+            async with CompilationService() as service:
+                with pytest.raises(RequestError, match="unknown qubit label"):
+                    await service.calibrate(
+                        {"topology": "linear:4", "frequency_shifts": {"99": 0.1}}
+                    )
+                with pytest.raises(RequestError, match="no mutations"):
+                    await service.calibrate({"topology": "linear:4"})
+                return service.metrics_snapshot()
+
+        snapshot = run(go())
+        assert snapshot["requests"]["calibrations"] == 0
+        # rejected calibration traffic is visible, like rejected compiles
+        assert snapshot["requests"]["failed"] == 2
 
 
 class TestServiceCompile:
@@ -285,6 +425,14 @@ class TestWire:
                 assert (await client.metrics())["requests"]["ok"] == 1
                 bad = await client.request({"op": "compile", "circuit": "nope_1"})
                 assert not bad["ok"] and "unknown circuit" in bad["error"]
+                report = await client.calibrate(
+                    topology="linear:4", frequency_shifts={"0": 0.02}
+                )
+                assert report["old_fingerprint"] != report["new_fingerprint"]
+                rejected = await client.request(
+                    {"op": "calibrate", "topology": "linear:4"}
+                )
+                assert not rejected["ok"] and "no mutations" in rejected["error"]
                 weird = await client.request({"op": "divine"})
                 assert not weird["ok"] and "unknown op" in weird["error"]
                 await client.shutdown()
@@ -292,7 +440,9 @@ class TestWire:
 
         metrics = run(go())
         assert metrics["requests"]["ok"] == 1
-        assert metrics["requests"]["failed"] == 1
+        # the malformed compile AND the rejected calibrate both count
+        assert metrics["requests"]["failed"] == 2
+        assert metrics["requests"]["calibrations"] == 1
 
     def test_invalid_json_line_is_answered_not_fatal(self):
         async def go():

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Doc CI checks: links resolve, fenced examples execute.
+
+Two independent checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links** -- every relative markdown link ``[text](path)`` must resolve
+   to an existing file (anchors and external ``http(s)``/``mailto`` links
+   are skipped).  A renamed document or a typo in a cross-reference fails
+   the build instead of 404-ing a reader.
+
+2. **Examples** -- every fenced ``pycon`` block is executed with
+   :mod:`doctest` (``ELLIPSIS`` and ``NORMALIZE_WHITESPACE`` enabled).  All
+   fences of one file run as **one session** in order, sharing a namespace,
+   so later examples can build on earlier ones -- which also keeps them
+   cheap (one small device serves a whole document).  An example whose
+   output drifted from the code fails the build instead of rotting.
+
+Run from the repository root (CI's ``docs-check`` job and the tier-1
+``tests/test_docs.py`` both do)::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown link targets: [text](target). Images ![alt](target) match too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced pycon blocks (the only fence flavour doctest understands).
+FENCE_RE = re.compile(r"```pycon\n(.*?)```", re.DOTALL)
+
+DOCTEST_OPTIONS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+
+def doc_files() -> list[Path]:
+    """Every markdown file the checks cover."""
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def _label(path: Path) -> str:
+    """Repo-relative label when possible (tests may pass paths elsewhere)."""
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return path.name
+
+
+def check_links(path: Path) -> list[str]:
+    """Broken relative links in one file, as readable failure strings."""
+    failures = []
+    for target in LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]  # strip an anchor suffix
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            failures.append(f"{_label(path)}: broken link -> {target}")
+    return failures
+
+
+def extract_session(path: Path) -> str:
+    """All of a file's pycon fences concatenated into one doctest session."""
+    return "\n".join(FENCE_RE.findall(path.read_text()))
+
+
+def run_examples(path: Path) -> list[str]:
+    """Execute one file's pycon session; returns readable failure strings."""
+    session = extract_session(path)
+    if not session.strip():
+        return []
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        session, {"__name__": "__docs__"}, _label(path), str(path), 0
+    )
+    output: list[str] = []
+    runner = doctest.DocTestRunner(optionflags=DOCTEST_OPTIONS)
+    runner.run(test, out=output.append)
+    if runner.failures or runner.tries == 0:
+        detail = "".join(output).strip()
+        label = f"{_label(path)}: {runner.failures}/{runner.tries} examples failed"
+        return [f"{label}\n{detail}" if detail else label]
+    return []
+
+
+def main() -> int:
+    failures: list[str] = []
+    examples_run = 0
+    for path in doc_files():
+        if not path.exists():
+            failures.append(f"missing documentation file: {path.relative_to(ROOT)}")
+            continue
+        failures.extend(check_links(path))
+        session = extract_session(path)
+        examples_run += session.count(">>>")
+        failures.extend(run_examples(path))
+    if failures:
+        print("docs-check FAILED:\n", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}\n", file=sys.stderr)
+        return 1
+    print(
+        f"docs-check OK: {len(doc_files())} files, links resolve, "
+        f"{examples_run} doctest examples green"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
