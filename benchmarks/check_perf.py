@@ -18,6 +18,15 @@ Two benchmark kinds are understood, keyed by the files' ``benchmark`` field:
   the seeds, so any drift beyond tolerance is a real behaviour change, not
   noise; wall-times are reported but never gated (they measure the runner,
   not the compiler).
+* ``cluster`` (``bench_cluster.py``) -- warm cluster vs single-process
+  throughput plus the cluster's *functional* invariants: the overload phase
+  must shed (with zero errors), the warm-store restart must serve from disk
+  without rebuilding, and no post-calibrate response may carry a stale
+  fingerprint.  The >= :data:`CLUSTER_SPEEDUP_FLOOR` cluster-over-single
+  speedup applies only when the current run had at least 2 CPUs (the
+  document records ``cpus``); on a single core the shards time-slice one
+  core and only a :data:`CLUSTER_SINGLE_CPU_FLOOR` sanity floor applies.
+  ``REPRO_CLUSTER_SPEEDUP_FLOOR`` overrides the active floor either way.
 
 Refreshing baselines (after an intentional perf or behaviour change)::
 
@@ -42,6 +51,18 @@ from pathlib import Path
 #: The service acceptance criterion: warm traffic must be at least this many
 #: times faster than cold traffic, whatever the baseline file says.
 SPEEDUP_FLOOR = 5.0
+
+#: The cluster acceptance criterion on real multi-core hardware: a warm
+#: 2-shard cluster must beat the single-process warm wire throughput by this
+#: factor.  Only meaningful with >= 2 CPUs -- shard processes are the
+#: parallelism -- so the gate checks the run's recorded ``cpus`` first.
+CLUSTER_SPEEDUP_FLOOR = 1.6
+
+#: Sanity floor on single-CPU runners: the front-end hop and process
+#: time-slicing cost something, but a warm cluster collapsing below a third
+#: of single-process throughput means routing or queueing is broken, not
+#: that the machine is small.
+CLUSTER_SINGLE_CPU_FLOOR = 0.3
 
 #: Default relative regression tolerance (15%).
 DEFAULT_TOLERANCE = 0.15
@@ -184,7 +205,81 @@ def routing_checks(baseline: dict, current: dict, tolerance: float) -> list[Chec
     return checks
 
 
-KINDS = {"service": service_checks, "routing": routing_checks}
+def cluster_checks(baseline: dict, current: dict, tolerance: float) -> list[Check]:
+    """The gated metrics of one ``bench_cluster.py`` document pair."""
+    checks = []
+    for path, higher_is_better, tol in (
+        ("single_warm.throughput_rps", True, tolerance),
+        ("cluster_warm.throughput_rps", True, tolerance),
+        ("cluster_warm.latency_ms.p50", False, tolerance),
+        ("cluster_warm.latency_ms.p95", False, max(tolerance, TAIL_TOLERANCE)),
+        ("cluster_warm_disk.throughput_rps", True, tolerance),
+    ):
+        checks.append(
+            Check(
+                label=path,
+                baseline=_dig(baseline, path),
+                current=_dig(current, path),
+                higher_is_better=higher_is_better,
+                tolerance=tol,
+            )
+        )
+    # The speedup floor is CPU-aware: shard processes only parallelize on
+    # real cores.  The env override exists for unusual runners.
+    cpus = int(current.get("cpus", 1))
+    default_floor = CLUSTER_SPEEDUP_FLOOR if cpus >= 2 else CLUSTER_SINGLE_CPU_FLOOR
+    floor = float(os.environ.get("REPRO_CLUSTER_SPEEDUP_FLOOR", default_floor))
+    checks.append(
+        Check(
+            label=f"speedup_cluster_over_single >= floor ({cpus} cpu(s))",
+            baseline=floor,
+            current=_dig(current, "speedup_cluster_over_single"),
+            higher_is_better=True,
+            tolerance=0.0,
+        )
+    )
+    # Functional invariants of the *current* run, phrased as booleans with a
+    # required baseline of 1.0 (a zero baseline would disable the regression
+    # math), so they never drift with the committed file.
+    for label, holds in (
+        ("overload sheds observed", _dig(current, "overload.sheds") > 0),
+        ("overload.errors == 0", _dig(current, "overload.errors") == 0),
+        ("cluster_cold.errors == 0", _dig(current, "cluster_cold.errors") == 0),
+        ("cluster_warm.errors == 0", _dig(current, "cluster_warm.errors") == 0),
+        (
+            "warm store reused (builds_after_restart == 0)",
+            _dig(current, "cluster_warm_disk.builds_after_restart") == 0,
+        ),
+        (
+            "calibrate changed the fingerprint",
+            _dig(current, "coherence.fingerprint_changed") == 1,
+        ),
+        (
+            "calibrate fan-out acked coherently",
+            _dig(current, "coherence.coherent_ack") == 1,
+        ),
+        (
+            "no stale fingerprint served after calibrate",
+            _dig(current, "coherence.stale_served") == 0,
+        ),
+    ):
+        checks.append(
+            Check(
+                label=label,
+                baseline=1.0,
+                current=1.0 if holds else 0.0,
+                higher_is_better=True,
+                tolerance=0.0,
+            )
+        )
+    return checks
+
+
+KINDS = {
+    "service": service_checks,
+    "routing": routing_checks,
+    "cluster": cluster_checks,
+}
 
 
 def run_gate(baseline_path: Path, current_path: Path, tolerance: float) -> bool:

@@ -1,0 +1,25 @@
+"""Sharded compilation cluster over the single-process service.
+
+One front-end process owns the client-facing TCP endpoint and routes
+compile traffic -- consistent-hashed by device identity -- onto N shard
+processes, each a full :class:`~repro.service.service.CompilationService`
+sharing one content-addressed on-disk target store.  See docs/cluster.md
+for the architecture and ``python -m repro.cluster --help`` for the CLI.
+"""
+
+from repro.cluster.fairness import FairQueue
+from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, device_route_key
+from repro.cluster.shard import ShardProcess
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "ClusterConfig",
+    "ClusterFrontend",
+    "ClusterMetrics",
+    "FairQueue",
+    "HashRing",
+    "ShardProcess",
+    "device_route_key",
+]

@@ -1,0 +1,332 @@
+"""Command-line entry points for the sharded compilation cluster.
+
+Three subcommands::
+
+    # Long-lived cluster: front end + N shard processes over one shared
+    # target store (Ctrl-C or the 'shutdown' op stops it; final cluster
+    # metrics print as JSON on exit):
+    python -m repro.cluster serve --shards 2 --store-dir .cluster-store
+
+    # Load generator against a cluster -- ephemeral by default (spins up a
+    # cluster, fires traffic, tears it down), or against a running 'serve'
+    # with --connect HOST:PORT; prints the load report as JSON:
+    python -m repro.cluster load --shards 2 --repeats 3 --tenants a b
+
+    # One shard process (normally spawned by the front end, not by hand):
+    python -m repro.cluster shard --store-dir .cluster-store
+
+Malformed arguments and requests exit nonzero with a one-line readable
+message -- never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import sys
+from pathlib import Path
+
+from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.shard import run_shard
+from repro.compiler.pipeline.dispatch import EXECUTORS
+from repro.service.loadgen import LoadSpec, run_phase_wire
+from repro.service.requests import RequestError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Sharded compilation cluster: consistent-hash routed "
+        "shard processes over one shared target store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the cluster front end + shards until shutdown"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7431, help="bind port (0 = ephemeral)"
+    )
+    load = commands.add_parser(
+        "load", help="generate compile traffic at a cluster and print JSON"
+    )
+    for sub in (serve, load):
+        sub.add_argument(
+            "--shards", type=int, default=2, help="shard process count"
+        )
+        sub.add_argument(
+            "--store-dir",
+            default=None,
+            help="shared on-disk target store directory",
+        )
+        sub.add_argument(
+            "--target-capacity",
+            type=int,
+            default=64,
+            help="per-shard hot target LRU bound",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="per-shard micro-batch fan-out width",
+        )
+        sub.add_argument(
+            "--executor",
+            choices=EXECUTORS,
+            default="thread",
+            help="per-shard worker-pool flavour when --workers > 1",
+        )
+        sub.add_argument(
+            "--batch-window-ms",
+            type=float,
+            default=2.0,
+            help="per-shard micro-batch coalescing window",
+        )
+        sub.add_argument(
+            "--max-batch", type=int, default=32, help="micro-batch size cap"
+        )
+        sub.add_argument(
+            "--connections-per-shard",
+            type=int,
+            default=4,
+            help="front-end wire connections (in-flight requests) per shard",
+        )
+        sub.add_argument(
+            "--max-pending-per-shard",
+            type=int,
+            default=64,
+            help="fair-queue depth bound before requests are shed",
+        )
+        sub.add_argument(
+            "--vnodes",
+            type=int,
+            default=DEFAULT_VNODES,
+            help="virtual nodes per shard on the hash ring",
+        )
+        sub.add_argument(
+            "--output",
+            default=None,
+            metavar="PATH",
+            help="also write the final JSON document here",
+        )
+
+    shard = commands.add_parser(
+        "shard",
+        help="run one shard process (announces SHARD_READY host port on "
+        "stdout; normally spawned by the front end)",
+    )
+    shard.add_argument("--name", default="shard", help="shard name for logs")
+    shard.add_argument("--host", default="127.0.0.1", help="bind address")
+    shard.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    shard.add_argument(
+        "--store-dir", default=None, help="shared on-disk target store directory"
+    )
+    shard.add_argument(
+        "--target-capacity",
+        type=int,
+        default=64,
+        help="hot target LRU bound",
+    )
+    shard.add_argument(
+        "--workers", type=int, default=None, help="micro-batch fan-out width"
+    )
+    shard.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="thread",
+        help="worker-pool flavour when --workers > 1",
+    )
+    shard.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing window",
+    )
+    shard.add_argument(
+        "--max-batch", type=int, default=32, help="micro-batch size cap"
+    )
+
+    load.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running 'serve' cluster instead of an ephemeral one",
+    )
+    load.add_argument(
+        "--circuits",
+        nargs="+",
+        default=["ghz_4", "bv_5", "qft_4"],
+        help="fleet circuit names to request",
+    )
+    load.add_argument("--topology", default="grid:3x3", help="device topology label")
+    load.add_argument(
+        "--device-seeds",
+        nargs="+",
+        type=int,
+        default=[11, 12],
+        help="device frequency seeds (one simulated device each)",
+    )
+    load.add_argument(
+        "--strategies",
+        nargs="+",
+        default=["baseline", "criterion2"],
+        help="strategies each request compiles under",
+    )
+    load.add_argument(
+        "--mapping", default="hop_count", help="mapping metric name"
+    )
+    load.add_argument(
+        "--compile-seed", type=int, default=17, help="layout/routing seed"
+    )
+    load.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="passes over the request list (repeats > 1 exercise hot caches)",
+    )
+    load.add_argument(
+        "--concurrency", type=int, default=8, help="client connection count"
+    )
+    load.add_argument(
+        "--tenants",
+        nargs="*",
+        default=[],
+        help="tenant tags round-robined onto the requests (fair queueing)",
+    )
+    load.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="bounded reconnect attempts per request on connection drops",
+    )
+    load.add_argument(
+        "--shed-retries",
+        type=int,
+        default=10,
+        help="retries per request after a load-shed response (each honours "
+        "the advertised retry_after_ms)",
+    )
+    return parser
+
+
+def _cluster_config(args: argparse.Namespace) -> ClusterConfig:
+    return ClusterConfig(
+        shards=args.shards,
+        store_dir=args.store_dir,
+        target_capacity=args.target_capacity,
+        executor=args.executor,
+        max_workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        connections_per_shard=args.connections_per_shard,
+        max_pending_per_shard=args.max_pending_per_shard,
+        vnodes=args.vnodes,
+    )
+
+
+async def _run_serve(args: argparse.Namespace) -> dict:
+    frontend = ClusterFrontend(_cluster_config(args), host=args.host, port=args.port)
+    await frontend.start()
+    host, port = frontend.address
+    print(
+        f"cluster front end on {host}:{port} "
+        f"({args.shards} shard(s); op=shutdown stops)",
+        file=sys.stderr,
+    )
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, frontend.request_shutdown)
+    except ImportError:  # pragma: no cover - signal is stdlib everywhere
+        pass
+    return await frontend.serve_until_shutdown()
+
+
+async def _run_load(args: argparse.Namespace) -> dict:
+    spec = LoadSpec(
+        circuits=tuple(args.circuits),
+        topology=args.topology,
+        device_seeds=tuple(args.device_seeds),
+        strategies=tuple(args.strategies),
+        mapping=args.mapping,
+        seed=args.compile_seed,
+        repeats=args.repeats,
+        concurrency=args.concurrency,
+    )
+    requests = spec.requests()  # validates every field before any traffic
+    if args.connect is not None:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise RequestError(
+                f"cannot parse --connect {args.connect!r}; expected HOST:PORT"
+            )
+        phase = await run_phase_wire(
+            host,
+            int(port_text),
+            requests,
+            spec.concurrency,
+            name="cluster-wire",
+            retries=args.retries,
+            tenants=tuple(args.tenants),
+            shed_retries=args.shed_retries,
+        )
+        return {"load": phase, "connect": args.connect}
+    frontend = ClusterFrontend(_cluster_config(args), port=0)
+    await frontend.start()
+    try:
+        host, port = frontend.address
+        phase = await run_phase_wire(
+            host,
+            port,
+            requests,
+            spec.concurrency,
+            name="cluster-wire",
+            retries=args.retries,
+            tenants=tuple(args.tenants),
+            shed_retries=args.shed_retries,
+        )
+    finally:
+        cluster_metrics = await frontend.stop()
+    return {"load": phase, "cluster": cluster_metrics}
+
+
+def main(argv: list[str] | None = None) -> dict:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "shard":
+            document = run_shard(args)
+        elif args.command == "serve":
+            document = asyncio.run(_run_serve(args))
+        else:
+            document = asyncio.run(_run_load(args))
+    except (RequestError, ValueError, ConnectionError, OSError, RuntimeError) as error:
+        # Malformed specs, unreachable --connect targets and failed shard
+        # spawns all exit 2 with a one-line message, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+    except KeyboardInterrupt as error:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        raise SystemExit(130) from error
+    if args.command == "shard":
+        return document  # stdout is the readiness channel; stay quiet
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return document
+
+
+if __name__ == "__main__":
+    main()

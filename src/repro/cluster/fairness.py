@@ -1,0 +1,111 @@
+"""Per-tenant fair queueing with bounded depth (admission control).
+
+Each shard lane owns one :class:`FairQueue`.  Tenants (the optional
+``tenant`` tag on cluster traffic) get separate FIFO sub-queues and are
+served round-robin: a tenant flooding the cluster with a deep backlog cannot
+starve a tenant sending occasional requests -- the light tenant's next
+request is at most ``#tenants`` dequeues away, not behind the flood.
+
+The queue is *bounded*: :meth:`FairQueue.offer` refuses work past
+``max_depth``, which is the cluster's admission-control point -- the front
+end turns a refusal into a load-shed response carrying ``retry_after_ms``
+instead of letting queues (and tail latency) grow without bound.
+:meth:`FairQueue.force` bypasses the bound for work the cluster already
+accepted (failover re-dispatch must never be shed -- that would drop an
+in-flight request).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+
+
+class FairQueue:
+    """A bounded, tenant-fair asyncio queue.
+
+    Example::
+
+        queue = FairQueue(max_depth=4)
+        queue.offer("big", 1); queue.offer("big", 2); queue.offer("small", 3)
+        [(await queue.get())[0] for _ in range(3)]   # tenants alternate
+        # -> ["big", "small", "big"]
+    """
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self._lanes: OrderedDict[str, deque] = OrderedDict()
+        self._depth = 0
+        self._ready = asyncio.Event()
+
+    @property
+    def depth(self) -> int:
+        """Total queued items across every tenant."""
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with queued work, in current round-robin order."""
+        return tuple(self._lanes)
+
+    def offer(self, tenant: str, item) -> bool:
+        """Enqueue unless the bound is hit; False = shed this request."""
+        if self._depth >= self.max_depth:
+            return False
+        self._push(tenant, item, front=False)
+        return True
+
+    def force(self, tenant: str, item, front: bool = True) -> None:
+        """Enqueue ignoring the bound (for already-accepted work, e.g.
+        failover re-dispatch); ``front`` puts it at the tenant's head so
+        retried requests do not wait behind newer traffic."""
+        self._push(tenant, item, front=front)
+
+    def _push(self, tenant: str, item, front: bool) -> None:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+        if front:
+            lane.appendleft(item)
+        else:
+            lane.append(item)
+        self._depth += 1
+        self._ready.set()
+
+    async def get(self) -> tuple[str, object]:
+        """Wait for and dequeue the next (tenant, item), round-robin.
+
+        The served tenant rotates to the back of the order, so interleaving
+        is strict: with tenants A (deep backlog) and B (one item), B's item
+        is served after at most one of A's.
+        """
+        while True:
+            if self._depth:
+                tenant, lane = next(iter(self._lanes.items()))
+                item = lane.popleft()
+                self._depth -= 1
+                # Rotate: exhausted lanes drop out, others go to the back.
+                del self._lanes[tenant]
+                if lane:
+                    self._lanes[tenant] = lane
+                if not self._depth:
+                    self._ready.clear()
+                return tenant, item
+            self._ready.clear()
+            await self._ready.wait()
+
+    def drain(self) -> list[tuple[str, object]]:
+        """Remove and return everything queued (used when a shard dies and
+        its backlog must re-route to siblings)."""
+        drained: list[tuple[str, object]] = []
+        for tenant, lane in self._lanes.items():
+            drained.extend((tenant, item) for item in lane)
+        self._lanes.clear()
+        self._depth = 0
+        self._ready.clear()
+        return drained

@@ -1,0 +1,153 @@
+"""Consistent-hash ring routing device traffic onto shards.
+
+The cluster front end must send every request for one simulated device to
+the *same* shard, so that shard's hot target cache, device LRU and worker
+pool stay warm for "its" devices -- per-qubit basis-gate selection makes
+compiled targets expensive and device-specific, so target locality is the
+whole scaling story.  A consistent-hash ring gives that stickiness plus two
+properties a modulo hash lacks:
+
+* **stability under membership change** -- when a shard dies, only the keys
+  it owned move (to the next shard clockwise); every other device keeps its
+  warm shard;
+* **graceful failover** -- :meth:`HashRing.lookup` takes an ``exclude`` set,
+  so routing around a crashed shard is the same walk that normal routing
+  does, just skipping the dead owner.
+
+Keys are *device route keys* (:func:`device_route_key`): a digest of the
+request's device-identity fields (topology, seed, physical constants).
+Deliberately **not** the calibration fingerprint -- calibration drift changes
+the fingerprint but must not move the device to a cold shard; the identity
+key is stable across a device's whole lifetime while the fingerprint rotates
+inside one shard's caches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable, Set
+
+#: Virtual nodes per shard: smooths the key distribution so two shards get
+#: roughly equal device populations even with few physical shards.
+DEFAULT_VNODES = 64
+
+
+def _hash_point(text: str) -> int:
+    """Position of one label on the 64-bit ring."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def device_route_key(
+    topology: str,
+    device_seed: int,
+    coherence_us: float,
+    gate_ns: float,
+) -> str:
+    """The stable routing key of one simulated device's identity.
+
+    Mirrors ``CompileRequest.device_key`` / ``CalibrationUpdate.device_key``:
+    the *initial* identity fields, which keep naming the device across
+    calibration drift.  Floats are rendered via ``float.hex`` so values that
+    ``repr`` might round identically still hash apart.
+    """
+    blob = "|".join(
+        (topology, str(int(device_seed)), float(coherence_us).hex(), float(gate_ns).hex())
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring over named shards.
+
+    Example::
+
+        ring = HashRing(["shard-0", "shard-1"])
+        owner = ring.lookup(device_route_key("grid:3x3", 11, 80.0, 20.0))
+        backup = ring.lookup(..., exclude={owner})   # failover target
+    """
+
+    def __init__(self, shard_ids: Iterable[str], vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = vnodes
+        self._shards: list[str] = []
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for shard in shard_ids:
+            self.add(shard)
+        if not self._shards:
+            raise ValueError("a hash ring needs at least one shard")
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Every shard currently on the ring, in insertion order."""
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def add(self, shard: str) -> None:
+        """Place one shard's virtual nodes on the ring (idempotent)."""
+        if shard in self._shards:
+            return
+        self._shards.append(shard)
+        for vnode in range(self.vnodes):
+            point = _hash_point(f"{shard}#{vnode}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: str) -> None:
+        """Remove one shard's virtual nodes (keys it owned move clockwise)."""
+        if shard not in self._shards:
+            return
+        self._shards.remove(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def lookup(self, key: str, exclude: Set[str] = frozenset()) -> str:
+        """The shard owning ``key``, skipping any shard in ``exclude``.
+
+        Walks clockwise from the key's ring position to the first virtual
+        node whose owner is not excluded -- so the failover target for a
+        down shard is deterministic and consistent across callers.
+
+        Raises:
+            LookupError: when every shard on the ring is excluded.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        start = bisect.bisect(self._points, _hash_point(key)) % len(self._points)
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in exclude:
+                return owner
+        raise LookupError(
+            f"no live shard for key {key[:12]}...; excluded {sorted(exclude)}"
+        )
+
+    def preference(self, key: str, exclude: Set[str] = frozenset()) -> list[str]:
+        """Every non-excluded shard in failover order for ``key``.
+
+        The first entry is :meth:`lookup`'s answer; later entries are the
+        successive failover targets (distinct shards in ring-walk order).
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect(self._points, _hash_point(key)) % len(self._points)
+        ordered: list[str] = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in exclude and owner not in ordered:
+                ordered.append(owner)
+        return ordered

@@ -1,0 +1,227 @@
+"""Shard processes: one full compilation service per OS process.
+
+A *shard* is the PR-4 :class:`~repro.service.service.CompilationService`
+wrapped in its JSON-lines :class:`~repro.service.net.ServiceServer`, run in
+its own Python process -- its own GIL, its own event loop, its own hot
+target cache and worker pool.  The cluster front end spawns N of them and
+speaks the existing wire protocol shard-ward, so a shard is byte-compatible
+with a standalone ``python -m repro.service serve`` (that equivalence is
+what makes the soak harness's single-process baseline a fair comparison).
+
+Two halves live here:
+
+* :func:`run_shard` -- the *inside* of a shard process (the
+  ``python -m repro.cluster shard`` entry): start the service over the
+  shared target store, bind an ephemeral port, announce ``SHARD_READY host
+  port`` on stdout, serve until the ``shutdown`` op;
+* :class:`ShardProcess` -- the *outside* handle the front end holds: spawn
+  the subprocess, wait for the readiness line (with a watchdog timeout),
+  expose liveness, and terminate.  ``spawn()`` is blocking by design -- the
+  front end calls it through ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+#: Readiness announcement printed by a shard once its port is bound.
+READY_PREFIX = "SHARD_READY"
+
+
+def shard_argv(
+    name: str,
+    store_dir: str | None,
+    target_capacity: int,
+    executor: str,
+    max_workers: int | None,
+    batch_window_ms: float,
+    max_batch: int,
+) -> list[str]:
+    """The ``python -m repro.cluster shard`` argv for one shard's config."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cluster",
+        "shard",
+        "--name",
+        name,
+        "--target-capacity",
+        str(target_capacity),
+        "--executor",
+        executor,
+        "--batch-window-ms",
+        str(batch_window_ms),
+        "--max-batch",
+        str(max_batch),
+    ]
+    if store_dir is not None:
+        argv += ["--store-dir", str(store_dir)]
+    if max_workers is not None:
+        argv += ["--workers", str(max_workers)]
+    return argv
+
+
+def run_shard(args: argparse.Namespace) -> dict:
+    """Run one shard process until its server is asked to shut down.
+
+    Announces ``SHARD_READY host port`` on stdout once the (ephemeral) port
+    is bound, then keeps stdout quiet -- the parent holds the pipe and the
+    front end collects metrics over the wire, not via prints.
+    """
+    # Imported here so `python -m repro.cluster shard --help` stays fast.
+    from repro.service.net import ServiceServer
+    from repro.service.service import CompilationService, ServiceConfig
+
+    config = ServiceConfig(
+        cache_dir=args.store_dir,
+        target_capacity=args.target_capacity,
+        executor=args.executor,
+        max_workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+    )
+
+    async def serve() -> dict:
+        server = ServiceServer(CompilationService(config), host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        print(f"{READY_PREFIX} {host} {port}", flush=True)
+        print(f"shard {args.name}: serving on {host}:{port}", file=sys.stderr)
+        return await server.serve_until_shutdown()
+
+    return asyncio.run(serve())
+
+
+class ShardProcess:
+    """The front end's handle on one shard subprocess.
+
+    Example::
+
+        shard = ShardProcess("shard-0", store_dir=".cluster-store")
+        host, port = shard.spawn()        # blocking; run via an executor
+        ...                               # speak the service wire protocol
+        shard.terminate()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store_dir: str | None = None,
+        target_capacity: int = 64,
+        executor: str = "thread",
+        max_workers: int | None = None,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 32,
+        spawn_timeout_s: float = 60.0,
+    ):
+        self.name = name
+        self.store_dir = store_dir
+        self.target_capacity = target_capacity
+        self.executor = executor
+        self.max_workers = max_workers
+        self.batch_window_ms = batch_window_ms
+        self.max_batch = max_batch
+        self.spawn_timeout_s = spawn_timeout_s
+        self.proc: subprocess.Popen | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The shard's (host, port); raises if it has not announced yet."""
+        if self.host is None or self.port is None:
+            raise RuntimeError(f"shard {self.name} has no address (not spawned?)")
+        return self.host, self.port
+
+    @property
+    def alive(self) -> bool:
+        """True while the subprocess is running."""
+        return self.proc is not None and self.proc.poll() is None
+
+    def spawn(self) -> tuple[str, int]:
+        """Start the subprocess and block until it announces readiness.
+
+        The child inherits the parent's environment plus a ``PYTHONPATH``
+        guaranteeing the ``repro`` package resolves even when the parent
+        runs from a source tree.  A watchdog kills a child that binds no
+        port within ``spawn_timeout_s`` so a wedged shard cannot hang the
+        front end's startup forever.
+        """
+        argv = shard_argv(
+            self.name,
+            self.store_dir,
+            self.target_capacity,
+            self.executor,
+            self.max_workers,
+            self.batch_window_ms,
+            self.max_batch,
+        )
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        self.proc = subprocess.Popen(  # noqa: S603 - our own interpreter/argv
+            argv, stdout=subprocess.PIPE, text=True, env=env
+        )
+        watchdog = threading.Timer(self.spawn_timeout_s, self._kill_quietly)
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            while True:
+                line = self.proc.stdout.readline()
+                if not line:
+                    raise RuntimeError(
+                        f"shard {self.name} exited before announcing readiness "
+                        f"(returncode {self.proc.poll()})"
+                    )
+                parts = line.split()
+                if len(parts) == 3 and parts[0] == READY_PREFIX:
+                    self.host, self.port = parts[1], int(parts[2])
+                    break
+        finally:
+            watchdog.cancel()
+        # Keep draining stdout in the background: the pipe must never fill
+        # up and block the child, whatever it prints later.
+        drain = threading.Thread(target=self._drain_stdout, daemon=True)
+        drain.start()
+        return self.host, self.port
+
+    def _drain_stdout(self) -> None:
+        try:
+            for _line in self.proc.stdout:
+                pass
+        except ValueError:  # pragma: no cover - stream closed under us
+            pass
+
+    def _kill_quietly(self) -> None:  # pragma: no cover - watchdog path
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+
+    def wait(self, timeout: float | None = None) -> int | None:
+        """Block until the subprocess exits; returns its return code."""
+        if self.proc is None:
+            return None
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def terminate(self, grace_s: float = 5.0) -> None:
+        """SIGTERM, then SIGKILL after ``grace_s`` if the child lingers."""
+        if self.proc is None or self.proc.poll() is not None:
+            return
+        self.proc.terminate()
+        if self.wait(timeout=grace_s) is None:  # pragma: no cover - stuck child
+            self.proc.kill()
+            self.proc.wait(timeout=grace_s)

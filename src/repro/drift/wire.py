@@ -1,0 +1,87 @@
+"""Bridge from drift models to wire calibration updates.
+
+The drift engine mutates a :class:`~repro.device.device.Device` *in place*
+(:func:`~repro.drift.models.apply_drift`); the service and cluster layers
+instead receive calibration state over the wire as a ``calibrate`` op.
+:func:`drift_calibration_payload` connects the two: it advances a scratch
+copy of the device by one epoch under a drift spec and renders the resulting
+calibration state as the wire mutation dict a
+:class:`~repro.service.requests.CalibrationUpdate` parses.
+
+The payload carries *absolute* values (``frequencies``, ``set_coherence_us``,
+``deviation_scales``, ``static_zz``) rather than deltas: replaying an
+absolute update is idempotent and lands every recipient on the exact same
+calibration state -- and therefore the exact same fingerprint -- no matter
+what it believed before.  That is the property the cluster's calibrate
+fan-out (and its restart replay) leans on, and it is what the soak harness
+uses to drive byte-identical drift into every shard.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.device.device import Device
+from repro.drift.models import DriftModel, apply_drift
+
+
+def calibration_state_payload(device: Device) -> dict:
+    """Render a device's current calibration state as wire mutations.
+
+    The four mutation families a wire ``calibrate`` op can carry, with
+    absolute values read off the device: per-qubit ``frequencies`` (string
+    qubit keys, as JSON objects require), ``set_coherence_us``, and per-edge
+    ``deviation_scales`` / ``static_zz`` (``"A-B"`` edge keys).
+    """
+    edges = device.edges()
+    return {
+        "frequencies": {
+            str(qubit): float(device.frequencies[qubit])
+            for qubit in sorted(device.frequencies)
+        },
+        "set_coherence_us": float(device.params.coherence_time_us),
+        "deviation_scales": {
+            f"{a}-{b}": float(device.deviation_scale((a, b))) for a, b in edges
+        },
+        "static_zz": {
+            f"{a}-{b}": float(device.static_zz((a, b))) for a, b in edges
+        },
+    }
+
+
+def shadow_device(device: Device) -> Device:
+    """An independent deep copy of ``device`` to drift on the client side.
+
+    A pickle round-trip -- the class's ``__getstate__`` drops its lazy
+    calibration caches, so the copy is detached and cheap.  Drive the copy
+    through :func:`drift_calibration_payload` epoch by epoch while the
+    original (e.g. the one living inside a remote service) only ever sees
+    the resulting wire updates.
+    """
+    return pickle.loads(pickle.dumps(device))
+
+
+def drift_calibration_payload(
+    shadow: Device,
+    models: list[DriftModel],
+    epoch: int,
+    drift_seed: int,
+) -> tuple[dict, list]:
+    """Advance a client-side shadow device one epoch; return the wire payload.
+
+    Mutates ``shadow`` in place via the drift engine's deterministic
+    ``(drift_seed, epoch)`` RNG -- the shadow *is* the client's record of
+    where the trajectory has got to, so stateful models (e.g. OU mean
+    reversion anchored at fabrication frequencies) and multi-epoch
+    sequences work exactly as they do inside
+    :func:`~repro.drift.sweep.run_drift_sweep`.  Returns ``(payload,
+    events)``: the shadow's full post-drift calibration state as absolute
+    wire mutations, plus the :class:`~repro.drift.models.DriftEvent` list
+    describing what changed.
+
+    A service-held device that started from the same spec and receives the
+    payloads in epoch order lands on byte-identical calibration state --
+    same fingerprint, same basis-gate selections -- as the shadow.
+    """
+    events = apply_drift(shadow, models, epoch, drift_seed)
+    return calibration_state_payload(shadow), events

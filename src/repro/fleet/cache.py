@@ -24,12 +24,18 @@ hygiene only.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
+
+try:  # POSIX advisory locks; the cache stays usable (rename-atomic) without.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.compiler.cost import CostModel
 from repro.compiler.pipeline.registry import REGISTRY
@@ -57,6 +63,31 @@ def target_cache_key(device, strategy: str, fingerprint: str | None = None) -> s
         digest = hashlib.sha256(strategy.encode("utf-8")).hexdigest()[:8]
         safe_strategy = f"{safe_strategy}.{digest}"
     return f"{fingerprint}-{safe_strategy}-g{REGISTRY.generation(strategy)}"
+
+
+@contextlib.contextmanager
+def entry_lock(path: Path):
+    """Exclusive advisory lock serializing writers of one cache entry.
+
+    Locks a ``<entry>.lock`` sidecar (never the entry itself -- readers stay
+    lock-free; the atomic rename already guarantees they see a whole file).
+    Used by :meth:`TargetCache.store` so concurrent processes writing the
+    same key queue up instead of racing scratch files, and by
+    :meth:`TargetCache.get_or_build` so only the first of N cold processes
+    pays for a target build -- the rest block on the lock, then load the
+    winner's entry from disk.  On platforms without :mod:`fcntl` this is a
+    no-op (rename atomicity still holds; only build dedup is lost).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a+") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 @dataclass
@@ -144,9 +175,19 @@ class TargetCache:
     def store(
         self, device, strategy: str, target: Target, fingerprint: str | None = None
     ) -> Path:
-        """Persist a (completed) target; atomic against concurrent readers."""
+        """Persist a (completed) target; atomic against concurrent readers
+        and serialized (via :func:`entry_lock`) against concurrent writers
+        of the same key -- safe as a store shared by many processes."""
         fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
         path = self.path_for(device, strategy, fingerprint)
+        with entry_lock(path):
+            self._write(path, strategy, target, fingerprint)
+        return path
+
+    def _write(
+        self, path: Path, strategy: str, target: Target, fingerprint: str
+    ) -> None:
+        """Scratch-write + atomic rename; caller holds the entry lock."""
         payload = {
             "format_version": CACHE_FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -160,7 +201,6 @@ class TargetCache:
         scratch = path.with_name(f"{path.name}.tmp{os.getpid()}")
         scratch.write_text(json.dumps(payload))
         os.replace(scratch, path)  # readers see the old or the new file, never half
-        return path
 
     def get_or_build(
         self, device, strategy: str, fingerprint: str | None = None
@@ -170,13 +210,26 @@ class TargetCache:
         Cache hits return a *detached* deserialized target: compilation never
         touches the device's lazy calibration caches, which is the whole
         point -- a warm fleet sweep skips calibration entirely.
+
+        The miss path holds the per-entry lock across (re-check, build,
+        write): when N processes race the same cold cell -- e.g. cluster
+        shards warming one shared store -- exactly one builds, the others
+        block briefly and then deserialize the winner's entry.
         """
         fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
         cached = self.load(device, strategy, fingerprint)
         if cached is not None:
             return cached
-        target = build_target(device, strategy).complete()
-        self.store(device, strategy, target, fingerprint)
+        path = self.path_for(device, strategy, fingerprint)
+        with entry_lock(path):
+            # Re-check under the lock: a sibling process may have finished
+            # the build while we waited for it.
+            cached = self._read(path, fingerprint, strategy)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            target = build_target(device, strategy).complete()
+            self._write(path, strategy, target, fingerprint)
         return target
 
     # -- maintenance ----------------------------------------------------------
@@ -192,7 +245,8 @@ class TargetCache:
         """Delete every entry; returns how many were removed.
 
         Also sweeps up ``.tmp<pid>`` scratch files orphaned by a writer that
-        crashed between writing and the atomic rename.
+        crashed between writing and the atomic rename, and the ``.lock``
+        sidecars (stateless -- safe to delete when no writer is live).
         """
         removed = 0
         for path in self.entries():
@@ -200,4 +254,6 @@ class TargetCache:
             removed += 1
         for scratch in self.root.glob("*.json.tmp*"):
             scratch.unlink(missing_ok=True)
+        for lock in self.root.glob("*.json.lock"):
+            lock.unlink(missing_ok=True)
         return removed

@@ -134,6 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--concurrency", type=int, default=8, help="in-flight request cap"
     )
+    load.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="with --connect: bounded reconnect attempts per request when "
+        "the server connection drops (exponential backoff)",
+    )
     return parser
 
 
@@ -186,7 +193,12 @@ async def _run_load(args: argparse.Namespace) -> dict:
                 f"cannot parse --connect {args.connect!r}; expected HOST:PORT"
             )
         phase = await run_phase_wire(
-            host, int(port_text), requests, spec.concurrency, name="wire"
+            host,
+            int(port_text),
+            requests,
+            spec.concurrency,
+            name="wire",
+            retries=args.retries,
         )
         return {"load": phase, "connect": args.connect}
     async with CompilationService(_service_config(args)) as service:

@@ -67,13 +67,18 @@ class LoadSpec:
 
 
 def _phase_document(
-    name: str, latencies_ms: list[float], wall_time_s: float, errors: int
+    name: str,
+    latencies_ms: list[float],
+    wall_time_s: float,
+    errors: int,
+    sheds: int = 0,
 ) -> dict:
     completed = len(latencies_ms)
     return {
         "phase": name,
         "requests": completed,
         "errors": errors,
+        "sheds": sheds,
         "wall_time_s": wall_time_s,
         "throughput_rps": completed / wall_time_s if wall_time_s > 0 else 0.0,
         "latency_ms": percentiles(latencies_ms),
@@ -114,29 +119,77 @@ async def run_phase_wire(
     requests: list[CompileRequest],
     concurrency: int,
     name: str = "load",
+    retries: int = 0,
+    tenants: tuple[str, ...] = (),
+    shed_retries: int = 0,
+    collect_responses: bool = False,
 ) -> dict:
-    """Fire a request list over TCP using ``concurrency`` connections."""
-    lanes: list[list[CompileRequest]] = [[] for _ in range(concurrency)]
-    for index, request in enumerate(requests):
-        lanes[index % concurrency].append(request)
-    latencies: list[float] = []
-    errors = 0
+    """Fire a request list over TCP using ``concurrency`` connections.
 
-    async def drain(lane: list[CompileRequest]) -> None:
-        nonlocal errors
+    ``retries`` makes each connection survive server drops (bounded
+    reconnect with backoff -- see :class:`~repro.service.net.ServiceClient`).
+    ``tenants`` round-robins a ``tenant`` tag onto the requests (the cluster
+    front end fair-queues per tenant; a plain service server rejects the
+    field, so leave it empty there).  ``shed_retries`` bounds how often a
+    load-shed response (``"shed": true`` with ``retry_after_ms``) is retried
+    after honouring the advertised delay; exhausted sheds count as errors.
+    The phase document reports ``sheds`` (shed responses observed) next to
+    ``errors``.  ``collect_responses`` additionally returns every successful
+    result under ``"responses"`` (request order not guaranteed) -- used by
+    coherence checks that inspect per-response fingerprints.
+    """
+    tagged: list[tuple[CompileRequest, str | None]] = [
+        (request, tenants[index % len(tenants)] if tenants else None)
+        for index, request in enumerate(requests)
+    ]
+    lanes: list[list[tuple[CompileRequest, str | None]]] = [
+        [] for _ in range(concurrency)
+    ]
+    for index, entry in enumerate(tagged):
+        lanes[index % concurrency].append(entry)
+    latencies: list[float] = []
+    responses: list[dict] = []
+    errors = 0
+    sheds = 0
+
+    async def drain(lane: list[tuple[CompileRequest, str | None]]) -> None:
+        nonlocal errors, sheds
         if not lane:
             return
-        async with ServiceClient(host, port) as client:
-            for request in lane:
+        async with ServiceClient(host, port, retries=retries) as client:
+            for request, tenant in lane:
+                message = {"op": "compile", **request.to_dict()}
+                if tenant is not None:
+                    message["tenant"] = tenant
                 started = time.perf_counter()
-                try:
-                    await client.compile(**request.to_dict())
-                except Exception:  # noqa: BLE001 - load gen counts, never raises
+                shed_attempts = 0
+                while True:
+                    try:
+                        envelope = await client.request(message)
+                    except Exception:  # noqa: BLE001 - load gen counts, never raises
+                        errors += 1
+                        break
+                    if envelope.get("ok"):
+                        latencies.append((time.perf_counter() - started) * 1000.0)
+                        if collect_responses:
+                            responses.append(envelope["result"])
+                        break
+                    if envelope.get("shed"):
+                        sheds += 1
+                        if shed_attempts >= shed_retries:
+                            errors += 1
+                            break
+                        shed_attempts += 1
+                        delay_ms = float(envelope.get("retry_after_ms", 25.0))
+                        await asyncio.sleep(min(delay_ms, 1000.0) / 1000.0)
+                        continue
                     errors += 1
-                    continue
-                latencies.append((time.perf_counter() - started) * 1000.0)
+                    break
 
     wall_start = time.perf_counter()
     await asyncio.gather(*(drain(lane) for lane in lanes))
     wall_time = time.perf_counter() - wall_start
-    return _phase_document(name, latencies, wall_time, errors)
+    document = _phase_document(name, latencies, wall_time, errors, sheds)
+    if collect_responses:
+        document["responses"] = responses
+    return document

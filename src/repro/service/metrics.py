@@ -19,13 +19,14 @@ RESERVOIR_SIZE = 4096
 
 
 def percentiles(samples) -> dict:
-    """p50/p95/mean/max of a sample list (zeros when empty)."""
+    """p50/p95/p99/mean/max of a sample list (zeros when empty)."""
     if not samples:
-        return {"p50": 0.0, "p95": 0.0, "mean": 0.0, "max": 0.0}
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
     data = np.asarray(samples, dtype=float)
     return {
         "p50": float(np.percentile(data, 50)),
         "p95": float(np.percentile(data, 95)),
+        "p99": float(np.percentile(data, 99)),
         "mean": float(data.mean()),
         "max": float(data.max()),
     }

@@ -53,6 +53,7 @@ class ServiceServer:
         self.host = host
         self.port = port
         self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
         self._shutdown = asyncio.Event()
 
     @property
@@ -85,11 +86,22 @@ class ServiceServer:
         self._shutdown.set()
 
     async def stop(self) -> dict:
-        """Close the listener and stop the service; returns final metrics."""
+        """Close the listener and stop the service; returns final metrics.
+
+        Live connections are severed (not left answering errors against a
+        stopped service): clients see a clean EOF, and a
+        :class:`ServiceClient` with ``retries > 0`` fails over to wherever
+        the service comes back up.  Accepted requests still drain inside
+        ``service.stop()``; a response whose connection is already gone is
+        safe to lose -- compiles are idempotent, so the client's resend
+        lands on the same answer.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._connections):
+            writer.close()
         self._shutdown.set()
         return await self.service.stop()
 
@@ -98,6 +110,7 @@ class ServiceServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -114,6 +127,7 @@ class ServiceServer:
         except (ConnectionResetError, BrokenPipeError):
             return  # client went away mid-exchange; nothing to answer
         finally:
+            self._connections.discard(writer)
             writer.close()
 
     async def _handle_line(self, text: str) -> dict:
@@ -153,19 +167,42 @@ class ServiceServer:
 class ServiceClient:
     """A minimal JSON-lines client for :class:`ServiceServer`.
 
+    ``retries > 0`` makes :meth:`request` survive dropped connections: on a
+    connection error it reconnects (exponential backoff starting at
+    ``backoff_s``, capped at ``max_backoff_s``) and resends the envelope, up
+    to ``retries`` attempts before the last error propagates.  Compile and
+    calibrate ops are idempotent under the deterministic seeds, so a resend
+    after a mid-request drop is safe.  The default (``retries=0``) keeps the
+    historical fail-fast behaviour.
+
     Example::
 
-        async with ServiceClient(host, port) as client:
+        async with ServiceClient(host, port, retries=5) as client:
             result = await client.compile(circuit="ghz_4", topology="grid:3x3")
             print(result["results"]["criterion2"]["fidelity"])
             print(await client.metrics())
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0 or max_backoff_s < 0:
+            raise ValueError("backoff_s and max_backoff_s must be >= 0")
         self.host = host
         self.port = port
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self._ever_connected = False
 
     async def __aenter__(self) -> "ServiceClient":
         await self.connect()
@@ -176,6 +213,7 @@ class ServiceClient:
 
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self._ever_connected = True
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -187,9 +225,31 @@ class ServiceClient:
             self._reader = self._writer = None
 
     async def request(self, message: dict) -> dict:
-        """Send one envelope and return the decoded response envelope."""
-        if self._writer is None or self._reader is None:
+        """Send one envelope and return the decoded response envelope.
+
+        With ``retries > 0``, connection drops (including a server restart
+        between requests) are retried with backoff instead of propagating.
+        """
+        if not self._ever_connected and self._writer is None:
             raise RuntimeError("client is not connected")
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(message)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+                await self.close()
+                attempt += 1
+                if attempt > self.retries:
+                    raise ConnectionError(
+                        f"request failed after {attempt} attempt(s): {error}"
+                    ) from error
+                delay = min(self.max_backoff_s, self.backoff_s * (2 ** (attempt - 1)))
+                if delay > 0:
+                    await asyncio.sleep(delay)
+
+    async def _request_once(self, message: dict) -> dict:
+        if self._writer is None or self._reader is None:
+            await self.connect()
         self._writer.write((json.dumps(message) + "\n").encode("utf-8"))
         await self._writer.drain()
         line = await self._reader.readline()

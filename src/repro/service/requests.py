@@ -348,13 +348,17 @@ class CompileResponse:
 
     ``results`` carries the headline metrics per strategy;
     ``target_sources`` says which cache layer served each strategy's target
-    (``memory`` / ``disk`` / ``built``); the timing fields expose where the
-    request spent its latency (coalescing wait vs compile).
+    (``memory`` / ``disk`` / ``built``); ``fingerprint`` is the calibration
+    fingerprint of the device the targets were built against, so clients
+    (and the cluster's coherence checks) can tell exactly which calibration
+    state served them; the timing fields expose where the request spent its
+    latency (coalescing wait vs compile).
     """
 
     request: CompileRequest
     results: dict[str, dict] = field(default_factory=dict)
     target_sources: dict[str, str] = field(default_factory=dict)
+    fingerprint: str = ""
     batch_size: int = 1
     queue_ms: float = 0.0
     compile_ms: float = 0.0
@@ -366,6 +370,7 @@ class CompileResponse:
             "request": self.request.to_dict(),
             "results": self.results,
             "target_sources": self.target_sources,
+            "fingerprint": self.fingerprint,
             "batch_size": self.batch_size,
             "timing_ms": {
                 "queue": self.queue_ms,

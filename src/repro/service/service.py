@@ -143,6 +143,7 @@ class CompilationService:
         self._queue: asyncio.Queue | None = None
         self._batcher: asyncio.Task | None = None
         self._groups: set[asyncio.Task] = set()
+        self._accepting = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -156,17 +157,27 @@ class CompilationService:
         if self.running:
             return self
         self._queue = asyncio.Queue()
+        self._accepting = True
         self._batcher = asyncio.create_task(self._batch_loop())
         return self
 
     async def stop(self) -> dict:
-        """Drain in-flight work, shut the pools down, return final metrics."""
+        """Drain queued and in-flight work, shut the pools down, return
+        final metrics.
+
+        Graceful by construction: new :meth:`compile` calls are refused the
+        moment stop begins, but every request already accepted (queued or
+        batched) still compiles and resolves its caller's future -- zero
+        accepted requests are dropped.
+        """
+        self._accepting = False
         if self._queue is not None and self.running:
             await self._queue.put(_SHUTDOWN)
             await self._batcher
         if self._queue is not None:
-            # Requests that raced the shutdown sentinel must not hang their
-            # callers: fail them loudly instead of leaving futures pending.
+            # Safety net for requests that raced past the accepting flag
+            # *after* the batcher drained and exited: fail them loudly
+            # instead of leaving futures pending forever.
             while not self._queue.empty():
                 leftover = self._queue.get_nowait()
                 if leftover is not _SHUTDOWN and not leftover.future.done():
@@ -198,6 +209,8 @@ class CompilationService:
         """
         if not self.running or self._queue is None:
             raise RuntimeError("service is not running; call start() first")
+        if not self._accepting:
+            raise RuntimeError("service is draining; not accepting new requests")
         if not isinstance(request, CompileRequest):
             try:
                 request = CompileRequest.from_dict(request)
@@ -301,30 +314,45 @@ class CompilationService:
         window_s = self.config.batch_window_ms / 1000.0
         while True:
             item = await self._queue.get()
-            if item is _SHUTDOWN:
-                return
-            pending = [item]
-            shutdown = False
-            deadline = loop.time() + window_s
-            while len(pending) < self.config.max_batch:
-                timeout = deadline - loop.time()
-                if timeout <= 0:
-                    break
-                try:
-                    item = await asyncio.wait_for(self._queue.get(), timeout)
-                except asyncio.TimeoutError:
-                    break
-                if item is _SHUTDOWN:
-                    shutdown = True
-                    break
-                pending.append(item)
+            shutdown = item is _SHUTDOWN
+            pending = [] if shutdown else [item]
+            if not shutdown:
+                deadline = loop.time() + window_s
+                while len(pending) < self.config.max_batch:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(self._queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                    if item is _SHUTDOWN:
+                        shutdown = True
+                        break
+                    pending.append(item)
+            if shutdown:
+                # Graceful drain: nothing new is being accepted (stop()
+                # flipped the flag before posting the sentinel), so flush
+                # every request still sitting in the queue -- waiting out
+                # another window would only add latency.
+                while True:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is not _SHUTDOWN:
+                        pending.append(extra)
             groups: dict[tuple, list[_Pending]] = {}
             for entry in pending:
                 groups.setdefault(entry.request.batch_key, []).append(entry)
             for key, group in groups.items():
-                task = asyncio.create_task(self._run_group(key, group))
-                self._groups.add(task)
-                task.add_done_callback(self._groups.discard)
+                # A drained backlog can exceed max_batch; keep dispatch
+                # units at the configured cap so batch shapes stay bounded.
+                for start in range(0, len(group), self.config.max_batch):
+                    chunk = group[start : start + self.config.max_batch]
+                    task = asyncio.create_task(self._run_group(key, chunk))
+                    self._groups.add(task)
+                    task.add_done_callback(self._groups.discard)
             if shutdown:
                 return
 
@@ -452,6 +480,7 @@ class CompilationService:
                         for strategy, one in compiled.items()
                     },
                     target_sources=dict(sources),
+                    fingerprint=fingerprint,
                     batch_size=len(group),
                     queue_ms=queue_ms,
                     compile_ms=compile_ms,

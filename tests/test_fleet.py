@@ -471,3 +471,94 @@ class TestCli:
         warm = fleet_main(args + ["--quiet"])
         assert warm.cache_stats["hit_rate"] == 1.0
         assert capsys.readouterr().out == ""
+
+
+class TestTargetCacheConcurrency:
+    """The shared-store guarantees cluster shards lean on: one build per
+    cold cell and never a torn entry, under concurrent writers."""
+
+    def test_concurrent_cold_get_or_build_builds_once(self, tmp_path, monkeypatch):
+        import threading
+
+        import repro.fleet.cache as cache_module
+
+        real_build = cache_module.build_target
+        build_calls = []
+
+        def counted(device, strategy):
+            build_calls.append(strategy)
+            return real_build(device, strategy)
+
+        monkeypatch.setattr(cache_module, "build_target", counted)
+        barrier = threading.Barrier(6)
+        results, failures = [], []
+
+        def worker():
+            try:
+                # Own Device and own TargetCache instance per thread: models
+                # independent processes racing one shared store directory.
+                device = _linear_device()
+                cache = TargetCache(tmp_path)
+                barrier.wait()
+                results.append(cache.get_or_build(device, "criterion2"))
+            except Exception as error:  # noqa: BLE001 - surfaced via assert
+                failures.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert failures == []
+        assert len(results) == 6
+        # The entry lock makes the losers wait and re-read, not rebuild.
+        assert build_calls == ["criterion2"]
+        assert len(TargetCache(tmp_path)) == 1
+        reference = results[0].to_dict()
+        assert all(target.to_dict() == reference for target in results[1:])
+
+    def test_concurrent_store_never_exposes_partial_entries(self, tmp_path):
+        import threading
+
+        device = _linear_device()
+        cache = TargetCache(tmp_path)
+        target = cache.get_or_build(device, "baseline")
+        fingerprint = device_fingerprint(device)
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            own = TargetCache(tmp_path)
+            for _ in range(25):
+                own.store(device, "baseline", target, fingerprint)
+
+        def reader():
+            own = TargetCache(tmp_path)
+            while not stop.is_set():
+                # Atomic rename: a reader must always see a whole, valid
+                # entry -- None here would mean a torn or half-renamed file.
+                if own.load(device, "baseline", fingerprint) is None:
+                    torn.append(True)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(3)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=120)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=120)
+        assert torn == []
+        assert len(cache) == 1
+        assert TargetCache(tmp_path).load(device, "baseline", fingerprint) is not None
+
+    def test_clear_sweeps_lock_sidecars(self, tmp_path):
+        device = _linear_device()
+        cache = TargetCache(tmp_path)
+        cache.get_or_build(device, "baseline")
+        assert list(tmp_path.glob("*.json.lock"))  # writer left its sidecar
+        cache.clear()
+        assert not list(tmp_path.glob("*.json.lock"))
+        assert len(cache) == 0

@@ -380,7 +380,13 @@ class TestServiceCompile:
         assert snapshot["cache"]["builds"] == 1
         assert snapshot["cache"]["disk"]["misses"] == 1
         for block in ("queue", "compile", "total"):
-            assert set(snapshot["latency_ms"][block]) == {"p50", "p95", "mean", "max"}
+            assert set(snapshot["latency_ms"][block]) == {
+                "p50",
+                "p95",
+                "p99",
+                "mean",
+                "max",
+            }
         json.dumps(snapshot)  # the whole document must be JSON-serializable
 
 
@@ -592,3 +598,95 @@ class TestDispatcherReuse:
             for strategy in want:
                 assert want[strategy].fidelity == have[strategy].fidelity
                 assert want[strategy].total_duration == have[strategy].total_duration
+
+
+class TestShutdownAndReconnect:
+    """Graceful drain and client reconnect (the cluster's failover substrate)."""
+
+    def test_stop_drains_queued_microbatches(self):
+        """stop() must flush coalescing micro-batches -- zero lost requests."""
+
+        async def go():
+            # A long window guarantees the requests are still queued (the
+            # batch has not fired) when stop() begins.
+            service = CompilationService(ServiceConfig(batch_window_ms=200.0))
+            await service.start()
+            request = CompileRequest(
+                circuit="ghz_3", topology="linear:4", strategies=("criterion2",)
+            )
+            tasks = [
+                asyncio.create_task(service.compile(request)) for _ in range(6)
+            ]
+            await asyncio.sleep(0.02)  # accepted, coalescing window still open
+            metrics = await service.stop()
+            responses = await asyncio.gather(*tasks)
+            with pytest.raises(RuntimeError):
+                await service.compile(request)
+            return metrics, responses
+
+        metrics, responses = run(go())
+        assert len(responses) == 6
+        assert all(r.results["criterion2"]["fidelity"] > 0 for r in responses)
+        assert metrics["requests"]["ok"] == 6
+        assert metrics["requests"]["failed"] == 0
+
+    def test_client_reconnects_across_server_restart_mid_load(self, tmp_path):
+        """Kill and restart the server mid-load: with ``retries`` the whole
+        workload still lands, zero errors."""
+        from repro.service import run_phase_wire
+
+        spec = LoadSpec(
+            circuits=("ghz_3",),
+            topology="linear:4",
+            device_seeds=(11,),
+            strategies=("criterion2",),
+            repeats=40,
+            concurrency=4,
+        )
+
+        async def go():
+            config = ServiceConfig(cache_dir=str(tmp_path), batch_window_ms=1.0)
+            server = ServiceServer(CompilationService(config), port=0)
+            await server.start()
+            host, port = server.address
+            load = asyncio.create_task(
+                run_phase_wire(
+                    host, port, spec.requests(), spec.concurrency,
+                    name="across-restart", retries=8,
+                )
+            )
+            await asyncio.sleep(0.05)  # inside the cold build: load in flight
+            await server.stop()  # severs live connections mid-load
+            restarted = ServiceServer(CompilationService(config), host=host, port=port)
+            await restarted.start()
+            phase = await load
+            metrics = await restarted.stop()
+            return phase, metrics
+
+        phase, metrics = run(go())
+        assert phase["errors"] == 0
+        assert phase["requests"] == 40  # every request landed despite the kill
+        assert metrics["requests"]["ok"] > 0  # the restarted server served some
+
+    def test_retries_exhaust_into_connection_error(self):
+        async def go():
+            server = ServiceServer(CompilationService(), port=0)
+            await server.start()
+            host, port = server.address
+            client = ServiceClient(host, port, retries=2, backoff_s=0.01)
+            await client.connect()
+            assert (await client.request({"op": "ping"}))["ok"]
+            await server.stop()  # gone for good: no restart this time
+            with pytest.raises(ConnectionError, match="3 attempt"):
+                await client.request({"op": "ping"})
+            await client.close()
+
+        run(go())
+
+    def test_request_before_connect_is_a_usage_error(self):
+        async def go():
+            client = ServiceClient("127.0.0.1", 1, retries=5)
+            with pytest.raises(RuntimeError, match="not connected"):
+                await client.request({"op": "ping"})
+
+        run(go())
