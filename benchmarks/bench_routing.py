@@ -3,12 +3,22 @@
 Compiles a suite of benchmark circuits onto a seeded device under both
 mapping metrics and emits ``BENCH_routing.json``: per (circuit, mapping)
 swap count, SWAP-synthesis duration, makespan, fidelity and wall-time, plus
-per-circuit deltas.  Run from the repository root::
+per-circuit deltas.  Each cell also times the *routing pass alone* under
+both router engines -- the scalar reference (``vectorized=False``) and the
+default array-state engine -- best-of-:data:`ROUTING_REPS` with a fresh
+router per repetition, and the document carries a suite-total ``routing``
+block whose ``speedup`` (sum of reference times over sum of vectorized
+times) is gated by ``check_perf.py``.  Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_routing.py
     PYTHONPATH=src python benchmarks/bench_routing.py \
         --topology heavy_hex:2 --seed 11 --strategy criterion2 \
         --circuits qft_6 cuccaro_8 --output benchmarks/BENCH_routing.json
+
+``--profile PATH`` additionally reruns the vectorized routing pass under
+``cProfile`` and writes the hottest functions (by total time) as a JSON
+artifact -- CI uploads it so hot-path regressions are diagnosable from the
+run page without reproducing locally.
 
 The file is named ``bench_*`` (not ``test_*``) on purpose: pytest does not
 collect it, CI runs it as a script and uploads the JSON artifact.
@@ -22,12 +32,82 @@ import platform
 import time
 from pathlib import Path
 
-from repro.compiler import available_mapping_names, transpile
+from repro.compiler import (
+    SabreRouter,
+    available_mapping_names,
+    build_metric,
+    sabre_layout,
+    transpile,
+)
 from repro.device import Device, DeviceParameters
 from repro.fleet import TopologySpec, build_circuit
 
-DEFAULT_CIRCUITS = ("qft_6", "cuccaro_8", "bv_9", "qaoa_0.33_8")
+DEFAULT_CIRCUITS = ("qft_6", "cuccaro_8", "bv_9", "qaoa_0.33_8", "qft_12", "cuccaro_16")
 DEFAULT_MAPPINGS = ("hop_count", "basis_aware")
+
+#: Repetitions per routing-only measurement; the best (minimum) wall time is
+#: recorded -- routing is deterministic, so the minimum is the least-noisy
+#: estimate of the true cost.
+ROUTING_REPS = 5
+
+
+def _routing_only(circuit, device, metric) -> tuple[float, float, dict[int, int]]:
+    """Best-of-reps wall time of the routing pass alone, both engines.
+
+    The layout is computed once and shared; each repetition routes with a
+    *fresh* router (routers are cheap, and reuse would let warm decay arrays
+    flatter the later reps).  Returns ``(reference_s, vectorized_s, layout)``.
+    """
+    layout = sabre_layout(
+        circuit, device, router=SabreRouter(device, seed=17, metric=metric), seed=17
+    )
+    times = {}
+    for vectorized in (False, True):
+        best = float("inf")
+        for _ in range(ROUTING_REPS):
+            router = SabreRouter(device, seed=17, metric=metric, vectorized=vectorized)
+            start = time.perf_counter()
+            router.run(circuit, layout)
+            best = min(best, time.perf_counter() - start)
+        times[vectorized] = best
+    return times[False], times[True], layout
+
+
+def profile_routing(cells, device, top: int = 25) -> dict:
+    """Profile the vectorized routing pass over every benchmark cell.
+
+    ``cells`` is a list of ``(circuit, metric, layout)`` tuples; the return
+    value is a JSON-ready document of the ``top`` hottest functions by total
+    (self) time.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for circuit, metric, layout in cells:
+        SabreRouter(device, seed=17, metric=metric).run(circuit, layout)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    functions = []
+    for (filename, lineno, name), (_cc, ncalls, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        functions.append(
+            {
+                "function": f"{Path(filename).name}:{lineno}({name})",
+                "calls": int(ncalls),
+                "tottime_ms": tottime * 1000.0,
+                "cumtime_ms": cumtime * 1000.0,
+            }
+        )
+    functions.sort(key=lambda entry: entry["tottime_ms"], reverse=True)
+    return {
+        "benchmark": "routing_profile",
+        "total_time_ms": stats.total_tt * 1000.0,  # type: ignore[attr-defined]
+        "functions": functions[:top],
+    }
 
 
 def bench(args: argparse.Namespace) -> dict:
@@ -38,9 +118,16 @@ def bench(args: argparse.Namespace) -> dict:
     # measure mapping + translation, not trajectory simulation.
     from repro.compiler import build_target
 
-    build_target(device, args.strategy).cost_model()
+    cost_model = build_target(device, args.strategy).cost_model()
+    metrics = {
+        mapping: build_metric(mapping, device, cost_model=cost_model)
+        for mapping in args.mappings
+    }
 
     rows = []
+    profile_cells: list[tuple] = []
+    routing_reference_s = 0.0
+    routing_vectorized_s = 0.0
     for name in args.circuits:
         circuit = build_circuit(name)
         per_mapping: dict[str, dict] = {}
@@ -50,12 +137,25 @@ def bench(args: argparse.Namespace) -> dict:
                 circuit, device, strategy=args.strategy, mapping=mapping, seed=17
             )
             elapsed = time.perf_counter() - start
+            reference_s, vectorized_s, layout = _routing_only(
+                circuit, device, metrics[mapping]
+            )
+            routing_reference_s += reference_s
+            routing_vectorized_s += vectorized_s
+            profile_cells.append((circuit, metrics[mapping], layout))
             per_mapping[mapping] = {
                 "swap_count": int(compiled.swap_count),
                 "swap_duration_ns": float(compiled.swap_duration_ns),
                 "duration_ns": float(compiled.total_duration),
                 "fidelity": float(compiled.fidelity),
                 "wall_time_s": elapsed,
+                "routing_s": {
+                    "reference": reference_s,
+                    "vectorized": vectorized_s,
+                    "speedup": reference_s / vectorized_s
+                    if vectorized_s
+                    else float("inf"),
+                },
             }
         row = {"circuit": name, "mappings": per_mapping}
         reference = per_mapping.get(args.mappings[0])
@@ -68,15 +168,30 @@ def bench(args: argparse.Namespace) -> dict:
                 "fidelity": other["fidelity"] - reference["fidelity"],
             }
         rows.append(row)
-    return {
+    document = {
         "benchmark": "routing",
         "topology": topology.label,
         "device_seed": args.seed,
         "strategy": args.strategy,
         "mappings": list(args.mappings),
         "python": platform.python_version(),
+        "routing": {
+            "reps": ROUTING_REPS,
+            "reference_s": routing_reference_s,
+            "vectorized_s": routing_vectorized_s,
+            "speedup": routing_reference_s / routing_vectorized_s
+            if routing_vectorized_s
+            else float("inf"),
+        },
         "rows": rows,
     }
+    if getattr(args, "profile", None):
+        profile_path = Path(args.profile)
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profile = profile_routing(profile_cells, device)
+        profile_path.write_text(json.dumps(profile, indent=2))
+        print(f"Wrote routing profile to {profile_path}")
+    return document
 
 
 def main(argv: list[str] | None = None) -> dict:
@@ -98,6 +213,13 @@ def main(argv: list[str] | None = None) -> dict:
         default="benchmarks/BENCH_routing.json",
         help="where to write the JSON results",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="also cProfile the vectorized routing pass and write the "
+        "hottest functions to this JSON path",
+    )
     args = parser.parse_args(argv)
 
     results = bench(args)
@@ -105,18 +227,30 @@ def main(argv: list[str] | None = None) -> dict:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(results, indent=2))
 
-    header = f"{'circuit':<14} {'mapping':<14} {'swaps':>6} {'swap dur':>10} {'fidelity':>9} {'wall':>8}"
+    header = (
+        f"{'circuit':<14} {'mapping':<14} {'swaps':>6} {'swap dur':>10} "
+        f"{'fidelity':>9} {'wall':>8} {'route ref':>10} {'route vec':>10} {'x':>6}"
+    )
     print(f"Routing benchmark on {results['topology']} (strategy {args.strategy})")
     print(header)
     print("-" * len(header))
     for row in results["rows"]:
         for mapping, cell in row["mappings"].items():
+            routing = cell["routing_s"]
             print(
                 f"{row['circuit']:<14} {mapping:<14} {cell['swap_count']:>6d} "
                 f"{cell['swap_duration_ns']:>8.1f}ns {cell['fidelity']:>9.4f} "
-                f"{cell['wall_time_s'] * 1000:>6.1f}ms"
+                f"{cell['wall_time_s'] * 1000:>6.1f}ms "
+                f"{routing['reference'] * 1000:>8.2f}ms "
+                f"{routing['vectorized'] * 1000:>8.2f}ms {routing['speedup']:>5.1f}x"
             )
-    print(f"\nWrote {path}")
+    routing = results["routing"]
+    print(
+        f"\nRouting-only suite total: reference {routing['reference_s'] * 1000:.1f}ms, "
+        f"vectorized {routing['vectorized_s'] * 1000:.1f}ms "
+        f"-> {routing['speedup']:.2f}x (best of {routing['reps']})"
+    )
+    print(f"Wrote {path}")
     return results
 
 

@@ -17,7 +17,11 @@ Two benchmark kinds are understood, keyed by the files' ``benchmark`` field:
   SWAP-synthesis duration and fidelity.  These are *deterministic* given
   the seeds, so any drift beyond tolerance is a real behaviour change, not
   noise; wall-times are reported but never gated (they measure the runner,
-  not the compiler).
+  not the compiler).  The one wall-clock exception is the suite-total
+  routing-only speedup (vectorized engine over the scalar reference): both
+  engines run on the *same* machine in the *same* process, so the ratio is
+  machine-independent and must clear :data:`ROUTING_SPEEDUP_FLOOR`
+  (``REPRO_ROUTING_SPEEDUP_FLOOR`` overrides it).
 * ``cluster`` (``bench_cluster.py``) -- warm cluster vs single-process
   throughput plus the cluster's *functional* invariants: the overload phase
   must shed (with zero errors), the warm-store restart must serve from disk
@@ -63,6 +67,12 @@ CLUSTER_SPEEDUP_FLOOR = 1.6
 #: of single-process throughput means routing or queueing is broken, not
 #: that the machine is small.
 CLUSTER_SINGLE_CPU_FLOOR = 0.3
+
+#: The routing acceptance criterion: the vectorized router must beat the
+#: scalar reference engine by this factor over the whole benchmark suite.
+#: Both engines are timed in the same run, so the ratio does not depend on
+#: how fast the runner is.
+ROUTING_SPEEDUP_FLOOR = 3.0
 
 #: Default relative regression tolerance (15%).
 DEFAULT_TOLERANCE = 0.15
@@ -202,6 +212,21 @@ def routing_checks(baseline: dict, current: dict, tolerance: float) -> list[Chec
                         tolerance=tolerance,
                     )
                 )
+    # The vectorized-over-reference speedup floor reads only the current run
+    # (both engines were timed on the same machine); a current document with
+    # no ``routing`` block came from a pre-speedup bench script and fails
+    # loudly rather than skipping the gate.
+    floor = float(os.environ.get("REPRO_ROUTING_SPEEDUP_FLOOR", ROUTING_SPEEDUP_FLOOR))
+    speedup = current.get("routing", {}).get("speedup", 0.0)
+    checks.append(
+        Check(
+            label="routing.speedup (vectorized over reference) >= floor",
+            baseline=floor,
+            current=float(speedup),
+            higher_is_better=True,
+            tolerance=0.0,
+        )
+    )
     return checks
 
 
@@ -342,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         print("perf gate FAILED -- see rows above; refresh baselines only for")
         print("intentional changes (see the module docstring / docs/service.md).")
     return 0 if ok else 1
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -376,11 +376,16 @@ class ClusterFrontend:
         )
         return round(bounded, 1)
 
-    def _redispatch(self, item: _ClusterItem) -> None:
+    def _redispatch(self, item: _ClusterItem, front: bool = True) -> None:
         """Re-queue accepted work (failover, drained backlog, unparked).
 
         Uses :meth:`FairQueue.force` -- accepted work is never shed; shedding
-        here would drop an in-flight request on the floor.
+        here would drop an in-flight request on the floor.  ``front=True``
+        suits a single retried request (it should not wait behind newer
+        traffic); batch replays -- a dead shard's drained backlog, a
+        quiesce gate's parked items -- must pass ``front=False`` so items
+        re-queue in their original per-tenant arrival order instead of
+        reversing it.
         """
         if self._gate_depth.get(item.route):
             self._parked.setdefault(item.route, []).append(item)
@@ -394,7 +399,7 @@ class ClusterFrontend:
                     {"ok": False, "error": "no live shard available"}
                 )
             return
-        self.lanes[shard].queue.force(item.tenant, item)
+        self.lanes[shard].queue.force(item.tenant, item, front=front)
         self.metrics.record_routed(shard)
 
     async def _lane_worker(self, lane: _ShardLane) -> None:
@@ -430,6 +435,29 @@ class ClusterFrontend:
                         await client.close()
                         client = None
                     await self._failover(item, lane, error)
+                except Exception as error:  # noqa: BLE001 - lane must survive
+                    # Anything else (e.g. a malformed shard envelope) must
+                    # not kill this coroutine: that would permanently lose
+                    # one connection of dispatch capacity and strand
+                    # ``item.future``, hanging the client forever.  Resolve
+                    # the request with a readable error, drop the possibly
+                    # mid-frame connection, count it, and keep serving.
+                    if client is not None:
+                        with contextlib.suppress(Exception):
+                            await client.close()
+                        client = None
+                    self.metrics.record_lane_error()
+                    self.metrics.record_failure()
+                    if not item.future.done():
+                        item.future.set_result(
+                            {
+                                "ok": False,
+                                "error": (
+                                    f"cluster dispatch to shard {lane.name} "
+                                    f"failed: {error!r}"
+                                ),
+                            }
+                        )
                 else:
                     self._complete(item, lane, envelope)
                 finally:
@@ -502,12 +530,18 @@ class ClusterFrontend:
     # -- supervision ----------------------------------------------------------
 
     def _mark_down(self, lane: _ShardLane) -> None:
-        """Take one shard off the routing ring and re-route its backlog."""
+        """Take one shard off the routing ring and re-route its backlog.
+
+        The drain is in per-tenant FIFO order and must stay that way on the
+        sibling shards: re-queueing at the *front* would reverse each
+        tenant's arrival order on every failover, so the backlog replays to
+        the back of the sibling queues instead.
+        """
         if lane.name in self._down:
             return
         self._down.add(lane.name)
         for _tenant, queued in lane.queue.drain():
-            self._redispatch(queued)
+            self._redispatch(queued, front=False)
 
     async def _supervise(self, lane: _ShardLane) -> None:
         """Restart ``lane``'s process whenever it exits uncommanded."""
@@ -595,7 +629,8 @@ class ClusterFrontend:
                     parked = self._parked.pop(route, [])
                     self.metrics.record_parked(len(parked))
                     for item in parked:
-                        self._redispatch(item)
+                        # Parked in arrival order; front=False keeps it.
+                        self._redispatch(item, front=False)
         return {
             "ok": coherent,
             "result": {

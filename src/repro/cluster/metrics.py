@@ -34,6 +34,7 @@ class ClusterMetrics:
         self.requests_failed = 0
         self.sheds = 0
         self.failovers = 0
+        self.lane_errors = 0
         self.calibrations = 0
         self.quiesce_parked = 0
         self.routed: dict[str, int] = {}
@@ -81,6 +82,11 @@ class ClusterMetrics:
     def record_failover(self) -> None:
         """One accepted request re-dispatched after a shard connection died."""
         self.failovers += 1
+
+    def record_lane_error(self) -> None:
+        """One unexpected (non-connection) dispatch error absorbed by a lane
+        worker; the request got an error envelope and the worker lived on."""
+        self.lane_errors += 1
 
     def record_restart(self, shard: str) -> None:
         """One crashed shard restarted by the supervisor."""
@@ -153,6 +159,7 @@ class ClusterMetrics:
                 "failed": self.requests_failed,
                 "shed": self.sheds,
                 "failovers": self.failovers,
+                "lane_errors": self.lane_errors,
                 "calibrations": self.calibrations,
                 "quiesce_parked": self.quiesce_parked,
                 "throughput_rps": self.throughput_rps,

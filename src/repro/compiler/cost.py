@@ -306,6 +306,26 @@ class MappingMetric:
         """Heuristic cost of swapping on edge ``(a, b)`` (0 when uniform)."""
         return 0.0
 
+    def distance_matrix(self):
+        """Dense ``(n, n)`` array backing :meth:`distance`, or ``None``.
+
+        The vectorized router batches its score lookups into this matrix;
+        returning ``None`` (the default) routes through the scalar reference
+        engine instead.  Subclasses that override :meth:`distance` must keep
+        any matrix they return consistent with it -- the router trusts
+        ``matrix[a, b] == distance(a, b)``.
+        """
+        return None
+
+    def swap_bias_matrix(self):
+        """Dense ``(n, n)`` array backing :meth:`swap_bias`, or ``None``.
+
+        A metric that overrides :meth:`swap_bias` without supplying this
+        matrix is routed through the scalar reference engine (the router
+        never silently substitutes a zero bias).
+        """
+        return None
+
 
 class HopCountMetric(MappingMetric):
     """The legacy metric: BFS hop counts, every SWAP costs the same.
@@ -322,6 +342,11 @@ class HopCountMetric(MappingMetric):
 
     def distance(self, a: int, b: int):
         return self.device.distance(a, b)
+
+    def distance_matrix(self):
+        """The device's dense BFS hop matrix (when the device exposes one)."""
+        getter = getattr(self.device, "distance_matrix", None)
+        return getter() if callable(getter) else None
 
 
 class BasisAwareMetric(MappingMetric):
@@ -348,7 +373,10 @@ class BasisAwareMetric(MappingMetric):
                 f"cost model for strategy {cost_model.strategy!r} is missing "
                 f"device edges {missing[:4]}{'...' if len(missing) > 4 else ''}"
             )
-        self._matrix = self._weighted_distances(device, self._weights)
+        # Lazy: the all-pairs Dijkstra runs on first use, so a worker that
+        # adopts a shared-memory matrix never pays for it at all.
+        self._matrix: np.ndarray | None = None
+        self._bias_matrix: np.ndarray | None = None
 
     @staticmethod
     def _weighted_distances(device, weights: dict[Edge, float]) -> np.ndarray:
@@ -364,8 +392,43 @@ class BasisAwareMetric(MappingMetric):
         graph = csr_matrix((data, (rows, cols)), shape=(n, n))
         return dijkstra(graph, directed=False)
 
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs weighted distances (computed once, or adopted)."""
+        if self._matrix is None:
+            self._matrix = self._weighted_distances(self.device, self._weights)
+        return self._matrix
+
+    def adopt_distance_matrix(self, matrix: np.ndarray) -> None:
+        """Install a precomputed distance matrix instead of running Dijkstra.
+
+        Process-pool workers attach the parent's matrix over shared memory:
+        zero copies shipped and byte-identical distances by construction.
+        The matrix must be the ``(n, n)`` float output of
+        :meth:`distance_matrix` for the *same* (device, cost model) pair --
+        shape is validated, provenance is the caller's contract.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        n = self.device.n_qubits
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"distance matrix shape {matrix.shape} does not match the "
+                f"device ({n} qubits)"
+            )
+        self._matrix = matrix
+
+    def swap_bias_matrix(self) -> np.ndarray:
+        """Dense symmetric per-edge SWAP weights (zero off-edge)."""
+        if self._bias_matrix is None:
+            n = self.device.n_qubits
+            matrix = np.zeros((n, n))
+            for (a, b), weight in self._weights.items():
+                matrix[a, b] = weight
+                matrix[b, a] = weight
+            self._bias_matrix = matrix
+        return self._bias_matrix
+
     def distance(self, a: int, b: int) -> float:
-        return float(self._matrix[a, b])
+        return float(self.distance_matrix()[a, b])
 
     def swap_bias(self, a: int, b: int) -> float:
         return self._weights[_key((a, b))]

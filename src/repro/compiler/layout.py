@@ -67,6 +67,7 @@ def greedy_subgraph_layout(
     )
     # Start near the centre of the device so growth has room in every direction.
     center = _device_center(device, metric)
+    matrix = _metric_matrix(metric)
     free = set(range(device.n_qubits))
     layout: dict[int, int] = {}
     for logical in order:
@@ -75,19 +76,38 @@ def greedy_subgraph_layout(
             for other in graph.neighbors(logical)
             if other in layout
         ]
+        # ``free`` is iterated in set order in both branches below; the
+        # vectorized paths freeze that order in a list so tie-breaking
+        # stays byte-identical to the scalar reference.
         if not placed_neighbors:
             # Choose the free qubit closest to the centre.
-            candidates = sorted(free, key=lambda p: metric.distance(p, center))
-            choice = candidates[0]
+            if matrix is not None:
+                free_list = list(free)
+                choice = free_list[int(np.argmin(matrix[free_list, center]))]
+            else:
+                candidates = sorted(free, key=lambda p: metric.distance(p, center))
+                choice = candidates[0]
         else:
-            def cost(p: int) -> float:
-                return sum(
-                    weight * metric.distance(p, layout[other])
-                    for other, weight in placed_neighbors
-                )
+            if matrix is not None:
+                # One gather per placed neighbour, accumulated left-to-right
+                # like the scalar sum so float costs match bit for bit.
+                other, weight = placed_neighbors[0]
+                column = weight * matrix[:, layout[other]]
+                for other, weight in placed_neighbors[1:]:
+                    column = column + weight * matrix[:, layout[other]]
+                free_list = list(free)
+                costs = column[free_list]
+                best_cost = costs.min()
+                best = [p for p, c in zip(free_list, costs) if c <= best_cost + 1e-9]
+            else:
+                def cost(p: int) -> float:
+                    return sum(
+                        weight * metric.distance(p, layout[other])
+                        for other, weight in placed_neighbors
+                    )
 
-            best_cost = min(cost(p) for p in free)
-            best = [p for p in free if cost(p) <= best_cost + 1e-9]
+                best_cost = min(cost(p) for p in free)
+                best = [p for p in free if cost(p) <= best_cost + 1e-9]
             choice = int(best[rng.integers(len(best))]) if len(best) > 1 else best[0]
         layout[logical] = choice
         free.discard(choice)
@@ -150,14 +170,38 @@ def _device_center(device, metric=None) -> int:
     cached = getattr(metric, "_device_center_cache", None)
     if cached is not None:
         return cached
-    best_qubit = 0
-    best_ecc = None
-    for q in range(device.n_qubits):
-        ecc = max(metric.distance(q, other) for other in range(device.n_qubits))
-        if best_ecc is None or ecc < best_ecc:
-            best_qubit, best_ecc = q, ecc
+    matrix = _metric_matrix(metric)
+    if matrix is not None:
+        # Row max = eccentricity; argmin keeps the first minimal qubit,
+        # matching the strict-< update rule of the scalar loop.
+        best_qubit = int(np.argmin(matrix.max(axis=1)))
+    else:
+        best_qubit = 0
+        best_ecc = None
+        for q in range(device.n_qubits):
+            ecc = max(metric.distance(q, other) for other in range(device.n_qubits))
+            if best_ecc is None or ecc < best_ecc:
+                best_qubit, best_ecc = q, ecc
     try:
         metric._device_center_cache = best_qubit
     except AttributeError:
         pass  # exotic metric without settable attributes: just recompute
     return best_qubit
+
+
+def _metric_matrix(metric) -> np.ndarray | None:
+    """Dense distance matrix for a metric, or ``None`` to use scalar lookups.
+
+    Integer matrices containing ``-1`` (unreachable pairs) fall back to the
+    scalar path, which surfaces the device's own diagnostics.
+    """
+    getter = getattr(metric, "distance_matrix", None)
+    if not callable(getter):
+        return None
+    matrix = getter()
+    if matrix is None:
+        return None
+    matrix = np.asarray(matrix)
+    if np.issubdtype(matrix.dtype, np.integer) and (matrix < 0).any():
+        return None
+    return matrix

@@ -35,6 +35,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.basis_translation import translate_operations
 from repro.compiler.cost import DEFAULT_MAPPING, get_mapping_spec
 from repro.compiler.layout import sabre_layout
+from repro.compiler.pipeline import sharedmem
 from repro.compiler.pipeline.passes import schedule_operations
 from repro.compiler.pipeline.result import CompiledCircuit
 from repro.compiler.pipeline.target import Target
@@ -161,6 +162,8 @@ class DispatchContext:
         self._cost_models: dict | None = None
         self._metrics: dict | None = None
         self._fanout_ready = False
+        self._shared_bundle: sharedmem.SharedArrayBundle | None = None
+        self._shared_tried = False
 
     def mapping_context(self) -> tuple[dict | None, dict | None]:
         """Per-strategy cost models + metrics for in-process compilation.
@@ -220,7 +223,39 @@ class DispatchContext:
             {strategy: target.to_dict() for strategy, target in self.targets.items()},
             self.seed,
             self.mapping,
+            self.shared_snapshot_spec(),
         )
+
+    def shared_snapshot_spec(self) -> dict | None:
+        """Shared-memory spec for the context's distance matrices.
+
+        Built once per context: the device's BFS hop matrix plus, under a
+        cost-model mapping, each strategy metric's all-pairs weighted
+        distances.  Workers attach these as zero-copy read-only views
+        instead of re-deriving them per worker; ``None`` (shared memory
+        unavailable) makes workers fall back to deriving their own,
+        byte-identically.  The bundle stays alive until
+        :meth:`release_shared` -- the owning dispatcher calls it once the
+        pool initialized from it is gone.
+        """
+        if not self._shared_tried:
+            self._shared_tried = True
+            arrays = {"device_distance": self.device.distance_matrix()}
+            _, metrics = self.mapping_context()
+            for strategy, metric in (metrics or {}).items():
+                getter = getattr(metric, "distance_matrix", None)
+                matrix = getter() if callable(getter) else None
+                if matrix is not None:
+                    arrays[f"metric_distance:{strategy}"] = matrix
+            self._shared_bundle = sharedmem.SharedArrayBundle.create(arrays)
+        return self._shared_bundle.spec() if self._shared_bundle else None
+
+    def release_shared(self) -> None:
+        """Close and unlink the context's shared-memory bundle, if any."""
+        if self._shared_bundle is not None:
+            self._shared_bundle.close()
+            self._shared_bundle = None
+        self._shared_tried = False
 
 
 #: Per-worker state installed by :func:`_init_process_worker`.  A process pool
@@ -230,9 +265,19 @@ _WORKER_CONTEXT: dict = {}
 
 
 def _init_process_worker(
-    device_bytes: bytes, target_payloads: dict[str, dict], seed: int, mapping: str
+    device_bytes: bytes,
+    target_payloads: dict[str, dict],
+    seed: int,
+    mapping: str,
+    shared_spec: dict | None = None,
 ) -> None:
-    _WORKER_CONTEXT["device"] = pickle.loads(device_bytes)
+    shared = sharedmem.attach(shared_spec)
+    device = pickle.loads(device_bytes)
+    if "device_distance" in shared:
+        # Zero-copy adoption of the parent's BFS hop matrix: all workers map
+        # the same physical pages instead of re-running BFS each.
+        device.adopt_distance_matrix(shared["device_distance"])
+    _WORKER_CONTEXT["device"] = device
     _WORKER_CONTEXT["targets"] = {
         strategy: Target.from_dict(payload)
         for strategy, payload in target_payloads.items()
@@ -241,18 +286,25 @@ def _init_process_worker(
     _WORKER_CONTEXT["mapping"] = mapping
     spec = get_mapping_spec(mapping)
     if spec.requires_cost_model:
-        # Derive each strategy's cost model (and its metric's all-pairs
-        # distance matrix) once per worker, not once per circuit;
-        # serialization round-trips selections exactly, so the derived costs
-        # and Dijkstra distances are byte-identical to the parent's.
+        # Derive each strategy's cost model once per worker, not once per
+        # circuit; serialization round-trips selections exactly, so derived
+        # costs are byte-identical to the parent's.  Metric distances adopt
+        # the parent's shared snapshot when present (skipping the per-worker
+        # all-pairs Dijkstra entirely) and re-derive otherwise -- the shared
+        # matrix is the parent's own, so results match bit for bit.
         _WORKER_CONTEXT["cost_models"] = {
             strategy: target.cost_model()
             for strategy, target in _WORKER_CONTEXT["targets"].items()
         }
-        _WORKER_CONTEXT["metrics"] = {
-            strategy: spec.build(_WORKER_CONTEXT["device"], cost_model)
-            for strategy, cost_model in _WORKER_CONTEXT["cost_models"].items()
-        }
+        metrics = {}
+        for strategy, cost_model in _WORKER_CONTEXT["cost_models"].items():
+            metric = spec.build(device, cost_model)
+            matrix = shared.get(f"metric_distance:{strategy}")
+            adopt = getattr(metric, "adopt_distance_matrix", None)
+            if matrix is not None and callable(adopt):
+                adopt(matrix)
+            metrics[strategy] = metric
+        _WORKER_CONTEXT["metrics"] = metrics
     else:
         _WORKER_CONTEXT["cost_models"] = None
         _WORKER_CONTEXT["metrics"] = None
@@ -319,6 +371,10 @@ class BatchDispatcher:
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
         self._process_key: Hashable | None = None
+        # The context whose shared-memory bundle the live process pool
+        # attached; its blocks must outlive that pool (workers may spawn
+        # lazily mid-batch) and are released on rotation or close.
+        self._shared_context: DispatchContext | None = None
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -341,6 +397,9 @@ class BatchDispatcher:
                     self._process_pool.shutdown(wait=True)
                     self._process_pool = None
                     self._process_key = None
+                if self._shared_context is not None:
+                    self._shared_context.release_shared()
+                    self._shared_context = None
 
     @property
     def fans_out(self) -> bool:
@@ -400,12 +459,17 @@ class BatchDispatcher:
             if not reusable:
                 if self._process_pool is not None:
                     self._process_pool.shutdown(wait=True)
+                stale = self._shared_context
+                if stale is not None and stale is not context:
+                    # The old pool is gone; its shared blocks can go too.
+                    stale.release_shared()
                 self._process_pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     initializer=_init_process_worker,
                     initargs=context.worker_initargs(),
                 )
                 self._process_key = context.key
+                self._shared_context = context
             batch = list(self._process_pool.map(_compile_in_process_worker, circuits))
         for results in batch:
             for compiled in results.values():

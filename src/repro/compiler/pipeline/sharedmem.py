@@ -1,0 +1,146 @@
+"""Zero-copy numpy snapshots for process-pool workers.
+
+Process dispatch used to pickle every distance matrix into each worker's
+initializer payload and then re-derive the metric's all-pairs Dijkstra
+distances per worker.  For wide devices those arrays dominate both the
+spawn payload and worker start-up time, and every worker holds its own
+copy.  This module puts the arrays in POSIX shared memory instead:
+
+* the parent packs named read-only float/int arrays into one
+  :class:`SharedArrayBundle` (one ``multiprocessing.shared_memory`` block
+  per array) and ships only the tiny picklable *spec* -- block name, dtype,
+  shape -- through the pool initializer;
+* each worker attaches the blocks and gets numpy views onto the parent's
+  pages -- zero copies, shared physical memory across all workers;
+* the parent owns the blocks' lifetime: :meth:`SharedArrayBundle.close`
+  closes and unlinks them once the pool that attached them is gone.
+
+Workers must *not* unlink the blocks (the parent may still be serving
+them); the parent's :meth:`SharedArrayBundle.close` is the single cleanup
+point.  See :func:`_attach_block` for how attachment stays out of the
+resource tracker's way.
+
+Everything degrades gracefully: if shared memory is unavailable (some
+sandboxes mount no ``/dev/shm``), callers skip the bundle and workers fall
+back to deriving their own arrays, byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised indirectly; import guards odd platforms
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+#: Spec shipped through pool initializers: name -> (block, dtype.str, shape).
+SharedSpec = dict
+
+#: Worker-side attachments kept alive for the process lifetime.  A numpy view
+#: only pins the exported buffer, not the SharedMemory object itself; dropping
+#: the handle would close the mapping under the view.
+_ATTACHED: list = []
+
+
+def available() -> bool:
+    """True when POSIX shared memory can be used on this platform."""
+    return _shm is not None
+
+
+class SharedArrayBundle:
+    """A set of named numpy arrays living in shared memory, parent side."""
+
+    def __init__(self, blocks: list, spec: SharedSpec):
+        self._blocks = blocks
+        self._spec = spec
+        self._closed = False
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBundle | None":
+        """Copy ``arrays`` into fresh shared-memory blocks.
+
+        Returns ``None`` when shared memory is unavailable or allocation
+        fails -- callers then simply ship nothing and workers re-derive.
+        """
+        if _shm is None:
+            return None
+        blocks: list = []
+        spec: SharedSpec = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                block = _shm.SharedMemory(create=True, size=max(array.nbytes, 1))
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+                view[...] = array
+                blocks.append(block)
+                spec[name] = (block.name, array.dtype.str, array.shape)
+        except OSError:
+            for block in blocks:
+                _close_block(block, unlink=True)
+            return None
+        return cls(blocks, spec)
+
+    def spec(self) -> SharedSpec:
+        """The picklable description workers use to attach."""
+        return dict(self._spec)
+
+    def close(self) -> None:
+        """Close and unlink every block.  Idempotent.
+
+        Call only once no pool initialized from this bundle will spawn new
+        workers; already-attached workers keep their mappings (POSIX unlink
+        removes the name, not live mappings).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for block in self._blocks:
+            _close_block(block, unlink=True)
+        self._blocks = []
+
+
+def attach(spec: SharedSpec | None) -> dict[str, np.ndarray]:
+    """Worker side: map every block in ``spec`` to a read-only numpy view.
+
+    Blocks that fail to attach (e.g. the parent already unlinked them) are
+    skipped; the worker then derives those arrays itself.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    if not spec or _shm is None:
+        return arrays
+    for name, (block_name, dtype, shape) in spec.items():
+        try:
+            block = _attach_block(block_name)
+        except (OSError, FileNotFoundError):
+            continue
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=block.buf)
+        view.flags.writeable = False
+        arrays[name] = view
+        _ATTACHED.append(block)
+    return arrays
+
+
+def _attach_block(name: str):
+    """Attach to an existing block without taking ownership of it.
+
+    On Python 3.13+ ``track=False`` skips the resource tracker outright.
+    Earlier versions register the attachment, but pool children inherit the
+    parent's tracker (both fork and spawn pass the tracker fd down), so the
+    registration is a set-level no-op and the parent's explicit unlink in
+    :meth:`SharedArrayBundle.close` remains the single cleanup point --
+    unregistering here would strip the parent's own entry.
+    """
+    try:
+        return _shm.SharedMemory(name=name, create=False, track=False)
+    except TypeError:
+        return _shm.SharedMemory(name=name, create=False)
+
+
+def _close_block(block, unlink: bool) -> None:
+    try:
+        block.close()
+        if unlink:
+            block.unlink()
+    except (OSError, FileNotFoundError):
+        pass

@@ -6,20 +6,43 @@ physically coupled qubits.  The router keeps a *front layer* of gates whose
 per-qubit predecessors have all been executed; when no front gate is
 executable it inserts the SWAP that minimises a distance heuristic with a
 look-ahead term over the next few pending gates and a decay factor that
-discourages ping-ponging the same qubits.
+discourages ping-ponging the same qubits.  Per SABRE, the extended
+(look-ahead) set contains only successors *beyond* the front layer -- front
+gates already carry full weight in the front term and must not be counted
+twice.
 
 The high SWAP count this pass produces on sparse lattices is exactly why the
 paper prioritises SWAP synthesis when choosing basis gates.
+
+Two execution engines produce byte-identical results:
+
+* the **vectorized engine** (default) keeps the logical<->physical mapping as
+  numpy int arrays, maintains the front layer / dependency state
+  incrementally (a min-heap of ready gates plus a linked list over pending
+  two-qubit gates) and scores all candidate SWAPs at once with batch lookups
+  into the metric's dense distance matrix;
+* the **reference engine** (``vectorized=False``, or any metric without a
+  dense :meth:`~repro.compiler.cost.MappingMetric.distance_matrix`) is the
+  original dict-based implementation: a full rescan of pending gates per
+  iteration and one trial mapping copy per candidate SWAP.
+
+The vectorized engine accumulates per-gate distances in the same order and
+with the same float64 operation association as the reference's scalar
+``sum()``, so scores -- and therefore SWAP choices, RNG draws and routed
+circuits -- match the reference bit for bit (the mapping test suite asserts
+gate-by-gate identity across topologies, seeds and metrics).
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import insort
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.circuits.circuit import Gate, QuantumCircuit
-from repro.compiler.cost import HopCountMetric
+from repro.compiler.cost import HopCountMetric, MappingMetric
 
 
 @dataclass
@@ -49,6 +72,10 @@ class SabreRouter:
             distance heuristic and per-edge SWAP costs.  ``None`` (default)
             uses the legacy uniform hop-count metric, which is byte-identical
             to the pre-metric router.
+        vectorized: route with the array-state engine when the metric exposes
+            a dense distance matrix (the default).  ``False`` forces the
+            scalar reference engine -- same output, used as the golden
+            reference by tests and the speedup baseline by benchmarks.
     """
 
     device: object
@@ -57,12 +84,53 @@ class SabreRouter:
     decay_increment: float = 0.001
     seed: int = 17
     metric: object = None
+    vectorized: bool = True
     _rng: np.random.Generator = field(init=False, repr=False)
+    _device_arrays: dict | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
         if self.metric is None:
             self.metric = HopCountMetric(self.device)
+
+    def _device_state(self) -> dict:
+        """Per-device adjacency state the vectorized engine reuses across runs.
+
+        ``coupled[p]`` is a plain-list adjacency row (list indexing beats
+        numpy scalar indexing in the gate-execution loop); ``cand_keys[p]``
+        holds the candidate-SWAP keys (``min * n + max``) of every edge at
+        ``p`` -- a sorted set-union of these reproduces ``sorted(set(...))``
+        over the equivalent ``(a, b)`` tuples exactly.
+
+        The state depends only on the coupling graph (immutable after device
+        construction), so it is parked on the device object itself when
+        possible -- every router over the same device then shares one copy
+        instead of rebuilding it per router instance.
+        """
+        if self._device_arrays is None:
+            cached = getattr(self.device, "_sabre_adjacency", None)
+            if cached is not None:
+                self._device_arrays = cached
+                return cached
+            n_phys = self.device.n_qubits
+            coupled = [[False] * n_phys for _ in range(n_phys)]
+            cand_keys = []
+            for p in range(n_phys):
+                neighbors = self.device.neighbors(p)
+                for nb in neighbors:
+                    coupled[p][nb] = True
+                cand_keys.append(
+                    [
+                        (p * n_phys + nb) if p < nb else (nb * n_phys + p)
+                        for nb in neighbors
+                    ]
+                )
+            self._device_arrays = {"coupled": coupled, "cand_keys": cand_keys}
+            try:
+                self.device._sabre_adjacency = self._device_arrays
+            except AttributeError:
+                pass  # __slots__ or read-only device: keep the per-router copy
+        return self._device_arrays
 
     # -- public API ---------------------------------------------------------
 
@@ -76,6 +144,307 @@ class SabreRouter:
         """
         layout = dict(initial_layout)
         self._validate_layout(circuit, layout)
+        if self.vectorized:
+            dist, bias = self._resolve_matrices()
+            if dist is not None:
+                return self._run_vectorized(circuit, initial_layout, layout, dist, bias)
+        return self._run_reference(circuit, initial_layout, layout)
+
+    # -- engine selection ----------------------------------------------------
+
+    def _resolve_matrices(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """The metric's dense distance / swap-bias matrices, when usable.
+
+        Returns ``(None, None)`` -- falling back to the reference engine --
+        when the metric exposes no matrix, when an integer hop matrix marks
+        unreachable pairs (the reference raises through ``device.distance``
+        and the vectorized path must not silently score ``-1``), or when a
+        custom metric overrides ``swap_bias`` without supplying the matching
+        dense matrix.
+        """
+        getter = getattr(self.metric, "distance_matrix", None)
+        dist = getter() if callable(getter) else None
+        if dist is None:
+            return None, None
+        dist = np.asarray(dist)
+        if np.issubdtype(dist.dtype, np.integer) and (dist < 0).any():
+            return None, None
+        bias_getter = getattr(self.metric, "swap_bias_matrix", None)
+        bias = bias_getter() if callable(bias_getter) else None
+        overrides_bias = (
+            type(self.metric).swap_bias is not MappingMetric.swap_bias
+            if isinstance(self.metric, MappingMetric)
+            else True
+        )
+        if bias is None and overrides_bias:
+            return None, None
+        return dist, None if bias is None else np.asarray(bias)
+
+    # -- vectorized engine ---------------------------------------------------
+
+    def _run_vectorized(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: dict[int, int],
+        layout: dict[int, int],
+        dist: np.ndarray,
+        bias: np.ndarray | None,
+    ) -> RoutingResult:
+        n_phys = self.device.n_qubits
+        gates = list(circuit.gates)
+        n = len(gates)
+        state = self._device_state()
+        coupled = state["coupled"]
+        cand_keys = state["cand_keys"]
+
+        # Logical<->physical mapping, twice: plain lists for the scalar
+        # gate-execution loop (list indexing is fast), plus a numpy mirror
+        # the scoring gathers index into.  Both update on every SWAP; -1
+        # marks "no logical qubit here".  This replaces the reference
+        # engine's dict + per-candidate inverse rebuild.
+        phys_list = [-1] * ((max(layout) + 1) if layout else 0)
+        log_on = [-1] * n_phys
+        for logical, phys in layout.items():
+            phys_list[logical] = phys
+            log_on[phys] = logical
+
+        # Endpoint lists for two-qubit gates; scoring assembles position
+        # vectors for whole front/extended index lists from these.
+        q0 = [0] * n
+        q1 = [0] * n
+        is_2q = [False] * n
+        for i, gate in enumerate(gates):
+            if gate.is_two_qubit:
+                q0[i], q1[i] = gate.qubits
+                is_2q[i] = True
+
+        # Dependency state: a gate is ready when it heads every one of its
+        # qubits' gate lists.  Successors always have a *higher* index than
+        # the gate that unblocks them (per-qubit lists are in circuit order),
+        # so a min-heap of ready gates pops in exactly the order the
+        # reference engine's ascending rescan executes them.
+        per_qubit: list[list[int]] = [[] for _ in range(circuit.n_qubits)]
+        for i, gate in enumerate(gates):
+            for q in gate.qubits:
+                per_qubit[q].append(i)
+        next_ptr = [0] * circuit.n_qubits
+        indegree = [len(gate.qubits) for gate in gates]
+        for order in per_qubit:
+            if order:
+                indegree[order[0]] -= 1
+        ready = [i for i in range(n) if indegree[i] == 0]
+        heapq.heapify(ready)
+
+        # The front layer: ready two-qubit gates currently blocked on an
+        # uncoupled pair, kept sorted by gate index (ascending = the order
+        # the reference engine discovers them).
+        front_blocked: list[int] = []
+        in_front = [False] * n
+
+        # Linked list over pending two-qubit gates in circuit order -- the
+        # extended set is its first ``lookahead_size`` non-front entries.
+        nxt = [-1] * n
+        prv = [-1] * n
+        head_2q = -1
+        last = -1
+        for i in range(n):
+            if not is_2q[i]:
+                continue
+            if head_2q < 0:
+                head_2q = i
+            else:
+                nxt[last] = i
+                prv[i] = last
+            last = i
+
+        def unlink_2q(i: int) -> None:
+            nonlocal head_2q
+            before, after = prv[i], nxt[i]
+            if before >= 0:
+                nxt[before] = after
+            else:
+                head_2q = after
+            if after >= 0:
+                prv[after] = before
+
+        routed = QuantumCircuit(n_phys, name=f"{circuit.name}_routed")
+        # Hot path: gates are emitted straight onto the list.  Validation in
+        # QuantumCircuit.append would be redundant -- positions come from a
+        # validated layout permuted by SWAPs, so they stay in-range and
+        # distinct by construction.
+        emit = routed.gates.append
+        executed_count = 0
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        def drain() -> bool:
+            """Execute every currently executable gate, cascading readiness."""
+            nonlocal executed_count
+            progressed = False
+            while ready:
+                i = heappop(ready)
+                gate = gates[i]
+                if is_2q[i]:
+                    p0 = phys_list[q0[i]]
+                    p1 = phys_list[q1[i]]
+                    if not coupled[p0][p1]:
+                        insort(front_blocked, i)
+                        in_front[i] = True
+                        continue
+                    emit(Gate(gate.name, (p0, p1), gate.params))
+                    unlink_2q(i)
+                else:
+                    emit(
+                        Gate(
+                            gate.name,
+                            tuple(phys_list[q] for q in gate.qubits),
+                            gate.params,
+                        )
+                    )
+                executed_count += 1
+                progressed = True
+                for q in gate.qubits:
+                    next_ptr[q] += 1
+                    order = per_qubit[q]
+                    if next_ptr[q] < len(order):
+                        successor = order[next_ptr[q]]
+                        indegree[successor] -= 1
+                        if indegree[successor] == 0:
+                            heappush(ready, successor)
+            return progressed
+
+        swap_count = 0
+        decay = np.ones(n_phys)
+        stall_guard = 0
+        max_stall = 10 * n + 1000
+
+        drain()
+        while executed_count < n:
+            stall_guard += 1
+            if stall_guard > max_stall:
+                raise RuntimeError("router failed to make progress (internal error)")
+            if not front_blocked:
+                raise RuntimeError("no two-qubit gate in the front layer while stalled")
+
+            extended: list[int] = []
+            cursor = head_2q
+            while cursor >= 0 and len(extended) < self.lookahead_size:
+                if not in_front[cursor]:
+                    extended.append(cursor)
+                cursor = nxt[cursor]
+
+            a_phys, b_phys = self._choose_swap_vectorized(
+                front_blocked, extended, phys_list, decay, dist, bias,
+                q0, q1, cand_keys, n_phys,
+            )
+            emit(Gate("swap", (a_phys, b_phys), ()))
+            swap_count += 1
+            decay[a_phys] += self.decay_increment
+            decay[b_phys] += self.decay_increment
+            la, lb = log_on[a_phys], log_on[b_phys]
+            if la >= 0:
+                phys_list[la] = b_phys
+            if lb >= 0:
+                phys_list[lb] = a_phys
+            log_on[a_phys], log_on[b_phys] = lb, la
+
+            # Only front gates touching the swapped pair can have become
+            # executable; everything else kept its endpoint positions.
+            released = [
+                i for i in front_blocked if coupled[phys_list[q0[i]]][phys_list[q1[i]]]
+            ]
+            if released:
+                for i in released:
+                    front_blocked.remove(i)
+                    in_front[i] = False
+                    heapq.heappush(ready, i)
+                if drain():
+                    decay[:] = 1.0
+
+        final_layout = {logical: phys_list[logical] for logical in layout}
+        return RoutingResult(
+            circuit=routed,
+            initial_layout=dict(initial_layout),
+            final_layout=final_layout,
+            swap_count=swap_count,
+        )
+
+    def _choose_swap_vectorized(
+        self,
+        front_blocked: list[int],
+        extended: list[int],
+        phys_list: list[int],
+        decay: np.ndarray,
+        dist: np.ndarray,
+        bias: np.ndarray | None,
+        q0: list[int],
+        q1: list[int],
+        cand_keys: list[list[int]],
+        n_phys: int,
+    ) -> tuple[int, int]:
+        """Score every candidate SWAP at once against the dense matrices.
+
+        Float distances accumulate gate-by-gate (vectorized over candidates)
+        so the float64 operation order matches the reference engine's scalar
+        ``sum()`` exactly -- identical scores, identical ties, identical RNG
+        draws.  Integer hop matrices sum in one C reduction instead: integer
+        sums are order-independent and stay exact in float64.
+        """
+        key_set: set[int] = set()
+        for i in front_blocked:
+            key_set.update(cand_keys[phys_list[q0[i]]])
+            key_set.update(cand_keys[phys_list[q1[i]]])
+        keys = sorted(key_set)
+        a, b = np.divmod(np.fromiter(keys, dtype=np.intp, count=len(keys)), n_phys)
+
+        n_front = len(front_blocked)
+        combined = front_blocked + extended
+        n_gates = len(combined)
+        # Trial endpoint positions under each candidate SWAP: one remap over
+        # both endpoints of every front+extended gate, one distance gather.
+        pos = [phys_list[q0[i]] for i in combined]
+        pos += [phys_list[q1[i]] for i in combined]
+        positions = np.array(pos, dtype=np.intp)[:, None]
+        trial = np.where(positions == a, b, np.where(positions == b, a, positions))
+        pair_dist = dist[trial[:n_gates], trial[n_gates:]]  # (gates, swaps)
+
+        if pair_dist.dtype.kind in "iu":
+            front_cost = pair_dist[:n_front].sum(axis=0) / max(n_front, 1)
+            extended_cost: np.ndarray | float = 0.0
+            if extended:
+                extended_cost = pair_dist[n_front:].sum(axis=0) / len(extended)
+        else:
+            front_cost = pair_dist[0].copy()
+            for g in range(1, n_front):
+                front_cost += pair_dist[g]
+            front_cost /= max(n_front, 1)
+            extended_cost = 0.0
+            if extended:
+                ext = pair_dist[n_front].copy()
+                for g in range(n_front + 1, n_gates):
+                    ext += pair_dist[g]
+                extended_cost = ext / len(extended)
+        inner = front_cost + self.lookahead_weight * extended_cost
+        if bias is not None:
+            # The bias charges the candidate SWAP its own edge cost (always
+            # 0.0 under the uniform metric, where adding it is a no-op).
+            inner = inner + bias[a, b]
+        scores = np.maximum(decay[a], decay[b]) * inner
+        best = np.flatnonzero(scores <= scores.min() + 1e-12)
+        choice = int(best[self._rng.integers(len(best))]) if len(best) > 1 else int(best[0])
+        key = keys[choice]
+        return key // n_phys, key % n_phys
+
+    # -- reference engine ----------------------------------------------------
+
+    def _run_reference(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: dict[int, int],
+        layout: dict[int, int],
+    ) -> RoutingResult:
+        """The original dict-based engine; the golden behavioural reference."""
         physical_of = dict(layout)  # logical -> physical
 
         routed = QuantumCircuit(self.device.n_qubits, name=f"{circuit.name}_routed")
@@ -137,12 +506,15 @@ class SabreRouter:
             if stall_guard > max_stall:
                 raise RuntimeError("router failed to make progress (internal error)")
 
-            front = [
-                remaining[i]
+            front_ids = [
+                i
                 for i in range(pending_idx, n)
                 if not executed[i] and gate_ready(i) and remaining[i].is_two_qubit
             ]
-            extended = self._extended_set(remaining, executed, pending_idx, n)
+            front = [remaining[i] for i in front_ids]
+            extended = self._extended_set(
+                remaining, executed, pending_idx, n, frozenset(front_ids)
+            )
             best_swap = self._choose_swap(front, extended, physical_of, decay)
             a_phys, b_phys = best_swap
             routed.swap(a_phys, b_phys)
@@ -176,10 +548,18 @@ class SabreRouter:
             if not 0 <= p < self.device.n_qubits:
                 raise ValueError(f"physical qubit {p} outside the device")
 
-    def _extended_set(self, remaining, executed, pending_idx, n) -> list[Gate]:
+    def _extended_set(
+        self, remaining, executed, pending_idx, n, front_ids=frozenset()
+    ) -> list[Gate]:
+        """The look-ahead set: the next two-qubit gates *beyond* the front.
+
+        Per SABRE, front gates already carry full weight in the front term;
+        counting them here as well double-weighted the front layer and skewed
+        every SWAP score toward it (the pre-fix behaviour).
+        """
         extended: list[Gate] = []
         for i in range(pending_idx, n):
-            if executed[i] or not remaining[i].is_two_qubit:
+            if executed[i] or not remaining[i].is_two_qubit or i in front_ids:
                 continue
             extended.append(remaining[i])
             if len(extended) >= self.lookahead_size:
@@ -193,7 +573,7 @@ class SabreRouter:
         physical_of: dict[int, int],
         decay: np.ndarray,
     ) -> tuple[int, int]:
-        """Pick the SWAP minimising the SABRE heuristic."""
+        """Pick the SWAP minimising the SABRE heuristic (scalar reference)."""
         if not front:
             raise RuntimeError("no two-qubit gate in the front layer while stalled")
         candidate_swaps: set[tuple[int, int]] = set()

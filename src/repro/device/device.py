@@ -174,17 +174,43 @@ class Device:
         dict-of-dicts from ``nx.all_pairs_shortest_path_length``, which the
         router's scoring loop hammered.
         """
-        if self._distance_matrix is None:
-            self._distance_matrix = _bfs_distance_matrix(self.graph)
-        n = self._distance_matrix.shape[0]
+        matrix = self.distance_matrix()
+        n = matrix.shape[0]
         if not (0 <= a < n and 0 <= b < n):
             # numpy would happily wrap a negative label to the other end of
             # the matrix; the dict-of-dicts this replaced raised instead.
             raise ValueError(f"qubit labels {a}, {b} outside the device (0..{n - 1})")
-        hops = int(self._distance_matrix[a, b])
+        hops = int(matrix[a, b])
         if hops < 0:
             raise ValueError(f"qubits {a} and {b} are not connected on the device")
         return hops
+
+    def distance_matrix(self) -> np.ndarray:
+        """The dense all-pairs BFS hop matrix (``-1`` marks unreachable).
+
+        Computed once and cached; the vectorized router and the
+        shared-memory dispatch snapshots read it directly, so treat the
+        returned array as read-only.
+        """
+        if self._distance_matrix is None:
+            self._distance_matrix = _bfs_distance_matrix(self.graph)
+        return self._distance_matrix
+
+    def adopt_distance_matrix(self, matrix: np.ndarray) -> None:
+        """Install an externally computed BFS hop matrix.
+
+        Used by process-pool workers to adopt the parent's shared-memory
+        snapshot instead of re-running BFS; the caller guarantees the matrix
+        matches this device's coupling graph.
+        """
+        matrix = np.asarray(matrix)
+        expected = (self.n_qubits, self.n_qubits)
+        if matrix.shape != expected:
+            raise ValueError(
+                f"distance matrix shape {matrix.shape} does not match "
+                f"device shape {expected}"
+            )
+        self._distance_matrix = matrix
 
     @property
     def coherence_time_ns(self) -> float:
@@ -215,6 +241,7 @@ class Device:
         state = self.__dict__.copy()
         state["_calibrations"] = {}
         state["_distance_matrix"] = None  # derived; recomputed on first use
+        state.pop("_sabre_adjacency", None)  # router-derived; rebuilt on use
         return state
 
     # -- entangler models and trajectories ------------------------------------

@@ -321,6 +321,8 @@ ROUTING_SEEDS = (11, 12, 13, 14)
 OVERLOAD_SEED = 31
 COHERENCE_SEED = 41
 CRASH_SEED = 51
+FIFO_SEED = 61
+LANE_SEED = 62
 
 
 def _spec(seeds, circuits=("ghz_3", "bv_3"), repeats=1, concurrency=8):
@@ -738,6 +740,147 @@ class TestClusterResilience:
         snapshot, envelopes = cluster.call(scenario())
         assert all(envelope["ok"] for envelope in envelopes)
         assert snapshot["requests"]["failed"] == 0
+
+
+class TestFailoverOrdering:
+    """Regression: failover re-dispatch must preserve per-tenant FIFO.
+
+    The pre-fix ``_mark_down`` drained a dead shard's backlog in arrival
+    order but re-queued each item with ``FairQueue.force(front=True)``,
+    reversing every tenant's order on the sibling shard."""
+
+    def test_mark_down_preserves_per_tenant_fifo(self):
+        from repro.cluster.frontend import _ClusterItem
+
+        async def scenario():
+            frontend = ClusterFrontend(ClusterConfig(shards=2))
+            route = device_route_key(CLUSTER_TOPOLOGY, FIFO_SEED, 80.0, 20.0)
+            owner = frontend.ring.lookup(route)
+            (sibling,) = [name for name in frontend.ring.shards if name != owner]
+            loop = asyncio.get_running_loop()
+            for tenant, label in (
+                ("a", "a1"), ("a", "a2"), ("a", "a3"), ("b", "b1"), ("b", "b2"),
+            ):
+                item = _ClusterItem({"label": label}, tenant, route, loop.create_future())
+                assert frontend.lanes[owner].queue.offer(tenant, item)
+            frontend._mark_down(frontend.lanes[owner])
+            assert frontend.lanes[owner].queue.depth == 0
+            per_tenant: dict[str, list[str]] = {}
+            for tenant, item in frontend.lanes[sibling].queue.drain():
+                per_tenant.setdefault(tenant, []).append(item.message["label"])
+            return per_tenant
+
+        per_tenant = run(scenario())
+        assert per_tenant == {"a": ["a1", "a2", "a3"], "b": ["b1", "b2"]}
+
+    def test_sigkill_failover_keeps_per_tenant_fifo(self):
+        """End to end: SIGKILL the owner shard under a two-tenant backlog;
+        the drained work must complete in per-tenant submission order on the
+        sibling (one connection per shard makes completion order equal
+        dispatch order)."""
+
+        async def scenario():
+            frontend = ClusterFrontend(
+                ClusterConfig(
+                    shards=2,
+                    batch_window_ms=25.0,
+                    connections_per_shard=1,
+                    restart_backoff_s=0.05,
+                ),
+                port=0,
+            )
+            await frontend.start()
+            try:
+                route = device_route_key(CLUSTER_TOPOLOGY, FIFO_SEED, 80.0, 20.0)
+                owner = frontend.ring.lookup(route)
+                completion: list[tuple[str, int]] = []
+                tagged: list[tuple[tuple[str, int], asyncio.Task]] = []
+                for index in range(4):
+                    for tenant in ("a", "b"):
+                        message = {
+                            "circuit": "ghz_3",
+                            "topology": CLUSTER_TOPOLOGY,
+                            "device_seed": FIFO_SEED,
+                            "strategies": ["criterion2"],
+                            "tenant": tenant,
+                        }
+                        tag = (tenant, index)
+                        task = asyncio.create_task(frontend.submit_compile(message))
+                        task.add_done_callback(
+                            lambda _t, tag=tag: completion.append(tag)
+                        )
+                        tagged.append((tag, task))
+                await asyncio.sleep(0.01)  # enqueued; at most one in flight
+                frontend.lanes[owner].process.proc.send_signal(signal.SIGKILL)
+                envelopes = await asyncio.gather(*(task for _tag, task in tagged))
+                assert all(envelope["ok"] for envelope in envelopes)
+                # The at-most-one in-flight victim legitimately retries to
+                # the front (attempts == 2); everything drained from the dead
+                # shard's queue (attempts == 1) must complete in per-tenant
+                # submission order.
+                attempts = {
+                    tag: task.result()["result"]["cluster"]["attempts"]
+                    for tag, task in tagged
+                }
+                ordered: dict[str, list[int]] = {}
+                for tenant, index in completion:
+                    if attempts[(tenant, index)] == 1:
+                        ordered.setdefault(tenant, []).append(index)
+                return ordered
+            finally:
+                await frontend.stop()
+
+        ordered = run(scenario())
+        for tenant, indexes in ordered.items():
+            assert indexes == sorted(indexes), (
+                f"tenant {tenant!r} completed out of submission order: {indexes}"
+            )
+        assert sum(len(indexes) for indexes in ordered.values()) >= 6
+
+
+class TestLaneWorkerResilience:
+    """Regression: a non-connection dispatch error must not kill the lane
+    worker.  Pre-fix, any exception outside ``_CONNECTION_ERRORS`` escaped
+    the worker coroutine -- one connection of dispatch capacity gone and the
+    request's future stranded, hanging the client forever."""
+
+    def test_lane_worker_survives_unexpected_errors(self, cluster, monkeypatch):
+        original = ServiceClient.request
+        state = {"poisoned": True}
+
+        async def flaky(self, payload):
+            if payload.get("op") == "compile" and state["poisoned"]:
+                state["poisoned"] = False
+                raise KeyError("malformed shard envelope")
+            return await original(self, payload)
+
+        monkeypatch.setattr(ServiceClient, "request", flaky)
+        message = {
+            "circuit": "ghz_3",
+            "topology": CLUSTER_TOPOLOGY,
+            "device_seed": LANE_SEED,
+            "strategies": ["criterion2"],
+        }
+
+        async def scenario():
+            frontend = cluster.frontend
+            errors_before = frontend.metrics.lane_errors
+            # Pre-fix this future is never resolved: the wait_for times out.
+            poisoned = await asyncio.wait_for(
+                frontend.submit_compile(dict(message)), timeout=30.0
+            )
+            assert poisoned["ok"] is False
+            assert "failed" in poisoned["error"]
+            assert "malformed shard envelope" in poisoned["error"]
+            # The worker lived on: the same route keeps full capacity.
+            healthy = await asyncio.wait_for(
+                frontend.submit_compile(dict(message)), timeout=60.0
+            )
+            assert healthy["ok"] is True
+            assert frontend.metrics.lane_errors == errors_before + 1
+            return True
+
+        assert cluster.call(scenario())
 
 
 class TestClusterCli:

@@ -100,14 +100,23 @@ def _seed_greedy_layout(circuit, device, seed=0):
 
 
 class _SeedRouter:
-    """Verbatim copy of the seed SabreRouter (uniform hop-count heuristic)."""
+    """Frozen copy of the seed SabreRouter (uniform hop-count heuristic).
+
+    Re-pinned in PR 7: the seed's extended look-ahead set included the
+    front-layer gates themselves, double-counting the front term contrary
+    to SABRE (the extended set is the successors *beyond* the front).  The
+    frozen copy now carries the corrected semantics so the golden test pins
+    the fixed algorithm.  ``extended_skips_front=False`` reproduces the
+    pre-fix behaviour for the regression test below.
+    """
 
     def __init__(self, device, lookahead_size=20, lookahead_weight=0.5,
-                 decay_increment=0.001, seed=17):
+                 decay_increment=0.001, seed=17, extended_skips_front=True):
         self.device = device
         self.lookahead_size = lookahead_size
         self.lookahead_weight = lookahead_weight
         self.decay_increment = decay_increment
+        self.extended_skips_front = extended_skips_front
         self._rng = np.random.default_rng(seed)
 
     def run(self, circuit, initial_layout):
@@ -160,14 +169,16 @@ class _SeedRouter:
             if progressed:
                 decay[:] = 1.0
                 continue
-            front = [
-                remaining[i]
+            front_ids = [
+                i
                 for i in range(pending_idx, n)
                 if not executed[i] and gate_ready(i) and remaining[i].is_two_qubit
             ]
+            front = [remaining[i] for i in front_ids]
+            skip = frozenset(front_ids) if self.extended_skips_front else frozenset()
             extended = []
             for i in range(pending_idx, n):
-                if executed[i] or not remaining[i].is_two_qubit:
+                if executed[i] or not remaining[i].is_two_qubit or i in skip:
                     continue
                 extended.append(remaining[i])
                 if len(extended) >= self.lookahead_size:
@@ -282,6 +293,100 @@ class TestGoldenDefaultMapping:
         assert [
             (op.kind, op.qubits, op.duration, op.layers) for op in default.operations
         ] == [(op.kind, op.qubits, op.duration, op.layers) for op in explicit.operations]
+
+
+class TestExtendedSetRegression:
+    """Regression for the PR 7 look-ahead fix: the extended set must contain
+    only successors *beyond* the front layer (SABRE, Li/Ding/Xie 2019), not
+    the front gates themselves.  Fails against the pre-fix implementation,
+    which ``_SeedRouter(extended_skips_front=False)`` reproduces."""
+
+    def test_front_gates_excluded_from_lookahead(self, small_device):
+        circuit = qft_circuit(5)
+        corrected = _SeedRouter(small_device, seed=17)
+        buggy = _SeedRouter(small_device, seed=17, extended_skips_front=False)
+        corrected_layout = _seed_sabre_layout(circuit, small_device, corrected)
+        buggy_layout = _seed_sabre_layout(circuit, small_device, buggy)
+        # The bug is observable on this case: double-counting the front term
+        # biases swap scores enough to change the chosen layout.
+        assert corrected_layout != buggy_layout
+
+        for vectorized in (True, False):
+            router = SabreRouter(small_device, seed=17, vectorized=vectorized)
+            layout = sabre_layout(
+                circuit, small_device, router=router, iterations=1, seed=17
+            )
+            assert layout == corrected_layout
+            assert layout != buggy_layout
+
+    def test_routed_streams_diverge_from_buggy_reference(self, small_device):
+        """Same layout, same RNG state: only the extended-set semantics
+        differ, and the routed gate streams diverge."""
+        circuit = qft_circuit(8)
+        layout = _seed_sabre_layout(
+            circuit, small_device, _SeedRouter(small_device, seed=0), seed=0
+        )
+        routed_good, _, _ = _SeedRouter(small_device, seed=0).run(
+            circuit, dict(layout)
+        )
+        routed_bad, _, _ = _SeedRouter(
+            small_device, seed=0, extended_skips_front=False
+        ).run(circuit, dict(layout))
+        assert _gate_stream(routed_good) != _gate_stream(routed_bad)
+
+        for vectorized in (True, False):
+            result = SabreRouter(small_device, seed=0, vectorized=vectorized).run(
+                circuit, layout
+            )
+            assert _gate_stream(result.circuit) == _gate_stream(routed_good)
+            assert _gate_stream(result.circuit) != _gate_stream(routed_bad)
+
+
+class TestVectorizedReferenceIdentity:
+    """Golden byte-identity harness: the vectorized engine must match the
+    scalar reference engine gate-by-gate across topologies, seeds, and
+    mapping metrics."""
+
+    TOPOLOGIES = (
+        ("grid", lambda: Device.from_parameters(DeviceParameters(rows=3, cols=3, seed=53))),
+        ("linear", lambda: Device.from_parameters(DeviceParameters(rows=1, cols=8, seed=5))),
+        ("heavy_hex", lambda: Device(graph=heavy_hex_graph(1), params=DeviceParameters(seed=7))),
+    )
+
+    @pytest.mark.parametrize("seed", (0, 17, 123))
+    @pytest.mark.parametrize(
+        "topology,factory", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES]
+    )
+    @pytest.mark.parametrize("mapping", ("hop_count", "basis_aware"))
+    def test_vectorized_matches_reference_gate_by_gate(
+        self, topology, factory, seed, mapping
+    ):
+        device = factory()
+        metric = build_metric(
+            mapping,
+            device,
+            cost_model=(
+                build_target(device, "criterion2").cost_model()
+                if get_mapping_spec(mapping).requires_cost_model
+                else None
+            ),
+        )
+        for circuit in (qft_circuit(5), cuccaro_adder(6), qaoa_circuit(6, 0.5, seed=3)):
+            vec = SabreRouter(device, seed=seed, metric=metric, vectorized=True)
+            ref = SabreRouter(device, seed=seed, metric=metric, vectorized=False)
+            layout = sabre_layout(circuit, device, iterations=1, seed=seed)
+            got = vec.run(circuit, layout)
+            expected = ref.run(circuit, layout)
+            assert _gate_stream(got.circuit) == _gate_stream(expected.circuit)
+            assert got.final_layout == expected.final_layout
+            assert got.swap_count == expected.swap_count
+            assert got.initial_layout == expected.initial_layout
+
+    def test_vectorized_engine_is_actually_engaged(self, small_device):
+        """Guard against the fast path silently falling back to reference."""
+        router = SabreRouter(small_device, seed=17)
+        dist, _bias = router._resolve_matrices()
+        assert dist is not None
 
 
 class TestRoutingDeterminism:
