@@ -1,19 +1,30 @@
-"""Service benchmark: cold-vs-warm throughput of the compilation service.
+"""Service benchmark: cold/warm throughput and the program-cache split.
 
 Fires a deterministic workload (circuits x device seeds, each request
-compiling under several strategies) at an in-process
-:class:`~repro.service.service.CompilationService` twice:
+compiling under several strategies) at in-process
+:class:`~repro.service.service.CompilationService` instances:
 
-* **cold** -- a fresh service and an empty target cache, so every
-  (device, strategy) cell pays for basis-gate selection;
-* **warm** -- the same request list repeated against the now-hot service,
-  so every target is served from the in-memory LRU.
+* **cold** -- a fresh service and empty caches, so every (device, strategy)
+  cell pays for basis-gate selection and every request compiles;
+* **warm** -- the same request list repeated against the now-hot service:
+  repeats are served by the content-addressed program cache (the
+  ``latency_split`` block separates cache-lookup time from dispatch time);
+* **warm_nocache** -- the same repeat traffic against a second service with
+  the program cache disabled (sharing the warm on-disk target cache), which
+  isolates what the program-cache layer itself buys;
+* **identity** -- every workload request is compiled on both services and
+  the result documents are compared byte for byte: a cache hit must be
+  indistinguishable from recompiling;
+* **build** -- the cold end: one multi-edge target resolved with the
+  vectorized batch scan + concurrent edge fan-out vs the scalar
+  one-edge-at-a-time reference, asserting the targets are equal.
 
 Emits ``BENCH_service.json``: per-phase throughput and latency percentiles,
-the warm/cold speedup, and the per-layer cache counters.  The committed copy
-at ``benchmarks/BENCH_service.json`` is the CI perf baseline
-(``benchmarks/check_perf.py`` gates regressions against it); refresh it by
-re-running this script from the repository root::
+the warm/cold and cache/no-cache speedups, program-cache hit rates and the
+cold-build speedup.  The committed copy at ``benchmarks/BENCH_service.json``
+is the CI perf baseline (``benchmarks/check_perf.py`` gates regressions
+against it); refresh it by re-running this script from the repository
+root::
 
     PYTHONPATH=src python benchmarks/bench_service.py \
         --output benchmarks/BENCH_service.json
@@ -27,23 +38,91 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import platform
 import tempfile
+import time
 from pathlib import Path
 
+from repro.core.basis_selection import set_batch_scan
+from repro.compiler.pipeline.target import build_target
+from repro.device.device import default_edge_workers
+from repro.fleet.devices import make_device
+from repro.fleet.spec import TopologySpec
 from repro.service import (
     CompilationService,
     LoadSpec,
     ServiceConfig,
     run_phase_inprocess,
 )
+from repro.synthesis.numerical import reset_synthesis_memo
 
 DEFAULT_CIRCUITS = ("ghz_4", "bv_5", "qft_4", "cuccaro_6")
 DEFAULT_SEEDS = (11, 12, 13)
+BUILD_TOPOLOGY = "heavy_hex:2"
+BUILD_STRATEGY = "criterion2"
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _results_digest(responses) -> str:
+    """Order-independent digest over per-request result documents."""
+    blob = sorted(
+        (response.request.circuit, response.request.device_seed,
+         json.dumps(response.results, sort_keys=True))
+        for response in responses
+    )
+    return json.dumps(blob)
+
+
+async def _compile_all(service: CompilationService, requests) -> list:
+    return [await service.compile(request) for request in requests]
+
+
+def bench_build() -> dict:
+    """Cold target resolution: batched scan + edge fan-out vs scalar loop.
+
+    Both builds start from a fresh device and an empty synthesis memo; the
+    resulting targets must compare equal -- vectorization is a pure
+    speedup, never a behaviour change.
+    """
+    spec = TopologySpec.parse(BUILD_TOPOLOGY)
+
+    def build(batched: bool) -> tuple[float, object]:
+        reset_synthesis_memo()
+        device = make_device(spec, 11)
+        previous = set_batch_scan(batched)
+        try:
+            started = time.perf_counter()
+            target = build_target(device, BUILD_STRATEGY)
+            target.complete(max_workers=None if batched else 1)
+            elapsed = time.perf_counter() - started
+        finally:
+            set_batch_scan(previous)
+        return elapsed, target
+
+    reference_s, reference = build(batched=False)
+    batched_s, batched = build(batched=True)
+    reset_synthesis_memo()
+    return {
+        "topology": BUILD_TOPOLOGY,
+        "strategy": BUILD_STRATEGY,
+        "edges": len(reference.selections),
+        "edge_workers": default_edge_workers(),
+        "reference_s": reference_s,
+        "batched_s": batched_s,
+        "speedup": reference_s / batched_s if batched_s > 0 else 0.0,
+        "identical": reference == batched,
+    }
 
 
 async def run_bench(args: argparse.Namespace, cache_dir: str | None) -> dict:
-    """Cold phase then warm phase against one service; returns the document."""
+    """Cold, warm and no-cache phases plus the cold-build measurement."""
     spec = LoadSpec(
         circuits=tuple(args.circuits),
         topology=args.topology,
@@ -68,16 +147,60 @@ async def run_bench(args: argparse.Namespace, cache_dir: str | None) -> dict:
         warm = await run_phase_inprocess(
             service, one_pass * args.warm_repeats, spec.concurrency, name="warm"
         )
+        cached_responses = await _compile_all(service, one_pass)
         cache = service.hot_targets.as_dict()
+        programs = service.programs.as_dict()
         metrics = service.metrics_snapshot()
+
+    # The control: identical warm repeat traffic with the program cache off.
+    # The shared cache_dir keeps the *target* layers warm, so the delta is
+    # the program cache alone.
+    nocache_config = ServiceConfig(
+        cache_dir=cache_dir,
+        executor=args.executor,
+        max_workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        program_cache=False,
+    )
+    async with CompilationService(nocache_config) as control:
+        await run_phase_inprocess(
+            control, one_pass, spec.concurrency, name="prewarm"
+        )
+        warm_nocache = await run_phase_inprocess(
+            control,
+            one_pass * args.warm_repeats,
+            spec.concurrency,
+            name="warm_nocache",
+        )
+        recompiled_responses = await _compile_all(control, one_pass)
+
     speedup = (
         warm["throughput_rps"] / cold["throughput_rps"]
         if cold["throughput_rps"] > 0
         else 0.0
     )
+    warm_hits = sum(
+        count
+        for source, count in warm["program_sources"].items()
+        if source.startswith("program-")
+    )
+    program_block = {
+        "warm_hit_rate": warm_hits / warm["requests"] if warm["requests"] else 0.0,
+        "speedup_vs_nocache": (
+            warm["throughput_rps"] / warm_nocache["throughput_rps"]
+            if warm_nocache["throughput_rps"] > 0
+            else 0.0
+        ),
+        "byte_identical": (
+            _results_digest(cached_responses)
+            == _results_digest(recompiled_responses)
+        ),
+        **programs,
+    }
     return {
         "benchmark": "service",
         "python": platform.python_version(),
+        "cpus": cpu_count(),
         "workload": {
             "circuits": list(spec.circuits),
             "topology": spec.topology,
@@ -92,7 +215,10 @@ async def run_bench(args: argparse.Namespace, cache_dir: str | None) -> dict:
         },
         "cold": cold,
         "warm": warm,
+        "warm_nocache": warm_nocache,
         "speedup_warm_over_cold": speedup,
+        "program_cache": program_block,
+        "build": bench_build(),
         "cache_after_cold": cold_cache,
         "cache": cache,
         "service_metrics": metrics,
@@ -162,19 +288,31 @@ def main(argv: list[str] | None = None) -> dict:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(results, indent=2))
 
-    for phase in (results["cold"], results["warm"]):
+    for phase in (results["cold"], results["warm"], results["warm_nocache"]):
         latency = phase["latency_ms"]
         print(
-            f"{phase['phase']:<5} {phase['requests']:>5d} requests "
+            f"{phase['phase']:<12} {phase['requests']:>5d} requests "
             f"{phase['throughput_rps']:>8.1f} req/s "
             f"p50 {latency['p50']:>7.1f}ms p95 {latency['p95']:>7.1f}ms "
             f"({phase['errors']} errors)"
         )
     cache = results["cache"]
+    program = results["program_cache"]
+    build = results["build"]
     print(
         f"speedup (warm/cold): {results['speedup_warm_over_cold']:.1f}x; "
         f"cache: {cache['memory_hits']} memory hits, {cache['disk_hits']} disk "
         f"hits, {cache['builds']} builds"
+    )
+    print(
+        f"program cache: hit rate {program['warm_hit_rate']:.2f}, "
+        f"{program['speedup_vs_nocache']:.1f}x over no-cache, "
+        f"byte-identical: {program['byte_identical']}"
+    )
+    print(
+        f"cold build ({build['topology']}, {build['edges']} edges): "
+        f"{build['reference_s']:.2f}s scalar vs {build['batched_s']:.2f}s "
+        f"batched = {build['speedup']:.1f}x, identical: {build['identical']}"
     )
     print(f"\nWrote {path}")
     return results

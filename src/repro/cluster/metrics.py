@@ -123,6 +123,12 @@ class ClusterMetrics:
             "batches_total": 0,
             "cells_total": 0,
             "cache": {"memory_hits": 0, "disk_hits": 0, "builds": 0},
+            "programs": {
+                "memory_hits": 0,
+                "disk_hits": 0,
+                "compiled": 0,
+                "invalidated": 0,
+            },
         }
         for snapshot in shard_snapshots.values():
             if not snapshot:
@@ -137,6 +143,9 @@ class ClusterMetrics:
             cache = snapshot.get("cache", {})
             for layer in ("memory_hits", "disk_hits", "builds"):
                 totals["cache"][layer] += int(cache.get(layer, 0))
+            programs = snapshot.get("programs", {})
+            for counter in totals["programs"]:
+                totals["programs"][counter] += int(programs.get(counter, 0))
         return totals
 
     def snapshot(

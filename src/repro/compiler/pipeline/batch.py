@@ -64,6 +64,9 @@ def resolve_targets(
     device,
     strategies: tuple[str, ...],
     targets: Mapping[str, Target] | None,
+    *,
+    eager: bool = False,
+    max_workers: int | None = None,
 ) -> dict[str, Target]:
     """The targets to compile against, in strategy order.
 
@@ -72,6 +75,12 @@ def resolve_targets(
     strategy -- a partially supplied batch would silently mix cached and
     freshly built snapshots.
 
+    By default targets stay lazy so small workloads only calibrate the edges
+    they touch.  ``eager=True`` resolves every edge of every target up front,
+    fanning the per-edge trajectory simulation out over ``max_workers``
+    threads (``Target.complete``); selections are byte-identical to lazy
+    resolution.
+
     Example::
 
         resolve_targets(device, ("baseline", "criterion2"), None)
@@ -79,13 +88,20 @@ def resolve_targets(
         resolve_targets(device, ("criterion2",), {})   # ValueError: missing
     """
     if targets is None:
-        return {strategy: build_target(device, strategy) for strategy in strategies}
-    missing = [strategy for strategy in strategies if strategy not in targets]
-    if missing:
-        raise ValueError(
-            f"targets= is missing strategies {missing}; provided: {sorted(targets)}"
-        )
-    return {strategy: targets[strategy] for strategy in strategies}
+        resolved = {
+            strategy: build_target(device, strategy) for strategy in strategies
+        }
+    else:
+        missing = [strategy for strategy in strategies if strategy not in targets]
+        if missing:
+            raise ValueError(
+                f"targets= is missing strategies {missing}; provided: {sorted(targets)}"
+            )
+        resolved = {strategy: targets[strategy] for strategy in strategies}
+    if eager:
+        for target in resolved.values():
+            target.complete(max_workers=max_workers)
+    return resolved
 
 
 def transpile_batch(

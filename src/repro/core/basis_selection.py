@@ -18,12 +18,32 @@ from repro.core.trajectory import CartanTrajectory
 from repro.synthesis.depth import (
     can_synthesize_cnot_in_2_layers,
     can_synthesize_swap_in_3_layers,
+    cnot2_feasible_mask,
+    swap3_feasible_mask,
 )
 from repro.weyl.cartan import canonicalize_coordinates
 from repro.weyl.chamber import WEYL_POINTS, point_distance
 from repro.weyl.entangling_power import is_perfect_entangler
 
 Coords = tuple[float, float, float]
+
+#: Module switch for the vectorized trajectory scan.  The batch predicates
+#: produce sample flags identical to the scalar ones (enforced by test), but
+#: benchmarks need the scalar reference path to measure the speedup.
+_BATCH_SCAN_ENABLED = True
+
+
+def set_batch_scan(enabled: bool) -> bool:
+    """Enable/disable the vectorized scan; returns the previous setting."""
+    global _BATCH_SCAN_ENABLED
+    previous = _BATCH_SCAN_ENABLED
+    _BATCH_SCAN_ENABLED = bool(enabled)
+    return previous
+
+
+def batch_scan_enabled() -> bool:
+    """Whether strategies use their vectorized predicates for the scan."""
+    return _BATCH_SCAN_ENABLED
 
 
 @dataclass(frozen=True)
@@ -52,19 +72,66 @@ class SelectionStrategy:
     """Base class for basis-gate selection strategies."""
 
     name = "base"
+    #: True when :meth:`batch_predicate` implements a vectorized scan whose
+    #: sample flags match the scalar :meth:`predicate` exactly.
+    has_batch_predicate = False
 
     def predicate(self, coords: Coords) -> bool:
         """Feasibility predicate the selected gate must satisfy."""
         raise NotImplementedError
 
+    def batch_predicate(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized counterpart of :meth:`predicate` over ``(n, 3)`` points."""
+        raise NotImplementedError
+
     def select(self, trajectory: CartanTrajectory) -> BasisGateSelection:
         """Select the fastest gate on ``trajectory`` satisfying the predicate."""
-        duration = trajectory.first_duration_where(self.predicate)
+        batch = (
+            self.batch_predicate
+            if _BATCH_SCAN_ENABLED and self.has_batch_predicate
+            else None
+        )
+        duration = trajectory.first_duration_where(
+            self.predicate, batch_predicate=batch
+        )
         if duration is None:
             raise ValueError(
                 f"strategy {self.name!r} found no suitable gate on trajectory "
                 f"{trajectory.label!r}"
             )
+        return self._selection_from_duration(trajectory, duration)
+
+    def select_batch(
+        self, trajectories: Sequence[CartanTrajectory]
+    ) -> list[BasisGateSelection]:
+        """Select basis gates for many trajectories at once.
+
+        With a vectorized predicate the per-sample scan runs as one mask call
+        over all trajectories and the bisection refinements advance in
+        lockstep (one mask call per step across all unresolved trajectories).
+        Every per-point boolean matches the scalar predicate exactly, so the
+        selected durations are identical to calling :meth:`select` per
+        trajectory.
+        """
+        trajectories = list(trajectories)
+        if not trajectories:
+            return []
+        if not (_BATCH_SCAN_ENABLED and self.has_batch_predicate):
+            return [self.select(t) for t in trajectories]
+        durations = _batched_first_durations(trajectories, self.batch_predicate)
+        selections = []
+        for trajectory, duration in zip(trajectories, durations):
+            if duration is None:
+                raise ValueError(
+                    f"strategy {self.name!r} found no suitable gate on trajectory "
+                    f"{trajectory.label!r}"
+                )
+            selections.append(self._selection_from_duration(trajectory, duration))
+        return selections
+
+    def _selection_from_duration(
+        self, trajectory: CartanTrajectory, duration: float
+    ) -> BasisGateSelection:
         coords = trajectory.coordinates_at(duration)
         unitary = None
         if trajectory.gate_model is not None:
@@ -79,6 +146,63 @@ class SelectionStrategy:
             swap_layers=swap_layers,
             cnot_layers=cnot_layers,
         )
+
+
+def _batched_first_durations(
+    trajectories: Sequence[CartanTrajectory],
+    batch_mask: Callable[[np.ndarray], np.ndarray],
+    refine_tolerance: float = 1e-3,
+) -> list[float | None]:
+    """First crossing duration per trajectory, computed in lockstep.
+
+    Mirrors ``CartanTrajectory.first_duration_where`` exactly -- same scan,
+    same bisection updates, same ``high`` endpoint returned -- but evaluates
+    the feasibility mask across all trajectories per step instead of once per
+    point per trajectory.
+    """
+    from repro.weyl.cartan import canonicalize_coordinates_batch
+
+    counts = [len(t) for t in trajectories]
+    all_coords = np.concatenate([t.coordinates for t in trajectories], axis=0)
+    mask = np.asarray(
+        batch_mask(canonicalize_coordinates_batch(all_coords)), dtype=bool
+    )
+
+    results: list[float | None] = [None] * len(trajectories)
+    low: dict[int, float] = {}
+    high: dict[int, float] = {}
+    offset = 0
+    for i, trajectory in enumerate(trajectories):
+        flags = mask[offset : offset + counts[i]]
+        offset += counts[i]
+        if not flags.any():
+            continue
+        first_index = int(np.argmax(flags))
+        if first_index == 0:
+            results[i] = float(trajectory.durations[0])
+        else:
+            low[i] = float(trajectory.durations[first_index - 1])
+            high[i] = float(trajectory.durations[first_index])
+
+    active = [i for i in low if high[i] - low[i] > refine_tolerance]
+    while active:
+        mids = {i: 0.5 * (low[i] + high[i]) for i in active}
+        rows = np.array(
+            [trajectories[i].coordinates_at(mids[i]) for i in active], dtype=float
+        )
+        flags = np.asarray(batch_mask(rows), dtype=bool)
+        still = []
+        for passed, i in zip(flags, active):
+            if passed:
+                high[i] = mids[i]
+            else:
+                low[i] = mids[i]
+            if high[i] - low[i] > refine_tolerance:
+                still.append(i)
+        active = still
+    for i in low:
+        results[i] = high[i]
+    return results
 
 
 def _swap_layer_count(coords: Coords) -> int:
@@ -101,20 +225,28 @@ class Criterion1Strategy(SelectionStrategy):
     """Criterion 1: fastest gate able to synthesize SWAP in three layers."""
 
     name = "criterion1"
+    has_batch_predicate = True
 
     def predicate(self, coords: Coords) -> bool:
         return can_synthesize_swap_in_3_layers(coords)
+
+    def batch_predicate(self, coords: np.ndarray) -> np.ndarray:
+        return swap3_feasible_mask(coords)
 
 
 class Criterion2Strategy(SelectionStrategy):
     """Criterion 2: fastest gate giving SWAP in 3 layers and CNOT in 2."""
 
     name = "criterion2"
+    has_batch_predicate = True
 
     def predicate(self, coords: Coords) -> bool:
         return can_synthesize_swap_in_3_layers(coords) and can_synthesize_cnot_in_2_layers(
             coords
         )
+
+    def batch_predicate(self, coords: np.ndarray) -> np.ndarray:
+        return swap3_feasible_mask(coords) & cnot2_feasible_mask(coords)
 
 
 class BaselineSqrtIswapStrategy(SelectionStrategy):
@@ -127,6 +259,7 @@ class BaselineSqrtIswapStrategy(SelectionStrategy):
     """
 
     name = "baseline"
+    has_batch_predicate = True
 
     def __init__(self, tolerance: float = 0.08):
         self.tolerance = tolerance
@@ -134,8 +267,10 @@ class BaselineSqrtIswapStrategy(SelectionStrategy):
     def predicate(self, coords: Coords) -> bool:
         return can_synthesize_swap_in_3_layers(coords)
 
-    def select(self, trajectory: CartanTrajectory) -> BasisGateSelection:
-        selection = super().select(trajectory)
+    def batch_predicate(self, coords: np.ndarray) -> np.ndarray:
+        return swap3_feasible_mask(coords)
+
+    def _check_standard(self, selection: BasisGateSelection) -> None:
         target = WEYL_POINTS["SQRT_ISWAP"]
         distance = point_distance(selection.coordinates, target)
         if distance > self.tolerance:
@@ -144,6 +279,10 @@ class BaselineSqrtIswapStrategy(SelectionStrategy):
                 f"selected gate {selection.coordinates} is {distance:.3f} away from "
                 "sqrt(iSWAP); use Criterion 1/2 for nonstandard trajectories"
             )
+
+    def select(self, trajectory: CartanTrajectory) -> BasisGateSelection:
+        selection = super().select(trajectory)
+        self._check_standard(selection)
         return BasisGateSelection(
             strategy=self.name,
             duration=selection.duration,
@@ -152,6 +291,14 @@ class BaselineSqrtIswapStrategy(SelectionStrategy):
             swap_layers=selection.swap_layers,
             cnot_layers=selection.cnot_layers,
         )
+
+    def select_batch(
+        self, trajectories: Sequence[CartanTrajectory]
+    ) -> list[BasisGateSelection]:
+        selections = super().select_batch(trajectories)
+        for selection in selections:
+            self._check_standard(selection)
+        return selections
 
 
 class PredicateStrategy(SelectionStrategy):

@@ -14,7 +14,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.weyl.cartan import canonicalize_coordinates, cartan_coordinates
+from repro.weyl.cartan import (
+    canonicalize_coordinates,
+    canonicalize_coordinates_batch,
+    cartan_coordinates,
+)
 from repro.weyl.entangling_power import entangling_power_from_coordinates, is_perfect_entangler
 
 Coords = tuple[float, float, float]
@@ -142,15 +146,28 @@ class CartanTrajectory:
         predicate: Callable[[Coords], bool],
         refine: bool = True,
         refine_tolerance: float = 1e-3,
+        batch_predicate: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> float | None:
         """First duration at which ``predicate`` becomes true.
 
         Scans the sampled points; if ``refine`` is set and the trajectory has
         a continuous description, the crossing is refined by bisection between
         the last failing and first passing samples.
+
+        ``batch_predicate``, when given, must be the vectorized counterpart of
+        ``predicate`` (an ``(n, 3)`` canonical-coordinate array in, a boolean
+        mask out); it replaces the per-sample scan, while the bisection
+        refinement always uses the scalar ``predicate``.
         """
-        flags = [predicate(canonicalize_coordinates(c)) for c in self.coordinates]
-        first_index = next((i for i, f in enumerate(flags) if f), None)
+        if batch_predicate is not None:
+            mask = np.asarray(
+                batch_predicate(canonicalize_coordinates_batch(self.coordinates)),
+                dtype=bool,
+            )
+            first_index = int(np.argmax(mask)) if mask.any() else None
+        else:
+            flags = [predicate(canonicalize_coordinates(c)) for c in self.coordinates]
+            first_index = next((i for i, f in enumerate(flags) if f), None)
         if first_index is None:
             return None
         if first_index == 0 or not refine:

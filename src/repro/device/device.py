@@ -7,7 +7,10 @@ trajectories and selected basis gates for each selection strategy.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 import networkx as nx
@@ -23,6 +26,22 @@ from repro.hamiltonian.effective import (
 )
 
 Edge = tuple[int, int]
+
+
+def default_edge_workers() -> int:
+    """Thread count for concurrent edge resolution.
+
+    ``REPRO_EDGE_WORKERS`` overrides; the default scales with the machine and
+    degrades to serial resolution on a single-core box, where thread overhead
+    would only hurt.
+    """
+    env = os.getenv("REPRO_EDGE_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return min(8, os.cpu_count() or 1)
 
 
 def _bfs_distance_matrix(graph: nx.Graph) -> np.ndarray:
@@ -350,28 +369,41 @@ class Device:
 
         invalidate_device_targets(self)
 
+    def _build_edge_calibration(
+        self, edge: Edge, drive_amplitude: float
+    ) -> EdgeCalibration:
+        """Simulate one edge's trajectory; pure (no device state mutated).
+
+        Safe to run from worker threads: it only reads the frequency table
+        and edge parameters, and returns a fresh :class:`EdgeCalibration`
+        that the caller is responsible for memoising.
+        """
+        model = self.entangler_model(edge, drive_amplitude)
+        # Scan a bit past the sqrt(iSWAP) point so every strategy finds its
+        # crossing; the XY rate sets the natural timescale.
+        max_duration = 0.7 * np.pi / model.xy_rate
+        resolution = max(
+            self.params.trajectory_resolution_ns, max_duration / 400.0
+        )
+        trajectory = CartanTrajectory.from_model(
+            model,
+            max_duration=max_duration,
+            resolution=resolution,
+            label=f"edge {self._key(edge)} @ {drive_amplitude} Phi0",
+        )
+        return EdgeCalibration(
+            edge=self._key(edge),
+            drive_amplitude=float(drive_amplitude),
+            model=model,
+            trajectory=trajectory,
+        )
+
     def calibration(self, edge: Edge, drive_amplitude: float) -> EdgeCalibration:
         """Trajectory (and cached selections) for an edge at an amplitude."""
         key = (self._key(edge), float(drive_amplitude))
         if key not in self._calibrations:
-            model = self.entangler_model(edge, drive_amplitude)
-            # Scan a bit past the sqrt(iSWAP) point so every strategy finds its
-            # crossing; the XY rate sets the natural timescale.
-            max_duration = 0.7 * np.pi / model.xy_rate
-            resolution = max(
-                self.params.trajectory_resolution_ns, max_duration / 400.0
-            )
-            trajectory = CartanTrajectory.from_model(
-                model,
-                max_duration=max_duration,
-                resolution=resolution,
-                label=f"edge {self._key(edge)} @ {drive_amplitude} Phi0",
-            )
-            self._calibrations[key] = EdgeCalibration(
-                edge=self._key(edge),
-                drive_amplitude=float(drive_amplitude),
-                model=model,
-                trajectory=trajectory,
+            self._calibrations[key] = self._build_edge_calibration(
+                edge, drive_amplitude
             )
         return self._calibrations[key]
 
@@ -409,6 +441,76 @@ class Device:
                 calibration.trajectory, strategy
             )
         return calibration.selections[key]
+
+    def resolve_basis_gates(
+        self,
+        edges: Sequence[Edge],
+        strategy: str,
+        max_workers: int | None = None,
+    ) -> dict[Edge, BasisGateSelection]:
+        """Basis gates for many edges at once, resolved concurrently.
+
+        Semantically identical to calling :meth:`basis_gate` per edge -- the
+        same memoisation and stale-generation eviction apply, and the
+        selections are byte-identical -- but trajectory simulation fans out
+        over ``max_workers`` threads (:func:`default_edge_workers` when None)
+        and the feasibility scans run batched across edges.  Workers only
+        *compute*; all memo-dict mutation happens on the calling thread in
+        deterministic edge order.
+        """
+        from repro.compiler.pipeline.registry import (
+            REGISTRY,
+            get_strategy,
+            validate_strategy,
+        )
+
+        validate_strategy(strategy)
+        amplitude = float(self.amplitude_for_strategy(strategy))
+        selection_key = (strategy, REGISTRY.generation(strategy))
+
+        results: dict[Edge, BasisGateSelection] = {}
+        pending: list[Edge] = []
+        for edge in edges:
+            key = self._key(edge)
+            calibration = self._calibrations.get((key, amplitude))
+            selection = (
+                calibration.selections.get(selection_key) if calibration else None
+            )
+            if selection is not None:
+                results[key] = selection
+            elif key not in pending:
+                pending.append(key)
+        if not pending:
+            return results
+
+        missing = [e for e in pending if (e, amplitude) not in self._calibrations]
+        workers = max_workers if max_workers is not None else default_edge_workers()
+        workers = max(1, min(workers, len(missing))) if missing else 1
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                built = list(
+                    pool.map(
+                        lambda edge: self._build_edge_calibration(edge, amplitude),
+                        missing,
+                    )
+                )
+        else:
+            built = [self._build_edge_calibration(e, amplitude) for e in missing]
+        for edge, calibration in zip(missing, built):
+            self._calibrations.setdefault((edge, amplitude), calibration)
+
+        strategy_obj = get_strategy(strategy)
+        trajectories = [
+            self._calibrations[(e, amplitude)].trajectory for e in pending
+        ]
+        selections = strategy_obj.select_batch(trajectories)
+        for edge, selection in zip(pending, selections):
+            calibration = self._calibrations[(edge, amplitude)]
+            for stale in [k for k in calibration.selections if k[0] == strategy]:
+                del calibration.selections[stale]
+            calibration.selections[selection_key] = selection
+            results[edge] = selection
+        return results
 
     def basis_gates(self, strategy: str) -> dict[Edge, BasisGateSelection]:
         """Basis gates for every edge under a named strategy.

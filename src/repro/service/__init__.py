@@ -8,6 +8,9 @@ and a live worker pool -- resident between requests:
   that coalesces concurrent requests into micro-batches and dispatches them
   through the same :class:`~repro.compiler.pipeline.dispatch.BatchDispatcher`
   core as ``transpile_batch`` and the fleet sweep;
+* :class:`~repro.service.programcache.ProgramCache` -- content-addressed
+  compiled-program cache (memory LRU + shared disk store), the layer above
+  the target caches: warm repeats skip compilation entirely;
 * :class:`~repro.service.hotcache.TargetHotCache` -- bounded in-memory LRU
   layered over the persistent on-disk
   :class:`~repro.fleet.cache.TargetCache`;
@@ -41,6 +44,14 @@ from repro.service.hotcache import SOURCES, HotCacheStats, TargetHotCache
 from repro.service.loadgen import LoadSpec, run_phase_inprocess, run_phase_wire
 from repro.service.metrics import ServiceMetrics, percentiles
 from repro.service.net import OPS, ServiceClient, ServiceServer
+from repro.service.programcache import (
+    PROGRAM_SOURCES,
+    ProgramCache,
+    ProgramCacheStats,
+    ProgramStore,
+    circuit_content_hash,
+    program_cache_key,
+)
 from repro.service.requests import (
     CalibrationUpdate,
     CompileRequest,
@@ -62,6 +73,12 @@ __all__ = [
     "OPS",
     "ServiceClient",
     "ServiceServer",
+    "PROGRAM_SOURCES",
+    "ProgramCache",
+    "ProgramCacheStats",
+    "ProgramStore",
+    "circuit_content_hash",
+    "program_cache_key",
     "CalibrationUpdate",
     "CompileRequest",
     "CompileResponse",

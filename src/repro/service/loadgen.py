@@ -72,9 +72,10 @@ def _phase_document(
     wall_time_s: float,
     errors: int,
     sheds: int = 0,
+    source_latencies: dict[str, list[float]] | None = None,
 ) -> dict:
     completed = len(latencies_ms)
-    return {
+    document = {
         "phase": name,
         "requests": completed,
         "errors": errors,
@@ -83,6 +84,24 @@ def _phase_document(
         "throughput_rps": completed / wall_time_s if wall_time_s > 0 else 0.0,
         "latency_ms": percentiles(latencies_ms),
     }
+    if source_latencies is not None:
+        # Which cache layer served each response, plus the latency split
+        # between cache-served and dispatched requests -- the program-cache
+        # benchmark reads both.
+        document["program_sources"] = {
+            source: len(samples) for source, samples in sorted(source_latencies.items())
+        }
+        cached = [
+            sample
+            for source, samples in source_latencies.items()
+            if source.startswith("program-")
+            for sample in samples
+        ]
+        document["latency_split"] = {
+            "cache_lookup": percentiles(cached),
+            "dispatch": percentiles(source_latencies.get("compiled", [])),
+        }
+    return document
 
 
 async def run_phase_inprocess(
@@ -94,6 +113,7 @@ async def run_phase_inprocess(
     """Fire a request list at an in-process service; returns the phase doc."""
     semaphore = asyncio.Semaphore(concurrency)
     latencies: list[float] = []
+    source_latencies: dict[str, list[float]] = {}
     errors = 0
 
     async def one(request: CompileRequest) -> None:
@@ -101,16 +121,22 @@ async def run_phase_inprocess(
         async with semaphore:
             started = time.perf_counter()
             try:
-                await service.compile(request)
+                response = await service.compile(request)
             except Exception:  # noqa: BLE001 - load gen counts, never raises
                 errors += 1
                 return
-            latencies.append((time.perf_counter() - started) * 1000.0)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            latencies.append(elapsed_ms)
+            source_latencies.setdefault(response.program_source, []).append(
+                elapsed_ms
+            )
 
     wall_start = time.perf_counter()
     await asyncio.gather(*(one(request) for request in requests))
     wall_time = time.perf_counter() - wall_start
-    return _phase_document(name, latencies, wall_time, errors)
+    return _phase_document(
+        name, latencies, wall_time, errors, source_latencies=source_latencies
+    )
 
 
 async def run_phase_wire(
@@ -148,6 +174,7 @@ async def run_phase_wire(
     for index, entry in enumerate(tagged):
         lanes[index % concurrency].append(entry)
     latencies: list[float] = []
+    source_latencies: dict[str, list[float]] = {}
     responses: list[dict] = []
     errors = 0
     sheds = 0
@@ -170,7 +197,12 @@ async def run_phase_wire(
                         errors += 1
                         break
                     if envelope.get("ok"):
-                        latencies.append((time.perf_counter() - started) * 1000.0)
+                        elapsed_ms = (time.perf_counter() - started) * 1000.0
+                        latencies.append(elapsed_ms)
+                        result = envelope.get("result") or {}
+                        source_latencies.setdefault(
+                            result.get("program_source", "compiled"), []
+                        ).append(elapsed_ms)
                         if collect_responses:
                             responses.append(envelope["result"])
                         break
@@ -189,7 +221,9 @@ async def run_phase_wire(
     wall_start = time.perf_counter()
     await asyncio.gather(*(drain(lane) for lane in lanes))
     wall_time = time.perf_counter() - wall_start
-    document = _phase_document(name, latencies, wall_time, errors, sheds)
+    document = _phase_document(
+        name, latencies, wall_time, errors, sheds, source_latencies=source_latencies
+    )
     if collect_responses:
         document["responses"] = responses
     return document

@@ -348,11 +348,14 @@ class CompileResponse:
 
     ``results`` carries the headline metrics per strategy;
     ``target_sources`` says which cache layer served each strategy's target
-    (``memory`` / ``disk`` / ``built``); ``fingerprint`` is the calibration
-    fingerprint of the device the targets were built against, so clients
-    (and the cluster's coherence checks) can tell exactly which calibration
-    state served them; the timing fields expose where the request spent its
-    latency (coalescing wait vs compile).
+    (``memory`` / ``disk`` / ``built``); ``program_source`` says which layer
+    of the compiled-program cache served the whole response (``program-mem``
+    / ``program-disk``, or ``compiled`` when the pipeline actually ran --
+    in which case ``target_sources`` applies); ``fingerprint`` is the
+    calibration fingerprint of the device the results were compiled against,
+    so clients (and the cluster's coherence checks) can tell exactly which
+    calibration state served them; the timing fields expose where the
+    request spent its latency (coalescing wait vs compile).
     """
 
     request: CompileRequest
@@ -363,6 +366,7 @@ class CompileResponse:
     queue_ms: float = 0.0
     compile_ms: float = 0.0
     total_ms: float = 0.0
+    program_source: str = "compiled"
 
     def to_dict(self) -> dict:
         """JSON wire form."""
@@ -370,6 +374,7 @@ class CompileResponse:
             "request": self.request.to_dict(),
             "results": self.results,
             "target_sources": self.target_sources,
+            "program_source": self.program_source,
             "fingerprint": self.fingerprint,
             "batch_size": self.batch_size,
             "timing_ms": {

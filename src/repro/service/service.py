@@ -4,21 +4,27 @@
 dispatch core.  Requests (:class:`~repro.service.requests.CompileRequest`)
 arrive one at a time via :meth:`CompilationService.compile`; the service
 
-1. **coalesces** them into micro-batches -- requests that arrive within
-   ``batch_window_ms`` of each other (up to ``max_batch``) and share a
-   batch key (device, strategies, mapping, seed) compile together through
-   one :class:`~repro.compiler.pipeline.dispatch.DispatchContext`;
-2. **serves targets hot** -- each batch's per-strategy ``Target`` /
+1. **serves warm programs** -- a content-addressed
+   :class:`~repro.service.programcache.ProgramCache` keyed on (circuit
+   hash, device fingerprint, strategies, mapping, seed, registry
+   generations) returns repeat requests without compiling at all; every
+   :class:`~repro.service.requests.CompileResponse` reports which layer
+   served it (``program-mem`` / ``program-disk`` / ``compiled``);
+2. **coalesces** the rest into micro-batches -- requests that arrive
+   within ``batch_window_ms`` of each other (up to ``max_batch``) and
+   share a batch key (device, strategies, mapping, seed) compile together
+   through one :class:`~repro.compiler.pipeline.dispatch.DispatchContext`;
+3. **serves targets hot** -- each batch's per-strategy ``Target`` /
    ``CostModel`` snapshots come from the bounded in-memory
    :class:`~repro.service.hotcache.TargetHotCache` layered over the on-disk
    fleet :class:`~repro.fleet.cache.TargetCache`, so repeated traffic for
    the same (device, strategy) never rebuilds a target;
-3. **dispatches** to one *persistent* worker pool
+4. **dispatches** to one *persistent* worker pool
    (:class:`~repro.compiler.pipeline.dispatch.BatchDispatcher`) that
    survives across batches -- the same core ``transpile_batch`` and the
    fleet sweep use, so service results are byte-identical to the one-shot
    APIs under the same seeds;
-4. **measures** everything: per-request queue/compile/total latency,
+5. **measures** everything: per-request queue/compile/total latency,
    batch shapes, throughput and per-layer cache hits
    (:class:`~repro.service.metrics.ServiceMetrics`).
 
@@ -35,6 +41,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping
 
 from repro.compiler.pipeline.dispatch import (
@@ -49,6 +56,12 @@ from repro.fleet.devices import device_fingerprint, make_device
 from repro.fleet.sweep import build_circuit
 from repro.service.hotcache import TargetHotCache
 from repro.service.metrics import ServiceMetrics
+from repro.service.programcache import (
+    ProgramCache,
+    ProgramStore,
+    circuit_content_hash,
+    program_cache_key,
+)
 from repro.service.requests import (
     CalibrationUpdate,
     CompileRequest,
@@ -72,6 +85,9 @@ class ServiceConfig:
         batch_window_ms: how long the batcher waits for co-batchable
             requests after the first one arrives.
         max_batch: micro-batch size cap; a full batch flushes immediately.
+        program_cache: whether the compiled-program cache layer is active
+            (off = every request compiles, as in earlier revisions).
+        program_capacity: bound of the in-memory compiled-program LRU.
     """
 
     cache_dir: str | None = None
@@ -81,6 +97,8 @@ class ServiceConfig:
     max_workers: int | None = None
     batch_window_ms: float = 2.0
     max_batch: int = 32
+    program_cache: bool = True
+    program_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -89,6 +107,8 @@ class ServiceConfig:
             )
         if self.target_capacity < 1 or self.device_capacity < 1:
             raise ValueError("cache capacities must be positive")
+        if self.program_capacity < 1:
+            raise ValueError("program_capacity must be positive")
         if self.batch_window_ms < 0:
             raise ValueError("batch_window_ms must be >= 0")
         if self.max_batch < 1:
@@ -137,8 +157,19 @@ class CompilationService:
             executor=self.config.executor, max_workers=self.config.max_workers
         )
         self.metrics = ServiceMetrics()
+        self.programs: ProgramCache | None = None
+        if self.config.program_cache:
+            store = (
+                ProgramStore(Path(self.config.cache_dir) / "programs")
+                if self.config.cache_dir
+                else None
+            )
+            self.programs = ProgramCache(
+                capacity=self.config.program_capacity, store=store
+            )
         self._devices: OrderedDict[tuple, tuple[Device, str]] = OrderedDict()
         self._circuits: dict[str, object] = {}
+        self._circuit_hashes: dict[str, str] = {}
         self._state_lock = threading.Lock()
         self._queue: asyncio.Queue | None = None
         self._batcher: asyncio.Task | None = None
@@ -217,6 +248,10 @@ class CompilationService:
             except RequestError:
                 self.metrics.record_failure()
                 raise
+        if self.programs is not None:
+            served = self._program_fast_path(request)
+            if served is not None:
+                return served
         pending = _Pending(request, asyncio.get_running_loop().create_future())
         await self._queue.put(pending)
         try:
@@ -227,7 +262,10 @@ class CompilationService:
 
     def metrics_snapshot(self) -> dict:
         """Current machine-readable metrics document."""
-        return self.metrics.snapshot(cache=self.hot_targets.as_dict())
+        return self.metrics.snapshot(
+            cache=self.hot_targets.as_dict(),
+            programs=self.programs.as_dict() if self.programs is not None else None,
+        )
 
     async def calibrate(self, update: CalibrationUpdate | Mapping) -> dict:
         """Apply a calibration update to a served device (the wire op).
@@ -259,8 +297,10 @@ class CompilationService:
            future traffic sees, so in-flight batches holding the old device
            keep a fully consistent pre-drift view (selections *and*
            constants like the coherence time) until they drain;
-        2. the device's **old-fingerprint hot-cache entries are evicted**
-           (they could never be matched again, but would squat in the LRU);
+        2. the device's **old-fingerprint cache entries are evicted** from
+           both the target hot cache and the compiled-program cache (they
+           could never be matched again -- their keys embed the stale
+           fingerprint -- but would squat in the LRUs);
         3. the device LRU re-keys to the new fingerprint, so the next
            compile's dispatch-context key changes -- which **rotates a
            persistent process pool**: workers are re-initialized with fresh
@@ -296,6 +336,11 @@ class CompilationService:
                 drifted.distance(0, 0)  # warm the BFS matrix like _device_for
             new_fingerprint = device_fingerprint(drifted)
             evicted = self.hot_targets.invalidate_fingerprint(old_fingerprint)
+            programs_evicted = (
+                self.programs.invalidate_fingerprint(old_fingerprint)
+                if self.programs is not None
+                else 0
+            )
             self._admit_device_locked(key, (drifted, new_fingerprint))
         self.metrics.record_calibration()
         return {
@@ -304,6 +349,7 @@ class CompilationService:
             "old_fingerprint": old_fingerprint,
             "new_fingerprint": new_fingerprint,
             "hot_entries_evicted": evicted,
+            "program_entries_evicted": programs_evicted,
             "calibration_epoch": drifted.calibration_epoch,
         }
 
@@ -432,6 +478,79 @@ class CompilationService:
                 self._circuits.setdefault(name, circuit)
         return circuit
 
+    def _program_entry(
+        self, request: CompileRequest, fingerprint: str, generations: tuple[int, ...]
+    ) -> tuple[str, dict]:
+        """The program-cache key and echo-back document for one request.
+
+        The document is what the disk store persists alongside the results
+        and re-validates field-by-field on load; values must JSON
+        round-trip exactly (lists, not tuples).
+        """
+        name = request.circuit
+        circuit_hash = self._circuit_hashes.get(name)
+        if circuit_hash is None:
+            circuit_hash = circuit_content_hash(self._circuit_for(name))
+            self._circuit_hashes[name] = circuit_hash
+        key = program_cache_key(
+            circuit_hash,
+            fingerprint,
+            request.strategies,
+            request.mapping,
+            request.seed,
+            generations,
+        )
+        document = {
+            "circuit_hash": circuit_hash,
+            "fingerprint": fingerprint,
+            "strategies": list(request.strategies),
+            "mapping": request.mapping,
+            "seed": int(request.seed),
+            "generations": list(generations),
+        }
+        return key, document
+
+    def _program_fast_path(
+        self, request: CompileRequest
+    ) -> CompileResponse | None:
+        """Serve a memory-layer program hit without entering the batch queue.
+
+        Runs on the event loop, so it only probes cheap state: the device
+        must already sit in the LRU (its *current* fingerprint keys the
+        lookup, so a just-calibrated device can never serve a pre-drift
+        program) and only the in-memory layer is consulted -- disk probes
+        stay on executor threads in :meth:`_execute_batch`.
+        """
+        started = time.perf_counter()
+        with self._state_lock:
+            hit = self._devices.get(request.device_key)
+            if hit is None:
+                return None
+            self._devices.move_to_end(request.device_key)
+            fingerprint = hit[1]
+        generations = tuple(
+            REGISTRY.generation(strategy) for strategy in request.strategies
+        )
+        key, _document = self._program_entry(request, fingerprint, generations)
+        results = self.programs.get_memory(key)
+        if results is None:
+            return None
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_response(
+            0.0, elapsed_ms, elapsed_ms, lookup_ms=elapsed_ms
+        )
+        return CompileResponse(
+            request=request,
+            results=results,
+            target_sources={},
+            fingerprint=fingerprint,
+            batch_size=1,
+            queue_ms=0.0,
+            compile_ms=elapsed_ms,
+            total_ms=elapsed_ms,
+            program_source="program-mem",
+        )
+
     def _execute_batch(
         self, key: tuple, group: list[_Pending]
     ) -> list[CompileResponse]:
@@ -439,46 +558,100 @@ class CompilationService:
         start = time.perf_counter()
         request = group[0].request
         device, fingerprint = self._device_for(request)
-        targets: dict[str, object] = {}
-        sources: dict[str, str] = {}
-        with self._state_lock:
-            # One build at a time: concurrent groups must not race the
-            # device's lazy calibration caches for the same cold target.
-            for strategy in request.strategies:
-                target, source = self.hot_targets.get(device, strategy, fingerprint)
-                targets[strategy] = target
-                sources[strategy] = source
-        # The pool-reuse key mirrors target_cache_key: device fingerprint
-        # AND per-strategy registry generations, so re-registering a
-        # strategy rotates the process pool (whose workers hold deserialized
-        # targets from init) instead of serving stale selections.
         generations = tuple(
             REGISTRY.generation(strategy) for strategy in request.strategies
         )
-        context = DispatchContext(
-            device,
-            targets,
-            mapping=request.mapping,
-            seed=request.seed,
-            key=(fingerprint, generations) + key[1:],
-        )
-        circuits = [self._circuit_for(entry.request.circuit) for entry in group]
-        batch = self.dispatcher.dispatch(circuits, context)
+        # Probe the program cache (memory, then disk) per request first;
+        # only the misses compile.  The fast path already handled in-memory
+        # hits for warm devices, so this mostly settles disk hits (shared
+        # stores, restarts) and the first requests after a cold start.
+        served: dict[int, tuple[dict, str]] = {}
+        program_keys: list[str | None] = [None] * len(group)
+        documents: list[dict | None] = [None] * len(group)
+        if self.programs is not None:
+            for index, entry in enumerate(group):
+                program_key, document = self._program_entry(
+                    entry.request, fingerprint, generations
+                )
+                program_keys[index] = program_key
+                documents[index] = document
+                results, source = self.programs.get(program_key, document)
+                if results is not None:
+                    served[index] = (results, source)
+        lookup_done = time.perf_counter()
+        lookup_ms = (lookup_done - start) * 1000.0
+
+        pending_indices = [i for i in range(len(group)) if i not in served]
+        compiled_results: dict[int, dict] = {}
+        sources: dict[str, str] = {}
+        if pending_indices:
+            targets: dict[str, object] = {}
+            with self._state_lock:
+                # One build at a time: concurrent groups must not race the
+                # device's lazy calibration caches for the same cold target.
+                for strategy in request.strategies:
+                    target, source = self.hot_targets.get(
+                        device, strategy, fingerprint
+                    )
+                    targets[strategy] = target
+                    sources[strategy] = source
+            # The pool-reuse key mirrors target_cache_key: device fingerprint
+            # AND per-strategy registry generations, so re-registering a
+            # strategy rotates the process pool (whose workers hold
+            # deserialized targets from init) instead of serving stale
+            # selections.
+            context = DispatchContext(
+                device,
+                targets,
+                mapping=request.mapping,
+                seed=request.seed,
+                key=(fingerprint, generations) + key[1:],
+            )
+            circuits = [
+                self._circuit_for(group[i].request.circuit) for i in pending_indices
+            ]
+            batch = self.dispatcher.dispatch(circuits, context)
+            for i, compiled in zip(pending_indices, batch):
+                results = {
+                    strategy: summarize_compiled(one)
+                    for strategy, one in compiled.items()
+                }
+                compiled_results[i] = results
+                if self.programs is not None:
+                    self.programs.put(program_keys[i], results, documents[i])
+            self.metrics.record_batch(
+                len(pending_indices), len(pending_indices) * len(request.strategies)
+            )
         done = time.perf_counter()
-        compile_ms = (done - start) * 1000.0
-        self.metrics.record_batch(len(group), len(group) * len(request.strategies))
+        compile_ms = (done - lookup_done) * 1000.0
         responses = []
-        for entry, compiled in zip(group, batch):
+        for index, entry in enumerate(group):
             queue_ms = (entry.dispatched_at - entry.enqueued_at) * 1000.0
             total_ms = (done - entry.enqueued_at) * 1000.0
+            if index in served:
+                results, source = served[index]
+                self.metrics.record_response(
+                    queue_ms, lookup_ms, total_ms, lookup_ms=lookup_ms
+                )
+                responses.append(
+                    CompileResponse(
+                        request=entry.request,
+                        results=results,
+                        target_sources={},
+                        fingerprint=fingerprint,
+                        batch_size=len(group),
+                        queue_ms=queue_ms,
+                        compile_ms=lookup_ms,
+                        total_ms=total_ms,
+                        program_source=source,
+                    )
+                )
+                continue
             self.metrics.record_response(queue_ms, compile_ms, total_ms)
             responses.append(
                 CompileResponse(
                     request=entry.request,
-                    results={
-                        strategy: summarize_compiled(one)
-                        for strategy, one in compiled.items()
-                    },
+                    results=compiled_results[index],
                     target_sources=dict(sources),
                     fingerprint=fingerprint,
                     batch_size=len(group),

@@ -29,7 +29,11 @@ from scipy.optimize import minimize
 
 from repro.gates.single_qubit import su2_from_params
 from repro.gates.two_qubit import canonical_gate
-from repro.weyl.cartan import canonicalize_coordinates, coordinates_close
+from repro.weyl.cartan import (
+    canonicalize_coordinates,
+    canonicalize_coordinates_batch,
+    coordinates_close,
+)
 from repro.weyl.chamber import WEYL_POINTS
 
 Coords = tuple[float, float, float]
@@ -182,6 +186,97 @@ def point_on_triangle(
     return bool(u >= -eps and v >= -eps and w >= -eps)
 
 
+def _points_in_tetrahedron(
+    points: np.ndarray,
+    vertices: Sequence[Coords],
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Vectorized closed-boundary :func:`point_in_tetrahedron` for ``(n, 3)``."""
+    v = np.asarray(vertices, dtype=float)
+    mat = (v[1:] - v[0]).T
+    try:
+        local = np.linalg.solve(mat, (points - v[0]).T)
+    except np.linalg.LinAlgError:
+        return np.zeros(len(points), dtype=bool)
+    bary0 = 1.0 - local.sum(axis=0)
+    return (bary0 >= -atol) & np.all(local >= -atol, axis=0)
+
+
+def _points_on_triangle(
+    points: np.ndarray, triangle: Sequence[Coords], atol: float = 1e-9
+) -> np.ndarray:
+    """Vectorized :func:`point_on_triangle` for an ``(n, 3)`` array."""
+    a, b, c = (np.asarray(v, dtype=float) for v in triangle)
+    normal = np.cross(b - a, c - a)
+    norm = np.linalg.norm(normal)
+    if norm < 1e-12:
+        return np.zeros(len(points), dtype=bool)
+    normal = normal / norm
+    rel = points - a
+    on_plane = np.abs(rel @ normal) <= max(atol, 1e-9)
+    v0, v1 = b - a, c - a
+    d00, d01, d11 = np.dot(v0, v0), np.dot(v0, v1), np.dot(v1, v1)
+    denom = d00 * d11 - d01 * d01
+    if abs(denom) < 1e-15:
+        return np.zeros(len(points), dtype=bool)
+    d20 = rel @ v0
+    d21 = rel @ v1
+    v = (d11 * d20 - d01 * d21) / denom
+    w = (d00 * d21 - d01 * d20) / denom
+    u = 1.0 - v - w
+    eps = 1e-7
+    return on_plane & (u >= -eps) & (v >= -eps) & (w >= -eps)
+
+
+def _feasible_mask_outside_tetrahedra(
+    points: np.ndarray,
+    tetrahedra: Sequence[tuple[Coords, Coords, Coords, Coords]],
+    entry_faces: Sequence[tuple[Coords, Coords, Coords]],
+    atol: float,
+) -> np.ndarray:
+    """Vectorized :func:`_feasible_outside_tetrahedra` over ``(n, 3)`` points.
+
+    Matches the scalar logic exactly: both bottom-plane representatives are
+    tested, entry-face membership wins, and otherwise the point must lie
+    outside every closed infeasible tetrahedron.
+    """
+    pts = canonicalize_coordinates_batch(points)
+    has_mirror = np.abs(pts[:, 2]) < 1e-9
+    mirrored = pts.copy()
+    mirrored[:, 0] = 1.0 - mirrored[:, 0]
+
+    face_atol = max(atol, 1e-9)
+    on_face = np.zeros(len(pts), dtype=bool)
+    for face in entry_faces:
+        on_face |= _points_on_triangle(pts, face, atol=face_atol)
+        on_face |= has_mirror & _points_on_triangle(mirrored, face, atol=face_atol)
+    in_tetra = np.zeros(len(pts), dtype=bool)
+    for tetra in tetrahedra:
+        in_tetra |= _points_in_tetrahedron(pts, tetra, atol=atol)
+        in_tetra |= has_mirror & _points_in_tetrahedron(mirrored, tetra, atol=atol)
+    return on_face | ~in_tetra
+
+
+def swap3_feasible_mask(points: np.ndarray, atol: float = 1e-9) -> np.ndarray:
+    """Vectorized :func:`can_synthesize_swap_in_3_layers` over ``(n, 3)``."""
+    return _feasible_mask_outside_tetrahedra(
+        np.asarray(points, dtype=float),
+        SWAP3_INFEASIBLE_TETRAHEDRA,
+        SWAP3_ENTRY_FACES,
+        atol,
+    )
+
+
+def cnot2_feasible_mask(points: np.ndarray, atol: float = 1e-9) -> np.ndarray:
+    """Vectorized :func:`can_synthesize_cnot_in_2_layers` over ``(n, 3)``."""
+    return _feasible_mask_outside_tetrahedra(
+        np.asarray(points, dtype=float),
+        CNOT2_INFEASIBLE_TETRAHEDRA,
+        CNOT2_ENTRY_FACES,
+        atol,
+    )
+
+
 def _region_representatives(coords: Coords) -> Iterable[Coords]:
     """Yield the chamber representatives equivalent to ``coords``.
 
@@ -272,9 +367,19 @@ class TwoLayerOracle:
     #: is dropped wholesale rather than growing for the life of the process.
     max_entries: int = 65536
     _cache: dict = field(default_factory=dict, repr=False)
+    #: Coarser-keyed warm starts: the best Euler angles found for a nearby
+    #: (target, layers) query seed the first optimizer attempt of the next
+    #: one.  Purely an acceleration -- it adds an attempt, so it can only
+    #: find feasibility earlier, never miss one the cold search would find.
+    _warm: dict = field(default_factory=dict, repr=False)
 
     def _key(self, *coord_sets: Coords) -> tuple:
         return tuple(tuple(round(c, 6) for c in coords) for coords in coord_sets)
+
+    def _warm_key(self, tag: str, *coord_sets: Coords) -> tuple:
+        return (tag,) + tuple(
+            tuple(round(c, 2) for c in coords) for coords in coord_sets
+        )
 
     def _remember(self, key: tuple, result: bool) -> bool:
         if len(self._cache) >= self.max_entries:
@@ -293,7 +398,11 @@ class TwoLayerOracle:
         key = ("2", *self._key(target, basis, second_basis))
         if key in self._cache:
             return self._cache[key]
-        distance = self._best_distance(target, [basis, second_basis])
+        distance = self._best_distance(
+            target,
+            [basis, second_basis],
+            warm_key=self._warm_key("2", target, basis, second_basis),
+        )
         return self._remember(key, distance < self.tolerance)
 
     def can_reach_in_3(self, target: Coords, basis: Coords) -> bool:
@@ -303,10 +412,19 @@ class TwoLayerOracle:
         key = ("3", *self._key(target, basis))
         if key in self._cache:
             return self._cache[key]
-        distance = self._best_distance(target, [basis, basis, basis])
+        distance = self._best_distance(
+            target,
+            [basis, basis, basis],
+            warm_key=self._warm_key("3", target, basis),
+        )
         return self._remember(key, distance < self.tolerance)
 
-    def _best_distance(self, target: Coords, layers: Sequence[Coords]) -> float:
+    def _best_distance(
+        self,
+        target: Coords,
+        layers: Sequence[Coords],
+        warm_key: tuple | None = None,
+    ) -> float:
         """Smallest coordinate distance between the target class and any gate
         reachable with the given 2Q layers and free interleaved 1Q gates."""
         from repro.weyl.cartan import cartan_coordinates
@@ -334,17 +452,31 @@ class TwoLayerOracle:
                 dist = min(dist, float(np.dot(delta_m, delta_m)))
             return dist
 
+        warm = self._warm.get(warm_key) if warm_key is not None else None
+        starts: list[np.ndarray] = []
+        if warm is not None and warm.shape == (6 * n_middle,):
+            starts.append(warm)
+        starts.append(np.zeros(6 * n_middle))
+
         best = np.inf
-        for attempt in range(self.restarts):
-            x0 = (
-                np.zeros(6 * n_middle)
-                if attempt == 0
-                else rng.uniform(-np.pi, np.pi, 6 * n_middle)
-            )
+        best_x: np.ndarray | None = None
+        attempt = 0
+        while attempt < len(starts) or attempt < self.restarts + (warm is not None):
+            if attempt < len(starts):
+                x0 = starts[attempt]
+            else:
+                x0 = rng.uniform(-np.pi, np.pi, 6 * n_middle)
             result = minimize(cost, x0, method="Nelder-Mead", options={"maxiter": 600, "fatol": 1e-12, "xatol": 1e-8})
-            best = min(best, float(result.fun))
+            if float(result.fun) < best:
+                best = float(result.fun)
+                best_x = np.asarray(result.x, dtype=float)
             if best < self.tolerance**2:
                 break
+            attempt += 1
+        if warm_key is not None and best_x is not None:
+            if len(self._warm) >= self.max_entries:
+                self._warm.clear()
+            self._warm[warm_key] = best_x
         return float(np.sqrt(best))
 
 

@@ -16,7 +16,7 @@ both speeds up the search and guarantees depth-optimal results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy.optimize import minimize
@@ -28,6 +28,74 @@ from repro.weyl.cartan import cartan_coordinates
 #: Default decomposition-error target; the paper notes decomposition errors
 #: are negligible compared to hardware (decoherence) errors.
 DEFAULT_FIDELITY_THRESHOLD = 1.0 - 1e-8
+
+# --------------------------------------------------------------------------
+# Synthesis memoisation.
+#
+# Cold target builds synthesize one gate per edge, and edges whose (target,
+# basis) pairs are locally equivalent -- same canonical Weyl/Cartan
+# coordinates -- solve essentially the same optimisation problem.  Three
+# memo layers exploit that:
+#
+# * exact-result memo: byte-identical (target, basis, n_layers, search
+#   config) calls return the cached decomposition outright;
+# * warm-start memo, keyed on *rounded canonical coordinates*: the best
+#   parameters found for a locally-equivalent pair seed the first optimizer
+#   attempt (the standard zeros/random attempts still follow, so a stale
+#   warm start can never make the search worse than cold);
+# * layer-count memo, same coordinate key: a pair that already synthesized
+#   successfully tells equivalent pairs which layer count to start at.
+# --------------------------------------------------------------------------
+
+_MEMO_MAX_ENTRIES = 4096
+_WARM_DECIMALS = 3
+
+_exact_results: dict[tuple, "SynthesisResult"] = {}
+_warm_params: dict[tuple, np.ndarray] = {}
+_layer_counts: dict[tuple, int] = {}
+
+
+@dataclass
+class SynthesisMemoStats:
+    """Counters for the synthesis memo (reset with the memo itself)."""
+
+    exact_hits: int = 0
+    warm_starts: int = 0
+    layer_reuses: int = 0
+    misses: int = 0
+
+
+_memo_stats = SynthesisMemoStats()
+
+
+def synthesis_memo_stats() -> SynthesisMemoStats:
+    """A snapshot of the memo counters."""
+    return replace(_memo_stats)
+
+
+def reset_synthesis_memo() -> None:
+    """Drop all memoised synthesis state and zero the counters."""
+    _exact_results.clear()
+    _warm_params.clear()
+    _layer_counts.clear()
+    _memo_stats.exact_hits = 0
+    _memo_stats.warm_starts = 0
+    _memo_stats.layer_reuses = 0
+    _memo_stats.misses = 0
+
+
+def _coordinate_key(target: np.ndarray, basis: np.ndarray) -> tuple:
+    """Rounded canonical coordinates of the (target, basis) pair."""
+    return (
+        tuple(round(c, _WARM_DECIMALS) for c in cartan_coordinates(target)),
+        tuple(round(c, _WARM_DECIMALS) for c in cartan_coordinates(basis)),
+    )
+
+
+def _bounded_store(memo: dict, key, value) -> None:
+    if len(memo) >= _MEMO_MAX_ENTRIES:
+        memo.clear()
+    memo[key] = value
 
 
 @dataclass
@@ -55,9 +123,7 @@ class SynthesisResult:
 
     def unitary(self) -> np.ndarray:
         """Rebuild the synthesized unitary from the stored pieces."""
-        u = np.kron(*self.local_gates[0][::-1]) if False else np.kron(
-            self.local_gates[0][0], self.local_gates[0][1]
-        )
+        u = np.kron(self.local_gates[0][0], self.local_gates[0][1])
         for layer in range(self.n_layers):
             u = self.basis @ u
             nxt = self.local_gates[layer + 1]
@@ -95,20 +161,61 @@ def decompose_into_layers(
     """Best ``n_layers`` decomposition of ``target`` into ``basis`` + 1Q gates.
 
     Runs a multi-start quasi-Newton optimisation over the ``6*(n_layers+1)``
-    Euler angles of the interleaved single-qubit gates.
+    Euler angles of the interleaved single-qubit gates.  Byte-identical
+    repeat calls return a memoised result; calls for a locally-equivalent
+    (target, basis) pair warm-start the first attempt from the equivalent
+    pair's solution.
     """
-    target = np.asarray(target, dtype=complex)
-    basis = np.asarray(basis, dtype=complex)
+    target = np.ascontiguousarray(target, dtype=complex)
+    basis = np.ascontiguousarray(basis, dtype=complex)
+    exact_key = (
+        target.tobytes(),
+        basis.tobytes(),
+        int(n_layers),
+        int(restarts),
+        int(seed),
+        int(maxiter),
+    )
+    cached = _exact_results.get(exact_key)
+    if cached is not None:
+        _memo_stats.exact_hits += 1
+        # Fresh object: ``synthesize_gate`` mutates ``success`` in place.
+        return SynthesisResult(
+            target=cached.target,
+            basis=cached.basis,
+            n_layers=cached.n_layers,
+            local_gates=list(cached.local_gates),
+            fidelity=cached.fidelity,
+            success=cached.fidelity >= DEFAULT_FIDELITY_THRESHOLD,
+        )
+    _memo_stats.misses += 1
+
     n_params = 6 * (n_layers + 1)
     rng = np.random.default_rng(seed)
 
     def cost(params: np.ndarray) -> float:
         return 1.0 - average_gate_fidelity(_build_circuit(basis, params, n_layers), target)
 
+    warm_key = _coordinate_key(target, basis) + (int(n_layers),)
+    warm = _warm_params.get(warm_key)
+    if warm is not None and warm.shape != (n_params,):
+        warm = None
+    if warm is not None:
+        _memo_stats.warm_starts += 1
+
     best_params = None
     best_cost = np.inf
-    for attempt in range(restarts):
-        x0 = rng.uniform(-np.pi, np.pi, n_params) if attempt else np.zeros(n_params)
+    attempt = 0
+    total_attempts = restarts + (1 if warm is not None else 0)
+    while attempt < total_attempts:
+        if warm is not None:
+            x0 = warm if attempt == 0 else (
+                np.zeros(n_params)
+                if attempt == 1
+                else rng.uniform(-np.pi, np.pi, n_params)
+            )
+        else:
+            x0 = rng.uniform(-np.pi, np.pi, n_params) if attempt else np.zeros(n_params)
         result = minimize(
             cost, x0, method="L-BFGS-B", options={"maxiter": maxiter}
         )
@@ -117,6 +224,7 @@ def decompose_into_layers(
             best_params = result.x
         if best_cost < 1e-10:
             break
+        attempt += 1
 
     locals_list = [
         (
@@ -126,13 +234,27 @@ def decompose_into_layers(
         for layer in range(n_layers + 1)
     ]
     fidelity = 1.0 - best_cost
-    return SynthesisResult(
+    synthesized = SynthesisResult(
         target=target,
         basis=basis,
         n_layers=n_layers,
         local_gates=locals_list,
         fidelity=fidelity,
         success=fidelity >= DEFAULT_FIDELITY_THRESHOLD,
+    )
+    _bounded_store(_exact_results, exact_key, synthesized)
+    if best_params is not None:
+        _bounded_store(
+            _warm_params, warm_key, np.asarray(best_params, dtype=float).copy()
+        )
+    # Same fresh-copy rule as the cache-hit path.
+    return SynthesisResult(
+        target=synthesized.target,
+        basis=synthesized.basis,
+        n_layers=synthesized.n_layers,
+        local_gates=list(synthesized.local_gates),
+        fidelity=synthesized.fidelity,
+        success=synthesized.success,
     )
 
 
@@ -149,11 +271,22 @@ def synthesize_gate(
 
     If ``predicted_layers`` is given (from the analytic depth theory) the
     search starts there instead of at one layer -- this is the speed-up over
-    plain NuOp described in Section VII.  Otherwise layers are tried in
-    increasing order until the fidelity threshold is met.
+    plain NuOp described in Section VII.  Otherwise, if a locally-equivalent
+    (target, basis) pair -- same rounded canonical coordinates -- already
+    synthesized successfully, the search starts at that pair's layer count;
+    failing both, layers are tried in increasing order until the fidelity
+    threshold is met.
     """
+    target = np.ascontiguousarray(target, dtype=complex)
+    basis = np.ascontiguousarray(basis, dtype=complex)
+    layer_key = _coordinate_key(target, basis)
     if predicted_layers is None:
-        start = 1
+        reused = _layer_counts.get(layer_key)
+        if reused is not None:
+            _memo_stats.layer_reuses += 1
+            start = max(0, int(reused))
+        else:
+            start = 1
     else:
         start = max(0, int(predicted_layers))
 
@@ -162,6 +295,7 @@ def synthesize_gate(
         # gates with zero applications of the basis gate.
         result = decompose_into_layers(target, basis, 0, restarts=restarts, seed=seed)
         if result.fidelity >= fidelity_threshold:
+            _bounded_store(_layer_counts, layer_key, 0)
             return result
         start = 1
 
@@ -174,6 +308,7 @@ def synthesize_gate(
             best = result
         if result.fidelity >= fidelity_threshold:
             result.success = True
+            _bounded_store(_layer_counts, layer_key, result.n_layers)
             return result
     assert best is not None
     best.success = best.fidelity >= fidelity_threshold

@@ -118,6 +118,42 @@ def canonicalize_coordinates(
     return float(c[0]), float(c[1]), float(c[2])
 
 
+def canonicalize_coordinates_batch(
+    coords: np.ndarray, atol: float = 1e-10
+) -> np.ndarray:
+    """Vectorized :func:`canonicalize_coordinates` for an ``(n, 3)`` array.
+
+    Produces bit-identical results to mapping the scalar function over the
+    rows: each iteration applies the same mod/sort/reflect step to every row,
+    and rows that have already settled are unchanged by the extra iterations
+    (their values lie in ``[0, 1)`` sorted descending, for which mod and sort
+    are the identity and the reflection condition stays false).
+    """
+    c = np.array(coords, dtype=float)
+    if c.ndim != 2 or c.shape[1] != 3:
+        raise ValueError(f"expected an (n, 3) array, got shape {c.shape}")
+
+    for _ in range(20):
+        c = np.mod(c, 1.0)
+        c = np.sort(c, axis=1)[:, ::-1]
+        reflect = (c[:, 1] > 0.5 + atol) | (c[:, 0] + c[:, 1] > 1.0 + atol)
+        if not reflect.any():
+            break
+        c[reflect, 0] = 1.0 - c[reflect, 0]
+        c[reflect, 1] = 1.0 - c[reflect, 1]
+    c = np.mod(c, 1.0)
+    c = np.sort(c, axis=1)[:, ::-1]
+
+    bottom = (c[:, 2] < atol) & (c[:, 0] > 0.5 + atol)
+    if bottom.any():
+        c[bottom, 0] = 1.0 - c[bottom, 0]
+        c[bottom] = np.sort(c[bottom], axis=1)[:, ::-1]
+
+    c[np.abs(c) < atol] = 0.0
+    c[np.abs(c - 1.0) < atol] = 0.0
+    return c
+
+
 def in_weyl_chamber(
     coords: tuple[float, float, float], atol: float = 1e-9
 ) -> bool:

@@ -323,6 +323,7 @@ COHERENCE_SEED = 41
 CRASH_SEED = 51
 FIFO_SEED = 61
 LANE_SEED = 62
+PROGRAM_SEED = 71
 
 
 def _spec(seeds, circuits=("ghz_3", "bv_3"), repeats=1, concurrency=8):
@@ -605,6 +606,74 @@ class TestClusterCoherence:
         stale = [r for r in after["responses"] if r["fingerprint"] != post]
         assert stale == [], f"{len(stale)} post-ack responses served stale targets"
 
+    def test_no_stale_program_after_calibrate_and_shard_restart(self, cluster):
+        """The program-cache staleness criterion, cluster edition: once the
+        calibrate is acked, no response -- cache-served or compiled, before
+        or after a SIGKILL/restart over the warm shared store -- may carry
+        a program compiled against the pre-drift fingerprint."""
+        spec = TopologySpec.parse(CLUSTER_TOPOLOGY)
+        shadow = shadow_device(make_device(spec, seed=PROGRAM_SEED))
+        pre = device_fingerprint(shadow)
+        payload, _ = drift_calibration_payload(
+            shadow, [parse_drift_model("ou:sigma_ghz=0.05")], epoch=0, drift_seed=7
+        )
+        post = device_fingerprint(shadow)
+        load = _spec((PROGRAM_SEED,), circuits=("ghz_3",), repeats=6,
+                     concurrency=4)
+
+        async def scenario():
+            # Warm the program cache with pre-drift repeat traffic.
+            warm = await run_phase_wire(
+                cluster.host, cluster.port, load.requests(), load.concurrency,
+                shed_retries=10, collect_responses=True,
+            )
+            assert warm["errors"] == 0
+            assert {r["fingerprint"] for r in warm["responses"]} == {pre}
+            cached = [
+                r for r in warm["responses"]
+                if r["program_source"].startswith("program-")
+            ]
+            assert cached, "repeat traffic must exercise the program cache"
+
+            async with ServiceClient(cluster.host, cluster.port) as client:
+                report = await client.calibrate(
+                    topology=CLUSTER_TOPOLOGY,
+                    device_seed=PROGRAM_SEED,
+                    **payload,
+                )
+            assert report["coherent"] is True
+
+            # Post-ack: the warm pre-drift programs must never surface.
+            after = await run_phase_wire(
+                cluster.host, cluster.port, load.requests(), load.concurrency,
+                shed_retries=10, collect_responses=True,
+            )
+            assert after["errors"] == 0
+            assert {r["fingerprint"] for r in after["responses"]} == {post}
+
+            # SIGKILL the owner: failover and the disk-warm restarted shard
+            # both sit on a store that still holds pre-drift entries.
+            owner = after["responses"][0]["cluster"]["shard"]
+            cluster.frontend.lanes[owner].process.proc.send_signal(
+                signal.SIGKILL
+            )
+            during = await run_phase_wire(
+                cluster.host, cluster.port, load.requests(), load.concurrency,
+                shed_retries=20, collect_responses=True,
+            )
+            assert during["errors"] == 0
+            assert {r["fingerprint"] for r in during["responses"]} == {post}
+
+            await _wait_ring_whole(cluster.frontend)
+            final = await run_phase_wire(
+                cluster.host, cluster.port, load.requests(), load.concurrency,
+                shed_retries=20, collect_responses=True,
+            )
+            assert final["errors"] == 0
+            assert {r["fingerprint"] for r in final["responses"]} == {post}
+
+        cluster.call(scenario())
+
     def test_calibrate_validation_errors_are_readable(self, cluster):
         async def scenario():
             async with ServiceClient(cluster.host, cluster.port) as client:
@@ -710,7 +779,10 @@ class TestClusterResilience:
         assert phase["errors"] == 0
         cache = snapshot["aggregate"]["cache"]
         assert cache["builds"] == 0, "warm store must serve without rebuilding"
-        assert cache["disk_hits"] >= len(ROUTING_SEEDS)
+        # The shared *program* store answers the repeat traffic outright --
+        # the fresh shards never even rebuild targets from the target store.
+        programs = snapshot["aggregate"]["programs"]
+        assert programs["disk_hits"] >= len(ROUTING_SEEDS)
 
     def test_graceful_stop_drains_accepted_work(self, cluster):
         """stop() resolves every accepted request -- zero dropped."""

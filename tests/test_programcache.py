@@ -1,0 +1,285 @@
+"""Tests for the compiled-program cache: the warm end of this PR.
+
+Covers the acceptance criteria directly:
+
+* byte-identical results with the program cache on vs off
+  (``TestServiceProgramCache.test_results_byte_identical_cache_on_vs_off``);
+* every response reports the layer that served it
+  (``program-mem`` / ``program-disk`` / ``compiled``);
+* after a ``calibrate`` ack no response may carry a program compiled
+  against the pre-drift fingerprint, including across a restart over a
+  warm disk store (``TestProgramStaleness``).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.fleet.sweep import build_circuit
+from repro.service import (
+    PROGRAM_SOURCES,
+    CompilationService,
+    ProgramCache,
+    ProgramStore,
+    ServiceConfig,
+    circuit_content_hash,
+    program_cache_key,
+)
+
+
+def run(coro):
+    """Run one coroutine on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+REQUEST = {
+    "circuit": "ghz_3",
+    "topology": "linear:4",
+    "strategies": ["criterion2"],
+}
+DRIFT = {"topology": "linear:4", "frequency_shifts": {"0": 0.04}}
+
+
+# -- unit: keys and hashing ----------------------------------------------------
+
+
+class TestContentAddressing:
+    def test_circuit_hash_ignores_name_but_not_gates(self):
+        ghz_a = build_circuit("ghz_3")
+        ghz_b = build_circuit("ghz_3")
+        assert circuit_content_hash(ghz_a) == circuit_content_hash(ghz_b)
+        assert circuit_content_hash(ghz_a) != circuit_content_hash(
+            build_circuit("bv_3")
+        )
+
+    def test_key_changes_with_every_component(self):
+        base = dict(
+            circuit_hash="c" * 64,
+            fingerprint="fp0",
+            strategies=("criterion2",),
+            mapping="hop_count",
+            seed=17,
+            generations=(0,),
+        )
+        reference = program_cache_key(**base)
+        for field, changed in [
+            ("circuit_hash", "d" * 64),
+            ("fingerprint", "fp1"),
+            ("strategies", ("baseline",)),
+            ("mapping", "basis_aware"),
+            ("seed", 18),
+            ("generations", (1,)),
+        ]:
+            assert program_cache_key(**{**base, field: changed}) != reference
+        # Deterministic, and prefixed by the fingerprint for prefix eviction.
+        assert program_cache_key(**base) == reference
+        assert reference.startswith("fp0-p")
+
+
+class TestProgramCacheUnit:
+    RESULTS = {"criterion2": {"fidelity": 0.99, "swap_count": 1}}
+    DOCUMENT = {"fingerprint": "fp0", "seed": 17}
+
+    def test_lru_bounds_and_eviction(self):
+        cache = ProgramCache(capacity=2)
+        for index in range(3):
+            cache.put(f"fp0-p{index}", self.RESULTS, self.DOCUMENT)
+        assert len(cache) == 2
+        assert cache.get_memory("fp0-p0") is None  # oldest evicted
+
+    def test_hits_return_copies(self):
+        cache = ProgramCache(capacity=2)
+        cache.put("fp0-p0", self.RESULTS, self.DOCUMENT)
+        first = cache.get_memory("fp0-p0")
+        first["criterion2"]["fidelity"] = -1.0
+        assert cache.get_memory("fp0-p0")["criterion2"]["fidelity"] == 0.99
+
+    def test_invalidate_fingerprint_is_prefix_scoped(self):
+        cache = ProgramCache(capacity=8)
+        cache.put("fp0-pA", self.RESULTS, self.DOCUMENT)
+        cache.put("fp0-pB", self.RESULTS, self.DOCUMENT)
+        cache.put("fp1-pA", self.RESULTS, self.DOCUMENT)
+        assert cache.invalidate_fingerprint("fp0") == 2
+        assert cache.get_memory("fp0-pA") is None
+        assert cache.get_memory("fp1-pA") is not None
+        assert cache.stats.invalidated == 2
+
+    def test_stats_and_sources(self):
+        cache = ProgramCache(capacity=2)
+        assert cache.get("fp0-p0", {})[1] == "compiled"
+        cache.put("fp0-p0", self.RESULTS, self.DOCUMENT)
+        results, source = cache.get("fp0-p0", {})
+        assert source == "program-mem" and results == self.RESULTS
+        assert source in PROGRAM_SOURCES
+        stats = cache.as_dict()
+        assert stats["memory_hits"] == 1 and stats["compiled"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ProgramCache(capacity=0)
+
+
+class TestProgramStore:
+    RESULTS = {"criterion2": {"fidelity": 0.5}}
+
+    def test_round_trip_and_echo_back_validation(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        document = {"fingerprint": "fp0", "seed": 17}
+        store.store("fp0-pA", self.RESULTS, document)
+        assert store.load("fp0-pA", document) == self.RESULTS
+        # A mismatched expectation (e.g. a hand-renamed file) is a miss.
+        assert store.load("fp0-pA", {"fingerprint": "fp1"}) is None
+        assert store.load("missing", document) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.path_for("fp0-pA").write_text("{not json")
+        assert store.load("fp0-pA", {}) is None
+        # Wrong format version likewise.
+        store.path_for("fp0-pB").write_text(
+            json.dumps({"format_version": -1, "results": self.RESULTS})
+        )
+        assert store.load("fp0-pB", {}) is None
+
+    def test_memory_layer_rehydrates_from_disk(self, tmp_path):
+        document = {"fingerprint": "fp0"}
+        warm = ProgramCache(capacity=4, store=ProgramStore(tmp_path))
+        warm.put("fp0-pA", self.RESULTS, document)
+        cold = ProgramCache(capacity=4, store=ProgramStore(tmp_path))
+        results, source = cold.get("fp0-pA", document)
+        assert source == "program-disk" and results == self.RESULTS
+        assert cold.get("fp0-pA", document)[1] == "program-mem"
+
+
+# -- integration: the service's cache hierarchy --------------------------------
+
+
+class TestServiceProgramCache:
+    def test_layers_and_sources_end_to_end(self, tmp_path):
+        async def go():
+            async with CompilationService(
+                ServiceConfig(cache_dir=str(tmp_path))
+            ) as service:
+                cold = await service.compile(dict(REQUEST))
+                warm = await service.compile(dict(REQUEST))
+            # A fresh service over the same directory serves from disk,
+            # then promotes the entry to its memory layer.
+            async with CompilationService(
+                ServiceConfig(cache_dir=str(tmp_path))
+            ) as resumed:
+                disk = await resumed.compile(dict(REQUEST))
+                mem = await resumed.compile(dict(REQUEST))
+                snapshot = resumed.metrics_snapshot()
+            return cold, warm, disk, mem, snapshot
+
+        cold, warm, disk, mem, snapshot = run(go())
+        assert cold.program_source == "compiled"
+        assert warm.program_source == "program-mem"
+        assert disk.program_source == "program-disk"
+        assert mem.program_source == "program-mem"
+        assert cold.results == warm.results == disk.results == mem.results
+        assert snapshot["programs"]["disk_hits"] == 1
+        assert snapshot["programs"]["memory_hits"] == 1
+        assert snapshot["requests"]["cached"] == 2
+        assert snapshot["latency_ms"]["cache_lookup"]["max"] > 0
+
+    def test_results_byte_identical_cache_on_vs_off(self, tmp_path):
+        """The acceptance criterion: cached responses are byte-identical to
+        recompiling, for every layer that can serve them."""
+
+        async def go():
+            on = ServiceConfig(cache_dir=str(tmp_path))
+            off = ServiceConfig(cache_dir=str(tmp_path), program_cache=False)
+            async with CompilationService(on) as service:
+                compiled = await service.compile(dict(REQUEST))
+                mem_hit = await service.compile(dict(REQUEST))
+            async with CompilationService(on) as resumed:
+                disk_hit = await resumed.compile(dict(REQUEST))
+            async with CompilationService(off) as plain:
+                assert plain.programs is None
+                recompiled = await plain.compile(dict(REQUEST))
+            return compiled, mem_hit, disk_hit, recompiled
+
+        compiled, mem_hit, disk_hit, recompiled = run(go())
+        assert recompiled.program_source == "compiled"
+        reference = json.dumps(compiled.results, sort_keys=True)
+        for response in (mem_hit, disk_hit, recompiled):
+            assert json.dumps(response.results, sort_keys=True) == reference
+
+    def test_memory_only_service_has_no_disk_layer(self):
+        async def go():
+            async with CompilationService() as service:
+                assert service.programs is not None
+                assert service.programs.store is None
+                first = await service.compile(dict(REQUEST))
+                second = await service.compile(dict(REQUEST))
+                return first, second
+
+        first, second = run(go())
+        assert first.program_source == "compiled"
+        assert second.program_source == "program-mem"
+
+    def test_program_capacity_validated(self):
+        with pytest.raises(ValueError, match="program_capacity"):
+            ServiceConfig(program_capacity=0)
+
+
+class TestProgramStaleness:
+    def test_no_stale_program_after_calibrate(self, tmp_path):
+        """Post-ack, responses must never carry a pre-drift program."""
+
+        async def go():
+            async with CompilationService(
+                ServiceConfig(cache_dir=str(tmp_path))
+            ) as service:
+                before = await service.compile(dict(REQUEST))
+                warm = await service.compile(dict(REQUEST))
+                assert warm.program_source == "program-mem"
+                report = await service.calibrate(dict(DRIFT))
+                after = await service.compile(dict(REQUEST))
+                again = await service.compile(dict(REQUEST))
+                return before, report, after, again
+
+        before, report, after, again = run(go())
+        assert report["program_entries_evicted"] == 1
+        # The first post-ack response recompiles under the new fingerprint.
+        assert after.program_source == "compiled"
+        assert after.fingerprint == report["new_fingerprint"]
+        assert after.fingerprint != before.fingerprint
+        # The recompiled program is itself cacheable -- under the new key.
+        assert again.program_source == "program-mem"
+        assert again.fingerprint == report["new_fingerprint"]
+
+    def test_warm_disk_store_cannot_resurrect_pre_drift_programs(
+        self, tmp_path
+    ):
+        """Restart over a warm store, re-apply the drift: the stale disk
+        entry (keyed by the pre-drift fingerprint) must never be served."""
+
+        async def go():
+            config = ServiceConfig(cache_dir=str(tmp_path))
+            async with CompilationService(config) as service:
+                base = await service.compile(dict(REQUEST))
+                report = await service.calibrate(dict(DRIFT))
+                drifted = await service.compile(dict(REQUEST))
+            # The store now holds programs for BOTH fingerprints.
+            async with CompilationService(config) as restarted:
+                # Replay the calibration before traffic (what the cluster
+                # front end does for a restarted shard).
+                replayed = await restarted.calibrate(dict(DRIFT))
+                after = await restarted.compile(dict(REQUEST))
+                repeat = await restarted.compile(dict(REQUEST))
+            return base, report, drifted, replayed, after, repeat
+
+        base, report, drifted, replayed, after, repeat = run(go())
+        assert replayed["new_fingerprint"] == report["new_fingerprint"]
+        # The restarted service may serve from disk -- but only the program
+        # compiled under the post-drift fingerprint.
+        for response in (after, repeat):
+            assert response.fingerprint == report["new_fingerprint"]
+            assert response.fingerprint != base.fingerprint
+            assert response.results == drifted.results
+        assert after.program_source == "program-disk"
+        assert repeat.program_source == "program-mem"

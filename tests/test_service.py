@@ -200,7 +200,10 @@ class TestCalibrationUpdate:
                           "strategies": ["criterion2"]}
                 first = await service.compile(dict(fields))
                 warm = await service.compile(dict(fields))
-                assert warm.target_sources == {"criterion2": "memory"}
+                # The repeat is served whole from the program cache now;
+                # it never touches the target layer.
+                assert warm.program_source == "program-mem"
+                assert warm.results == first.results
                 key = ("linear:4", 11, 80.0, 20.0)
                 old_device, _ = service._devices[key]
                 report = await service.calibrate(
@@ -224,8 +227,11 @@ class TestCalibrationUpdate:
         first, report, after, snapshot = run(go())
         assert report["old_fingerprint"] != report["new_fingerprint"]
         assert report["hot_entries_evicted"] == 1
+        assert report["program_entries_evicted"] == 1
         assert report["calibration_epoch"] == 1
-        # the rebuilt target reflects the drifted device
+        # the rebuilt target reflects the drifted device; no cached program
+        # can match the new fingerprint
+        assert after.program_source == "compiled"
         assert after.target_sources == {"criterion2": "built"}
         assert (
             after.results["criterion2"]["fidelity"]
@@ -329,8 +335,16 @@ class TestServiceCompile:
                 )
 
         responses = run(go())
-        assert [r.batch_size for r in responses] == [4, 4, 4, 4]
-        assert all(r.target_sources == {"criterion2": "memory"} for r in responses)
+        # The repeated ghz_3 never reaches the batcher -- the program-cache
+        # fast path answers it -- while the three fresh circuits coalesce
+        # into one batch and compile against the hot target.
+        assert responses[0].program_source == "program-mem"
+        assert responses[0].batch_size == 1
+        assert [r.batch_size for r in responses[1:]] == [3, 3, 3]
+        assert all(r.program_source == "compiled" for r in responses[1:])
+        assert all(
+            r.target_sources == {"criterion2": "memory"} for r in responses[1:]
+        )
 
     def test_different_batch_keys_do_not_mix(self):
         async def go():
@@ -407,12 +421,20 @@ class TestColdWarm:
             async with CompilationService(config) as service:
                 cold = await run_phase_inprocess(service, one_pass, 4, name="cold")
                 warm = await run_phase_inprocess(service, one_pass * 5, 4, name="warm")
-                return cold, warm, service.hot_targets.stats.as_dict()
+                return (
+                    cold,
+                    warm,
+                    service.hot_targets.stats.as_dict(),
+                    service.programs.as_dict(),
+                )
 
-        cold, warm, cache = run(go())
+        cold, warm, cache, programs = run(go())
         assert cold["errors"] == 0 and warm["errors"] == 0
         assert cache["builds"] == 4  # 2 devices x 2 strategies, cold only
-        assert cache["memory_hits"] > 0
+        # Warm repeats never reach the target layer any more: the program
+        # cache absorbs them whole.
+        assert set(warm["program_sources"]) == {"program-mem"}
+        assert programs["memory_hits"] == warm["requests"]
         speedup = warm["throughput_rps"] / cold["throughput_rps"]
         assert speedup >= 5.0, (cold, warm)
 
@@ -645,7 +667,11 @@ class TestShutdownAndReconnect:
         )
 
         async def go():
-            config = ServiceConfig(cache_dir=str(tmp_path), batch_window_ms=1.0)
+            # Program cache off: warm repeats would otherwise drain the whole
+            # workload before the kill, leaving nothing in flight to reconnect.
+            config = ServiceConfig(
+                cache_dir=str(tmp_path), batch_window_ms=1.0, program_cache=False
+            )
             server = ServiceServer(CompilationService(config), port=0)
             await server.start()
             host, port = server.address
