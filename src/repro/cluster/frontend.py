@@ -122,7 +122,7 @@ class _ClusterItem:
     """One accepted compile request traveling through the cluster."""
 
     __slots__ = ("message", "tenant", "route", "future", "attempts", "enqueued_at",
-                 "dispatched_at")
+                 "dispatched_at", "canary")
 
     def __init__(self, message: dict, tenant: str, route: str, future):
         self.message = message
@@ -132,6 +132,7 @@ class _ClusterItem:
         self.attempts = 0
         self.enqueued_at = time.perf_counter()
         self.dispatched_at = self.enqueued_at
+        self.canary = False
 
 
 class _ShardLane:
@@ -194,6 +195,8 @@ class ClusterFrontend:
             for name in self.ring.shards
         }
         self._down: set[str] = set()
+        self._canary: dict | None = None
+        self._canary_acc = 0.0
         self._route_inflight: dict[str, int] = {}
         self._gate_depth: dict[str, int] = {}
         self._parked: dict[str, list[_ClusterItem]] = {}
@@ -295,6 +298,11 @@ class ClusterFrontend:
             lane.process.terminate()
         return snapshot
 
+    @property
+    def down_shards(self) -> set[str]:
+        """Shards currently off the routing ring (restarting or dead)."""
+        return set(self._down)
+
     # -- compile path ---------------------------------------------------------
 
     async def submit_compile(self, message: dict) -> dict:
@@ -312,16 +320,108 @@ class ClusterFrontend:
                 "ok": False,
                 "error": f"tenant must be a non-empty string, got {tenant!r}",
             }
+        canary = self._divert_to_canary(message)
         item = _ClusterItem(
             message,
             tenant,
             self._route_for(message),
             asyncio.get_running_loop().create_future(),
         )
+        item.canary = canary
         refusal = self._admit(item)
         if refusal is not None:
             return refusal
         return await item.future
+
+    # -- strategy canarying ---------------------------------------------------
+
+    def set_canary(
+        self,
+        fraction: float,
+        strategies: list[str] | tuple[str, ...] | None = None,
+        mapping: str | None = None,
+    ) -> dict:
+        """Divert a fraction of compile traffic to a candidate configuration.
+
+        While active, roughly ``fraction`` of submitted compile requests have
+        their ``strategies`` and/or ``mapping`` overridden before routing;
+        their responses are tagged ``cluster.canary = true`` so a caller
+        (e.g. the ops runner) can compare delivered fidelity between the
+        baseline and candidate populations and decide promote vs roll back.
+        Device identity is untouched, so canaried traffic stays on its warm
+        shard.  Returns the active canary configuration.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise RequestError(
+                f"canary fraction must be in (0, 1], got {fraction}"
+            )
+        if strategies is None and mapping is None:
+            raise RequestError(
+                "canary needs at least one override (strategies or mapping)"
+            )
+        self._canary = {
+            "fraction": float(fraction),
+            "strategies": list(strategies) if strategies is not None else None,
+            "mapping": mapping,
+        }
+        self._canary_acc = 0.0
+        return dict(self._canary)
+
+    def clear_canary(self) -> dict | None:
+        """Stop diverting traffic; returns the configuration that was active."""
+        active, self._canary = self._canary, None
+        self._canary_acc = 0.0
+        return active
+
+    def _divert_to_canary(self, message: dict) -> bool:
+        """Apply the canary override to ~fraction of traffic (deterministic
+        fractional accumulator, so a 0.25 canary sees every 4th request)."""
+        if self._canary is None:
+            return False
+        self._canary_acc += self._canary["fraction"]
+        if self._canary_acc < 1.0:
+            return False
+        self._canary_acc -= 1.0
+        if self._canary["strategies"] is not None:
+            message["strategies"] = list(self._canary["strategies"])
+        if self._canary["mapping"] is not None:
+            message["mapping"] = self._canary["mapping"]
+        self.metrics.record_canary()
+        return True
+
+    # -- chaos probe hooks ----------------------------------------------------
+
+    def kill_shard(self, name: str) -> dict:
+        """SIGKILL one shard process (chaos probe; the supervisor restarts it).
+
+        The in-process equivalent of the resilience tests' external kill:
+        accepted work fails over to ring siblings and the supervisor replays
+        the calibration log before the shard rejoins.
+        """
+        if name not in self.lanes:
+            raise RequestError(
+                f"unknown shard {name!r}; expected one of {list(self.lanes)}"
+            )
+        lane = self.lanes[name]
+        was_alive = lane.process.alive
+        if was_alive:
+            lane.process.proc.kill()
+        return {"shard": name, "killed": was_alive}
+
+    async def ping_shard(self, name: str) -> bool:
+        """True when one shard answers a wire ping right now.
+
+        Stronger than ``process.alive`` (which can lag a SIGKILL until the
+        supervisor reaps the process) and than ring membership (a shard is
+        only off the ring once the supervisor observed the death) -- chaos
+        harnesses use this to wait for a genuine rejoin.
+        """
+        if name not in self.lanes:
+            raise RequestError(
+                f"unknown shard {name!r}; expected one of {list(self.lanes)}"
+            )
+        envelope = await self._control_request(name, {"op": "ping"})
+        return bool(envelope.get("ok"))
 
     def _route_for(self, message: dict) -> str:
         """The device route key of one compile envelope.
@@ -494,6 +594,8 @@ class ClusterFrontend:
                     "frontend_queue_ms": queue_ms,
                     "shard_rtt_ms": shard_ms,
                 }
+                if item.canary:
+                    result["cluster"]["canary"] = True
             self.metrics.record_response(queue_ms, shard_ms, total_ms, shard_timing)
         else:
             self.metrics.record_failure()
@@ -614,7 +716,12 @@ class ClusterFrontend:
                         coherent = False
                         reports[name] = {"error": envelope.get("error", "unknown")}
                 for name in self._down:
-                    reports[name] = {"deferred": "down; replayed before rejoin"}
+                    # setdefault: a shard that errored mid-fan-out and was
+                    # marked down meanwhile keeps its error report (it is
+                    # what made the ack non-coherent).
+                    reports.setdefault(
+                        name, {"deferred": "down; replayed before rejoin"}
+                    )
                 # Log regardless of per-shard failures: a shard that errored
                 # gets another chance at parity on its next restart replay.
                 self._calibration_log.setdefault(route, []).append(dict(message))

@@ -37,6 +37,7 @@ class ClusterMetrics:
         self.lane_errors = 0
         self.calibrations = 0
         self.quiesce_parked = 0
+        self.canary_routed = 0
         self.routed: dict[str, int] = {}
         self.restarts: dict[str, int] = {}
         self.queue_ms: deque[float] = deque(maxlen=reservoir_size)
@@ -99,6 +100,10 @@ class ClusterMetrics:
     def record_parked(self, count: int) -> None:
         """Requests briefly parked by a calibrate quiesce gate."""
         self.quiesce_parked += count
+
+    def record_canary(self) -> None:
+        """One request diverted to the active canary configuration."""
+        self.canary_routed += 1
 
     # -- reading --------------------------------------------------------------
 
@@ -171,6 +176,7 @@ class ClusterMetrics:
                 "lane_errors": self.lane_errors,
                 "calibrations": self.calibrations,
                 "quiesce_parked": self.quiesce_parked,
+                "canary": self.canary_routed,
                 "throughput_rps": self.throughput_rps,
             },
             "latency_ms": {

@@ -33,6 +33,7 @@ or, from the shell: ``python -m repro.drift --topology heavy_hex:2
 models, the epoch/staleness contract and the JSON schema.
 """
 
+from repro.drift.clock import DriftClock
 from repro.drift.models import (
     DRIFT_MODELS,
     CoherenceDecayDrift,
@@ -67,6 +68,7 @@ from repro.drift.sweep import (
 
 __all__ = [
     "DRIFT_MODELS",
+    "DriftClock",
     "CoherenceDecayDrift",
     "DriftEvent",
     "DriftModel",

@@ -1,0 +1,94 @@
+"""Per-device drift clocks: clocked application of drift over the wire.
+
+The drift engine's :func:`~repro.drift.models.apply_drift` mutates a device
+in place per epoch; :mod:`repro.drift.wire` renders the result as absolute
+wire calibration payloads.  A :class:`DriftClock` packages the two into the
+thing a long-lived control plane actually holds: one *shadow* device per
+served device, an epoch counter, and a ``tick()`` that advances the shadow
+one epoch and hands back the calibration payload to fan out.
+
+Because the payloads carry absolute state, a service (or a whole cluster)
+that receives every tick's payload in order lands on byte-identical
+calibration state -- and therefore the byte-identical fingerprint -- as the
+clock's shadow.  :attr:`DriftClock.fingerprint` is therefore the *expected*
+fingerprint after the tick is acknowledged, which is what lets the ops
+runner (:mod:`repro.ops`) detect stale-fingerprint serves: any response to a
+request sent after the ack that still carries a retired fingerprint is a
+coherence violation.
+"""
+
+from __future__ import annotations
+
+from repro.device.device import Device
+from repro.drift.models import DriftEvent, DriftModel, parse_drift_model
+from repro.drift.wire import drift_calibration_payload, shadow_device
+from repro.fleet.devices import device_fingerprint
+
+
+class DriftClock:
+    """One device's independent drift timeline.
+
+    Args:
+        device: the freshly calibrated device to shadow (deep-copied; the
+            original is never touched).
+        models: drift models to apply each tick -- model objects or spec
+            strings like ``"ou:sigma_ghz=0.08"`` (parsed with readable
+            errors).
+        drift_seed: seeds the per-epoch drift RNG; two clocks with the same
+            device, models and seed produce identical payload sequences.
+        start_epoch: first epoch ``tick()`` applies (epoch 0 is the freshly
+            calibrated state, matching :class:`~repro.drift.sweep.DriftSpec`).
+
+    Example::
+
+        clock = DriftClock(device, ["ou:sigma_ghz=0.08"], drift_seed=99)
+        payload, events = clock.tick()          # epoch 1's wire mutations
+        await client.calibrate(topology=..., device_seed=..., **payload)
+        assert served_fingerprint == clock.fingerprint
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        models: list[DriftModel | str],
+        drift_seed: int = 99,
+        start_epoch: int = 1,
+    ):
+        if start_epoch < 1:
+            raise ValueError(f"start_epoch must be >= 1, got {start_epoch}")
+        if not models:
+            raise ValueError("DriftClock needs at least one drift model")
+        self.shadow = shadow_device(device)
+        self.models = [
+            parse_drift_model(model) if isinstance(model, str) else model
+            for model in models
+        ]
+        self.drift_seed = drift_seed
+        self.epoch = start_epoch
+        self.ticks = 0
+        self.last_events: list[DriftEvent] = []
+
+    @property
+    def fingerprint(self) -> str:
+        """The calibration fingerprint a recipient of every tick so far has.
+
+        Before the first tick this is the fresh device's fingerprint; after
+        each tick it is the fingerprint every shard that applied the tick's
+        payload must report.
+        """
+        return device_fingerprint(self.shadow)
+
+    def tick(self) -> tuple[dict, list[DriftEvent]]:
+        """Advance the shadow one epoch; return ``(payload, events)``.
+
+        ``payload`` is the absolute wire mutation dict for a ``calibrate``
+        op (merge the device-identity fields in before sending); ``events``
+        describe what drifted this epoch.
+        """
+        payload, events = drift_calibration_payload(
+            self.shadow, self.models, self.epoch, self.drift_seed
+        )
+        self.epoch += 1
+        self.ticks += 1
+        self.last_events = events
+        return payload, events

@@ -232,6 +232,24 @@ class TargetCache:
             self._write(path, strategy, target, fingerprint)
         return target
 
+    def warm(
+        self, device, strategies, fingerprint: str | None = None
+    ) -> dict[str, str]:
+        """Pre-build every (device, strategy) cell; report hit/built per cell.
+
+        The control-plane warm-start path: touch the store before traffic
+        arrives so the first requests deserialize instead of building.  Hashes
+        the device once and reuses :meth:`get_or_build`'s locked build-dedup,
+        so concurrent warmers over a shared store still build each cell once.
+        """
+        fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
+        outcome: dict[str, str] = {}
+        for strategy in strategies:
+            hits_before = self.stats.hits
+            self.get_or_build(device, strategy, fingerprint)
+            outcome[strategy] = "hit" if self.stats.hits > hits_before else "built"
+        return outcome
+
     # -- maintenance ----------------------------------------------------------
 
     def entries(self) -> list[Path]:

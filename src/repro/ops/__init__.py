@@ -1,0 +1,58 @@
+"""The continuous-operation control plane.
+
+``repro.ops`` fuses the cluster, service, drift and fleet subsystems into
+one long-lived run driven by a declarative **scenario**: a fleet of devices
+drifts on independent :class:`~repro.drift.clock.DriftClock` timelines while
+live traffic is served through a sharded
+:class:`~repro.cluster.frontend.ClusterFrontend`, recalibration (with cache
+pre-warming) happens off the request path, candidate strategies are canaried
+against live fidelity, and chaos probes (shard SIGKILL, cache corruption,
+calibration storms) exercise the resilience machinery -- with fidelity /
+latency / coherence SLOs asserted per phase and aggregated into a
+machine-readable :class:`~repro.ops.report.ScenarioReport`.
+
+Run one from the shell::
+
+    python -m repro.ops run benchmarks/scenarios/smoke.json
+
+or in-process::
+
+    from repro.ops import ScenarioSpec, run_scenario
+    report = await run_scenario(ScenarioSpec.load("scenario.json"))
+    assert report.ok
+
+See docs/ops.md for the scenario schema, SLO semantics, canary promotion
+rules and the chaos probe catalog.
+"""
+
+from repro.ops.report import PhaseReport, ScenarioReport
+from repro.ops.runner import ScenarioRunner, decide_canary, run_scenario
+from repro.ops.scenario import (
+    CHAOS_PROBES,
+    PHASE_KINDS,
+    DeviceSpec,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SLOSpec,
+    WorkloadSpec,
+)
+from repro.ops.traffic import TrafficRecord, TrafficStats
+
+__all__ = [
+    "CHAOS_PROBES",
+    "PHASE_KINDS",
+    "DeviceSpec",
+    "PhaseReport",
+    "PhaseSpec",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SLOSpec",
+    "TrafficRecord",
+    "TrafficStats",
+    "WorkloadSpec",
+    "decide_canary",
+    "run_scenario",
+]

@@ -1,0 +1,108 @@
+"""Command-line entry point for the continuous-operation control plane.
+
+Two subcommands::
+
+    # Parse + cross-validate a scenario; echo the normalized spec as JSON.
+    python -m repro.ops validate benchmarks/scenarios/smoke.json
+
+    # Execute a scenario; emit the ScenarioReport document as JSON.
+    python -m repro.ops run benchmarks/scenarios/smoke.json \
+        --store-dir .ops-store --output report.json
+
+Exit codes: ``0`` -- scenario ran and every SLO verdict passed; ``1`` --
+scenario ran but at least one SLO verdict failed (the report says which);
+``2`` -- malformed scenario or arguments, with a one-line ``error: ...``
+message and never a traceback -- the same contract as every other CLI in
+this repo.  The report schema is documented in docs/ops.md and docs/cli.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.ops.runner import run_scenario
+from repro.ops.scenario import ScenarioError, ScenarioSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ops",
+        description="Scenario-driven control plane: live traffic over a "
+        "drifting fleet, with SLO verdicts.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute a scenario and emit its ScenarioReport JSON"
+    )
+    run.add_argument("scenario", help="path to the scenario JSON file")
+    run.add_argument(
+        "--store-dir",
+        default=None,
+        help="shared on-disk target/program store (default: a fresh "
+        "temporary directory, discarded after the run)",
+    )
+    run.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the report JSON to PATH",
+    )
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress lines (the report JSON still prints)",
+    )
+
+    validate = commands.add_parser(
+        "validate", help="parse and cross-validate a scenario without running it"
+    )
+    validate.add_argument("scenario", help="path to the scenario JSON file")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.load(args.scenario)
+    log = (lambda _line: None) if args.quiet else (
+        lambda line: print(line, file=sys.stderr)
+    )
+    if args.store_dir is not None:
+        store_dir = Path(args.store_dir)
+        store_dir.mkdir(parents=True, exist_ok=True)
+        report = asyncio.run(run_scenario(spec, store_dir, log=log))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-ops-") as scratch:
+            report = asyncio.run(run_scenario(spec, scratch, log=log))
+    document = report.to_dict()
+    print(json.dumps(document, indent=2, sort_keys=True))
+    if args.output:
+        report.write_json(args.output)
+    if not args.quiet:
+        print(report.format_summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _validate(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.load(args.scenario)
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _run(args)
+        return _validate(args)
+    except (ScenarioError, ValueError, ConnectionError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Scenario reports: per-phase SLO verdicts plus run-wide aggregation.
+
+A verdict is ``{"ok": bool, "value": observed, "limit": configured}`` --
+always carrying the evidence next to the decision, so a failing nightly run
+is diagnosable from the JSON artifact alone.  :meth:`ScenarioReport.to_dict`
+is the machine-readable document ``python -m repro.ops run`` emits;
+:meth:`ScenarioReport.format_summary` renders the human one-screen view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ops.scenario import SLOSpec
+from repro.ops.traffic import TrafficStats
+from repro.service.metrics import percentiles
+
+
+def _verdict(ok: bool, value, limit) -> dict:
+    return {"ok": bool(ok), "value": value, "limit": limit}
+
+
+@dataclass
+class PhaseReport:
+    """One executed phase: its traffic evidence and SLO verdicts."""
+
+    name: str
+    kind: str
+    duration_s: float = 0.0
+    traffic: TrafficStats = field(default_factory=TrafficStats)
+    drift: dict | None = None
+    canary: dict | None = None
+    chaos: dict | None = None
+    verdicts: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every verdict in the phase passed."""
+        return all(v["ok"] for v in self.verdicts.values())
+
+    def judge(self, slo: SLOSpec) -> None:
+        """Populate :attr:`verdicts` from the traffic evidence and ``slo``.
+
+        Limits set to ``None`` are skipped; the coherence and drop limits
+        always apply (their defaults are the zero-tolerance ones).  Phases
+        that served no traffic only get the coherence/drop verdicts --
+        a fidelity floor over zero requests would pass vacuously and read
+        as a green light.
+        """
+        stats = self.traffic
+        self.verdicts["stale_serves"] = _verdict(
+            stats.stale_serves <= slo.max_stale_serves,
+            stats.stale_serves,
+            slo.max_stale_serves,
+        )
+        self.verdicts["dropped"] = _verdict(
+            stats.dropped <= slo.max_dropped, stats.dropped, slo.max_dropped
+        )
+        if stats.requests == 0:
+            return
+        if slo.fidelity_floor is not None:
+            fidelity = stats.fidelity_mean()
+            self.verdicts["fidelity_floor"] = _verdict(
+                fidelity is not None and fidelity >= slo.fidelity_floor,
+                fidelity,
+                slo.fidelity_floor,
+            )
+        tails = percentiles(stats.latencies)
+        for name, key, limit in (
+            ("latency_p95_ms", "p95", slo.latency_p95_ms),
+            ("latency_p99_ms", "p99", slo.latency_p99_ms),
+        ):
+            if limit is None:
+                continue
+            observed = tails[key] if stats.latencies else None
+            self.verdicts[name] = _verdict(
+                observed is not None and observed <= limit, observed, limit
+            )
+
+    def to_dict(self) -> dict:
+        doc = {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "duration_s": self.duration_s,
+            "traffic": self.traffic.to_dict(),
+            "slo": self.verdicts,
+        }
+        if self.drift is not None:
+            doc["drift"] = self.drift
+        if self.canary is not None:
+            doc["canary"] = self.canary
+        if self.chaos is not None:
+            doc["chaos"] = self.chaos
+        return doc
+
+
+@dataclass
+class ScenarioReport:
+    """The whole run: phase reports plus the final cluster metrics."""
+
+    scenario: dict
+    phases: list[PhaseReport] = field(default_factory=list)
+    cluster_metrics: dict | None = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every phase's every SLO verdict passed."""
+        return all(phase.ok for phase in self.phases)
+
+    def totals(self) -> dict:
+        """Run-wide counters (summed over phases)."""
+        return {
+            "requests": sum(p.traffic.requests for p in self.phases),
+            "ok": sum(p.traffic.ok for p in self.phases),
+            "dropped": sum(p.traffic.dropped for p in self.phases),
+            "stale_serves": sum(p.traffic.stale_serves for p in self.phases),
+            "shed_retries": sum(p.traffic.sheds for p in self.phases),
+            "phases": len(self.phases),
+            "phases_failed": sum(1 for p in self.phases if not p.ok),
+        }
+
+    def to_dict(self) -> dict:
+        """The machine-readable report document."""
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "duration_s": self.duration_s,
+            "totals": self.totals(),
+            "phases": [phase.to_dict() for phase in self.phases],
+            "cluster_metrics": self.cluster_metrics,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    def format_summary(self) -> str:
+        """One-screen human rendering of the verdict table."""
+        lines = [
+            f"scenario {self.scenario.get('name', '?')}: "
+            f"{'PASS' if self.ok else 'FAIL'} "
+            f"({self.totals()['requests']} requests, "
+            f"{self.duration_s:.1f}s)"
+        ]
+        for phase in self.phases:
+            mark = "ok " if phase.ok else "FAIL"
+            stats = phase.traffic
+            fidelity = stats.fidelity_mean()
+            lines.append(
+                f"  [{mark}] {phase.name:<24} {stats.requests:>4} req  "
+                f"drop={stats.dropped} stale={stats.stale_serves}"
+                + (f"  fid={fidelity:.4f}" if fidelity is not None else "")
+            )
+            for check, verdict in phase.verdicts.items():
+                if not verdict["ok"]:
+                    lines.append(
+                        f"         {check}: value={verdict['value']!r} "
+                        f"limit={verdict['limit']!r}"
+                    )
+        return "\n".join(lines)

@@ -1,0 +1,538 @@
+"""Declarative scenario specs for the continuous-operation control plane.
+
+A scenario is a JSON document -- parsed with the same readable-error
+conventions as :class:`~repro.service.requests.CompileRequest` (unknown
+fields rejected, every message client-readable, never a traceback) -- that
+composes a **timeline of phases** over a fixed deployment:
+
+* ``devices`` -- the served fleet (same identity axes as compile traffic);
+* ``workload`` -- the traffic mix: circuits, strategies, mapping, tenants;
+* ``drift`` -- the drift models each device's clock applies per tick;
+* ``cluster`` -- deployment shape overrides (shard count, queue bounds);
+* ``slo`` -- the global SLO every phase is judged against (phases may
+  override individual limits);
+* ``phases`` -- the timeline: ``traffic`` / ``drift`` / ``canary`` /
+  ``chaos`` entries executed in order by the
+  :class:`~repro.ops.runner.ScenarioRunner`.
+
+``ScenarioSpec.from_dict`` normalizes and cross-validates the whole
+document up front (every circuit must fit every device, drift models must
+parse, chaos probes must be known), so a malformed scenario fails before
+any process is spawned.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.drift.models import parse_drift_model
+from repro.service.requests import (
+    DEFAULT_COHERENCE_US,
+    DEFAULT_GATE_NS,
+    CompileRequest,
+    RequestError,
+)
+
+#: Phase kinds the runner knows how to execute.
+PHASE_KINDS = ("traffic", "drift", "canary", "chaos")
+
+#: Chaos probes the runner can fire (see docs/ops.md for the catalog).
+CHAOS_PROBES = ("shard_kill", "calibration_storm", "corrupt_cache")
+
+
+class ScenarioError(ValueError):
+    """A malformed scenario; the message is operator-readable."""
+
+
+def _require_mapping(data, label: str) -> Mapping:
+    if not isinstance(data, Mapping):
+        raise ScenarioError(
+            f"{label} must be an object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _reject_unknown(data: Mapping, known: set, label: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ScenarioError(
+            f"unknown {label} field(s) {unknown}; expected a subset of "
+            f"{sorted(known)}"
+        )
+
+
+def _check_int(data: Mapping, name: str, label: str, minimum: int) -> None:
+    if name in data:
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ScenarioError(f"{label} {name} must be an integer, got {value!r}")
+        if value < minimum:
+            raise ScenarioError(f"{label} {name} must be >= {minimum}, got {value}")
+
+
+def _check_number(data: Mapping, name: str, label: str) -> dict:
+    out = dict(data)
+    if name in out and out[name] is not None:
+        value = out[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ScenarioError(f"{label} {name} must be a number, got {value!r}")
+        out[name] = float(value)
+    return out
+
+
+def _check_names(data: Mapping, name: str, label: str) -> dict:
+    out = dict(data)
+    if name in out and out[name] is not None:
+        values = out[name]
+        if isinstance(values, str):
+            values = [values]
+        if not isinstance(values, (list, tuple)) or not all(
+            isinstance(v, str) for v in values
+        ):
+            raise ScenarioError(
+                f"{label} {name} must be a list of names, got {values!r}"
+            )
+        out[name] = tuple(values)
+    return out
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-phase pass/fail limits.
+
+    ``None`` disables a limit.  ``max_stale_serves`` counts responses that
+    carried a retired calibration fingerprint for a request *sent after*
+    the retiring calibration acked; ``max_dropped`` counts accepted requests
+    that errored (sheds retried to success are not drops).
+    """
+
+    fidelity_floor: float | None = None
+    latency_p95_ms: float | None = None
+    latency_p99_ms: float | None = None
+    max_stale_serves: int = 0
+    max_dropped: int = 0
+
+    @classmethod
+    def from_dict(cls, data: Mapping, label: str = "slo") -> "SLOSpec":
+        data = _require_mapping(data, label)
+        known = {
+            "fidelity_floor",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "max_stale_serves",
+            "max_dropped",
+        }
+        _reject_unknown(data, known, label)
+        kwargs = dict(data)
+        for name in ("fidelity_floor", "latency_p95_ms", "latency_p99_ms"):
+            kwargs = _check_number(kwargs, name, label)
+        for name in ("max_stale_serves", "max_dropped"):
+            _check_int(kwargs, name, label, minimum=0)
+        if kwargs.get("fidelity_floor") is not None and not (
+            0.0 <= kwargs["fidelity_floor"] <= 1.0
+        ):
+            raise ScenarioError(
+                f"{label} fidelity_floor must be in [0, 1], got "
+                f"{kwargs['fidelity_floor']}"
+            )
+        return cls(**kwargs)
+
+    def merged(self, override: "SLOSpec | None") -> "SLOSpec":
+        """The SLO a phase is judged against: its own when set, else this one.
+
+        A phase ``slo`` block replaces the scenario SLO wholesale -- partial
+        merges would make a phase's effective limits depend on two documents
+        at once, which reads badly in a post-mortem.
+        """
+        if override is None:
+            return self
+        return override
+
+    def to_dict(self) -> dict:
+        return {
+            "fidelity_floor": self.fidelity_floor,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "max_stale_serves": self.max_stale_serves,
+            "max_dropped": self.max_dropped,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One served device's identity (the same axes compile traffic names)."""
+
+    topology: str = "grid:3x3"
+    device_seed: int = 11
+    coherence_us: float = DEFAULT_COHERENCE_US
+    gate_ns: float = DEFAULT_GATE_NS
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DeviceSpec":
+        data = _require_mapping(data, "device")
+        known = {"topology", "device_seed", "coherence_us", "gate_ns"}
+        _reject_unknown(data, known, "device")
+        kwargs = dict(data)
+        if "topology" in kwargs and not isinstance(kwargs["topology"], str):
+            raise ScenarioError(
+                f"device topology must be a string, got {kwargs['topology']!r}"
+            )
+        _check_int(kwargs, "device_seed", "device", minimum=0)
+        for name in ("coherence_us", "gate_ns"):
+            kwargs = _check_number(kwargs, name, "device")
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "device_seed": self.device_seed,
+            "coherence_us": self.coherence_us,
+            "gate_ns": self.gate_ns,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The sustained traffic mix a ``traffic`` phase replays."""
+
+    circuits: tuple[str, ...] = ("ghz_3",)
+    strategies: tuple[str, ...] = ("criterion2",)
+    mapping: str = "hop_count"
+    seed: int = 17
+    tenants: tuple[str, ...] = ("default",)
+    concurrency: int = 4
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        data = _require_mapping(data, "workload")
+        known = {"circuits", "strategies", "mapping", "seed", "tenants",
+                 "concurrency"}
+        _reject_unknown(data, known, "workload")
+        kwargs = dict(data)
+        for name in ("circuits", "strategies", "tenants"):
+            kwargs = _check_names(kwargs, name, "workload")
+        if "mapping" in kwargs and not isinstance(kwargs["mapping"], str):
+            raise ScenarioError(
+                f"workload mapping must be a string, got {kwargs['mapping']!r}"
+            )
+        _check_int(kwargs, "seed", "workload", minimum=0)
+        _check_int(kwargs, "concurrency", "workload", minimum=1)
+        spec = cls(**kwargs)
+        if not spec.circuits:
+            raise ScenarioError("workload needs at least one circuit")
+        if not spec.strategies:
+            raise ScenarioError("workload needs at least one strategy")
+        if not spec.tenants:
+            raise ScenarioError("workload needs at least one tenant")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {
+            "circuits": list(self.circuits),
+            "strategies": list(self.strategies),
+            "mapping": self.mapping,
+            "seed": self.seed,
+            "tenants": list(self.tenants),
+            "concurrency": self.concurrency,
+        }
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One timeline entry; which fields apply depends on ``kind``."""
+
+    kind: str
+    name: str = ""
+    slo: SLOSpec | None = None
+    # traffic
+    repeats: int = 1
+    drift_ticks: int = 0
+    # drift
+    ticks: int = 1
+    # canary
+    fraction: float = 0.25
+    candidate_strategies: tuple[str, ...] | None = None
+    candidate_mapping: str | None = None
+    tolerance: float = 0.0
+    # chaos
+    probe: str = "shard_kill"
+    shard: str | None = None
+    entries: int = 4
+
+    _COMMON = {"kind", "name", "slo"}
+    _FIELDS = {
+        "traffic": {"repeats", "drift_ticks"},
+        "drift": {"ticks"},
+        "canary": {"fraction", "candidate_strategies", "candidate_mapping",
+                   "tolerance", "repeats"},
+        "chaos": {"probe", "shard", "ticks", "entries", "repeats"},
+    }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, index: int) -> "PhaseSpec":
+        label = f"phase[{index}]"
+        data = _require_mapping(data, label)
+        kind = data.get("kind")
+        if kind not in PHASE_KINDS:
+            raise ScenarioError(
+                f"{label} has unknown kind {kind!r}; expected one of "
+                f"{list(PHASE_KINDS)}"
+            )
+        _reject_unknown(data, cls._COMMON | cls._FIELDS[kind], label)
+        kwargs = dict(data)
+        if "name" in kwargs and not isinstance(kwargs["name"], str):
+            raise ScenarioError(
+                f"{label} name must be a string, got {kwargs['name']!r}"
+            )
+        if "slo" in kwargs and kwargs["slo"] is not None:
+            kwargs["slo"] = SLOSpec.from_dict(kwargs["slo"], f"{label} slo")
+        for name in ("repeats", "ticks"):
+            _check_int(kwargs, name, label, minimum=1)
+        for name in ("drift_ticks", "entries"):
+            _check_int(kwargs, name, label, minimum=0)
+        if kind == "canary":
+            kwargs = _check_number(kwargs, "fraction", label)
+            kwargs = _check_number(kwargs, "tolerance", label)
+            kwargs = _check_names(kwargs, "candidate_strategies", label)
+            if "candidate_mapping" in kwargs and kwargs[
+                "candidate_mapping"
+            ] is not None and not isinstance(kwargs["candidate_mapping"], str):
+                raise ScenarioError(
+                    f"{label} candidate_mapping must be a string, got "
+                    f"{kwargs['candidate_mapping']!r}"
+                )
+            fraction = kwargs.get("fraction", cls.fraction)
+            if not 0.0 < fraction <= 1.0:
+                raise ScenarioError(
+                    f"{label} fraction must be in (0, 1], got {fraction}"
+                )
+            if kwargs.get("tolerance", 0.0) < 0.0:
+                raise ScenarioError(
+                    f"{label} tolerance must be >= 0, got {kwargs['tolerance']}"
+                )
+            if (
+                kwargs.get("candidate_strategies") is None
+                and kwargs.get("candidate_mapping") is None
+            ):
+                raise ScenarioError(
+                    f"{label} needs candidate_strategies or candidate_mapping"
+                )
+        if kind == "chaos":
+            probe = kwargs.get("probe", cls.probe)
+            if probe not in CHAOS_PROBES:
+                raise ScenarioError(
+                    f"{label} has unknown probe {probe!r}; expected one of "
+                    f"{list(CHAOS_PROBES)}"
+                )
+            if "shard" in kwargs and kwargs["shard"] is not None and not isinstance(
+                kwargs["shard"], str
+            ):
+                raise ScenarioError(
+                    f"{label} shard must be a string, got {kwargs['shard']!r}"
+                )
+        return cls(**kwargs)
+
+    @property
+    def label(self) -> str:
+        """Display name: the explicit ``name`` or a kind-derived default."""
+        if self.name:
+            return self.name
+        if self.kind == "chaos":
+            return f"chaos:{self.probe}"
+        return self.kind
+
+    def to_dict(self) -> dict:
+        doc: dict = {"kind": self.kind}
+        if self.name:
+            doc["name"] = self.name
+        if self.slo is not None:
+            doc["slo"] = self.slo.to_dict()
+        if self.kind == "traffic":
+            doc.update(repeats=self.repeats, drift_ticks=self.drift_ticks)
+        elif self.kind == "drift":
+            doc.update(ticks=self.ticks)
+        elif self.kind == "canary":
+            doc.update(
+                fraction=self.fraction,
+                candidate_strategies=(
+                    list(self.candidate_strategies)
+                    if self.candidate_strategies is not None
+                    else None
+                ),
+                candidate_mapping=self.candidate_mapping,
+                tolerance=self.tolerance,
+                repeats=self.repeats,
+            )
+        elif self.kind == "chaos":
+            doc.update(probe=self.probe, repeats=self.repeats)
+            if self.probe == "shard_kill":
+                doc["shard"] = self.shard
+            elif self.probe == "calibration_storm":
+                doc["ticks"] = self.ticks
+            elif self.probe == "corrupt_cache":
+                doc["entries"] = self.entries
+        return doc
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One whole scenario: deployment + timeline + SLOs."""
+
+    name: str = "scenario"
+    devices: tuple[DeviceSpec, ...] = (DeviceSpec(),)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    drift_models: tuple[str, ...] = ("ou:sigma_ghz=0.08",)
+    drift_seed: int = 99
+    cluster: tuple[tuple[str, object], ...] = ()
+    slo: SLOSpec = field(default_factory=SLOSpec)
+    warm_start: bool = False
+    phases: tuple[PhaseSpec, ...] = ()
+
+    _CLUSTER_FIELDS = {
+        "shards": (int, 1),
+        "max_pending_per_shard": (int, 1),
+        "connections_per_shard": (int, 1),
+        "max_workers": (int, 1),
+        "batch_window_ms": ((int, float), 0),
+        "executor": (str, None),
+    }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        data = _require_mapping(data, "scenario")
+        known = {"name", "devices", "workload", "drift", "cluster", "slo",
+                 "warm_start", "phases"}
+        _reject_unknown(data, known, "scenario")
+        name = data.get("name", "scenario")
+        if not isinstance(name, str) or not name:
+            raise ScenarioError(f"scenario name must be a non-empty string, got {name!r}")
+
+        devices_data = data.get("devices", [{}])
+        if not isinstance(devices_data, (list, tuple)) or not devices_data:
+            raise ScenarioError(
+                f"scenario devices must be a non-empty list, got {devices_data!r}"
+            )
+        devices = tuple(DeviceSpec.from_dict(entry) for entry in devices_data)
+
+        workload = WorkloadSpec.from_dict(data.get("workload", {}))
+
+        drift_data = _require_mapping(data.get("drift", {}), "drift")
+        _reject_unknown(drift_data, {"models", "seed"}, "drift")
+        drift_kwargs = _check_names(drift_data, "models", "drift")
+        _check_int(drift_kwargs, "seed", "drift", minimum=0)
+        drift_models = drift_kwargs.get("models", cls.drift_models)
+        if not drift_models:
+            raise ScenarioError("drift needs at least one model")
+        drift_seed = drift_kwargs.get("seed", cls.drift_seed)
+
+        cluster_data = _require_mapping(data.get("cluster", {}), "cluster")
+        _reject_unknown(cluster_data, set(cls._CLUSTER_FIELDS), "cluster")
+        for key, (kind, minimum) in cls._CLUSTER_FIELDS.items():
+            if key in cluster_data:
+                value = cluster_data[key]
+                if isinstance(value, bool) or not isinstance(value, kind):
+                    raise ScenarioError(
+                        f"cluster {key} must be {getattr(kind, '__name__', 'number')},"
+                        f" got {value!r}"
+                    )
+                if minimum is not None and value < minimum:
+                    raise ScenarioError(
+                        f"cluster {key} must be >= {minimum}, got {value}"
+                    )
+
+        slo = SLOSpec.from_dict(data.get("slo", {}))
+        warm_start = data.get("warm_start", False)
+        if not isinstance(warm_start, bool):
+            raise ScenarioError(
+                f"scenario warm_start must be a boolean, got {warm_start!r}"
+            )
+
+        phases_data = data.get("phases")
+        if not isinstance(phases_data, (list, tuple)) or not phases_data:
+            raise ScenarioError("scenario needs a non-empty phases list")
+        phases = tuple(
+            PhaseSpec.from_dict(entry, index)
+            for index, entry in enumerate(phases_data)
+        )
+
+        spec = cls(
+            name=name,
+            devices=devices,
+            workload=workload,
+            drift_models=tuple(drift_models),
+            drift_seed=drift_seed,
+            cluster=tuple(sorted(cluster_data.items())),
+            slo=slo,
+            warm_start=warm_start,
+            phases=phases,
+        )
+        spec._cross_validate()
+        return spec
+
+    def _cross_validate(self) -> None:
+        """Whole-document checks: every request the timeline can generate
+        must be a valid compile request, and drift models must parse."""
+        for model in self.drift_models:
+            try:
+                parse_drift_model(model)
+            except ValueError as error:
+                raise ScenarioError(str(error)) from error
+        strategy_sets = [self.workload.strategies]
+        mappings = [self.workload.mapping]
+        for phase in self.phases:
+            if phase.kind == "canary":
+                if phase.candidate_strategies is not None:
+                    strategy_sets.append(phase.candidate_strategies)
+                if phase.candidate_mapping is not None:
+                    mappings.append(phase.candidate_mapping)
+        for device in self.devices:
+            for circuit in self.workload.circuits:
+                for strategies in strategy_sets:
+                    for mapping in mappings:
+                        try:
+                            CompileRequest(
+                                circuit=circuit,
+                                topology=device.topology,
+                                device_seed=device.device_seed,
+                                strategies=strategies,
+                                mapping=mapping,
+                                seed=self.workload.seed,
+                                coherence_us=device.coherence_us,
+                                gate_ns=device.gate_ns,
+                            )
+                        except RequestError as error:
+                            raise ScenarioError(str(error)) from error
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        """Parse a scenario file, raising readable :class:`ScenarioError`."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise ScenarioError(f"cannot read scenario {path}: {error}") from error
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ScenarioError(f"scenario {path} is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    def cluster_kwargs(self) -> dict:
+        """The ``cluster`` block as :class:`ClusterConfig` keyword overrides."""
+        return dict(self.cluster)
+
+    def to_dict(self) -> dict:
+        """Normalized echo of the scenario (round-trips through from_dict)."""
+        return {
+            "name": self.name,
+            "devices": [device.to_dict() for device in self.devices],
+            "workload": self.workload.to_dict(),
+            "drift": {"models": list(self.drift_models), "seed": self.drift_seed},
+            "cluster": dict(self.cluster),
+            "slo": self.slo.to_dict(),
+            "warm_start": self.warm_start,
+            "phases": [phase.to_dict() for phase in self.phases],
+        }

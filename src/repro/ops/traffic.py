@@ -1,0 +1,210 @@
+"""Live traffic driving for scenario phases.
+
+Unlike the service load generator (:mod:`repro.service.loadgen`), which
+reports only aggregate phase numbers, the ops runner needs **per-response
+evidence**: when each request was *sent* (stale-fingerprint detection is
+send-time based -- see :class:`~repro.ops.runner.ScenarioRunner`), which
+calibration fingerprint and cache layer served it, the delivered fidelity,
+and whether the cluster diverted it to a canary configuration.
+:func:`run_traffic` drives a request plan over N pipelined wire connections
+and returns one :class:`TrafficRecord` per request; :class:`TrafficStats`
+folds a record list into the phase-report document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.service.metrics import percentiles
+from repro.service.net import ServiceClient
+
+
+@dataclass
+class TrafficRecord:
+    """What one request observed, as evidence for the SLO verdicts."""
+
+    circuit: str
+    tenant: str
+    started_at: float = 0.0
+    latency_ms: float = 0.0
+    ok: bool = False
+    error: str | None = None
+    sheds: int = 0
+    fingerprint: str = ""
+    fidelity: float | None = None
+    program_source: str = ""
+    canary: bool = False
+    stale: bool = False
+
+
+@dataclass
+class TrafficStats:
+    """Aggregates of one record list (the phase report's ``traffic`` block)."""
+
+    records: list[TrafficRecord] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def dropped(self) -> int:
+        """Accepted requests that never completed ok (the zero-drop SLO)."""
+        return self.requests - self.ok
+
+    @property
+    def sheds(self) -> int:
+        return sum(r.sheds for r in self.records)
+
+    @property
+    def stale_serves(self) -> int:
+        return sum(1 for r in self.records if r.stale)
+
+    @property
+    def latencies(self) -> list[float]:
+        return [r.latency_ms for r in self.records if r.ok]
+
+    def fidelity_mean(self, canary: bool | None = None) -> float | None:
+        """Mean delivered fidelity over ok records; ``canary`` filters the
+        population (None = all, True = canaried, False = baseline)."""
+        values = [
+            r.fidelity
+            for r in self.records
+            if r.ok and r.fidelity is not None
+            and (canary is None or r.canary == canary)
+        ]
+        return sum(values) / len(values) if values else None
+
+    def to_dict(self) -> dict:
+        sources: dict[str, int] = {}
+        for record in self.records:
+            if record.ok:
+                sources[record.program_source] = (
+                    sources.get(record.program_source, 0) + 1
+                )
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "dropped": self.dropped,
+            "shed_retries": self.sheds,
+            "stale_serves": self.stale_serves,
+            "canaried": sum(1 for r in self.records if r.canary),
+            "latency_ms": percentiles(self.latencies),
+            "fidelity_mean": self.fidelity_mean(),
+            "program_sources": sources,
+        }
+
+
+def build_plan(devices, workload, repeats: int) -> list[tuple[dict, str]]:
+    """The deterministic request plan: circuits x devices, tenants assigned
+    round-robin, repeated ``repeats`` times (repeat traffic is what
+    exercises the warm program/target paths)."""
+    plan: list[tuple[dict, str]] = []
+    tenant_index = 0
+    for _ in range(repeats):
+        for device in devices:
+            for circuit in workload.circuits:
+                tenant = workload.tenants[tenant_index % len(workload.tenants)]
+                tenant_index += 1
+                plan.append(
+                    (
+                        {
+                            "circuit": circuit,
+                            "topology": device.topology,
+                            "device_seed": device.device_seed,
+                            "coherence_us": device.coherence_us,
+                            "gate_ns": device.gate_ns,
+                            "strategies": list(workload.strategies),
+                            "mapping": workload.mapping,
+                            "seed": workload.seed,
+                        },
+                        tenant,
+                    )
+                )
+    return plan
+
+
+def _fold_response(record: TrafficRecord, envelope: dict) -> None:
+    """Interpret one terminal (non-shed) response envelope into a record."""
+    if envelope.get("ok"):
+        result = envelope.get("result") or {}
+        record.ok = True
+        record.fingerprint = str(result.get("fingerprint", ""))
+        record.program_source = str(result.get("program_source", ""))
+        cluster = result.get("cluster") or {}
+        record.canary = bool(cluster.get("canary", False))
+        results = result.get("results") or {}
+        fidelities = [
+            one.get("fidelity")
+            for one in results.values()
+            if isinstance(one, dict) and one.get("fidelity") is not None
+        ]
+        if fidelities:
+            record.fidelity = sum(fidelities) / len(fidelities)
+    else:
+        record.error = str(envelope.get("error", "unknown error"))
+
+
+async def run_traffic(
+    address: tuple[str, int],
+    plan: list[tuple[dict, str]],
+    concurrency: int = 4,
+    shed_retries: int = 5,
+) -> list[TrafficRecord]:
+    """Fire a request plan at a cluster endpoint; one record per request.
+
+    ``concurrency`` wire connections each pipeline their slice of the plan
+    in order.  Shed responses honour the cluster's ``retry_after_ms`` advice
+    up to ``shed_retries`` times before counting as an error -- matching how
+    a well-behaved client treats admission control.
+    """
+    host, port = address
+    records = [
+        TrafficRecord(circuit=message["circuit"], tenant=tenant)
+        for message, tenant in plan
+    ]
+
+    async def worker(indices: list[int]) -> None:
+        client = ServiceClient(host, port, retries=2)
+        await client.connect()
+        try:
+            for index in indices:
+                message, tenant = plan[index]
+                record = records[index]
+                record.started_at = time.monotonic()
+                started = time.perf_counter()
+                for _attempt in range(shed_retries + 1):
+                    try:
+                        envelope = await client.request(
+                            {"op": "compile", "tenant": tenant, **message}
+                        )
+                    except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+                        record.error = f"connection lost: {error}"
+                        break
+                    if envelope.get("shed"):
+                        record.sheds += 1
+                        delay_ms = float(envelope.get("retry_after_ms", 25.0))
+                        await asyncio.sleep(delay_ms / 1000.0)
+                        # The retry is a new submission: reset the send time
+                        # so stale detection judges the request actually
+                        # admitted, not the shed attempt.
+                        record.started_at = time.monotonic()
+                        continue
+                    _fold_response(record, envelope)
+                    break
+                else:
+                    record.error = f"shed {record.sheds} times; retries exhausted"
+                record.latency_ms = (time.perf_counter() - started) * 1000.0
+        finally:
+            await client.close()
+
+    indices = list(range(len(plan)))
+    slices = [indices[i::concurrency] for i in range(concurrency)]
+    await asyncio.gather(*(worker(chunk) for chunk in slices if chunk))
+    return records

@@ -127,6 +127,24 @@ class TargetHotCache:
         self._admit(key, target)
         return target, "built"
 
+    def put(
+        self, device, strategy: str, target: Target, fingerprint: str | None = None
+    ) -> str:
+        """Install an externally built target (pre-warming path).
+
+        The calibration-update pre-warm builds targets for the *new*
+        fingerprint off the request path and installs them here just before
+        the fingerprint swap, so the first post-swap request is a memory
+        hit instead of a build.  Persists to the disk layer when one is
+        configured and admits to the LRU; returns the cache key.
+        """
+        fingerprint = device_fingerprint(device) if fingerprint is None else fingerprint
+        key = target_cache_key(device, strategy, fingerprint)
+        if self.disk is not None:
+            self.disk.store(device, strategy, target, fingerprint)
+        self._admit(key, target)
+        return key
+
     def _admit(self, key: str, target: Target) -> None:
         self._lru[key] = target
         self._lru.move_to_end(key)

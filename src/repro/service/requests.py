@@ -181,6 +181,92 @@ def _parse_edge_key(text: str) -> tuple[int, int]:
 
 
 @dataclass(frozen=True)
+class PrewarmSpec:
+    """What to pre-build before a calibration update swaps fingerprints in.
+
+    Attached to a :class:`CalibrationUpdate`, it names the working set the
+    service rebuilds *off the request path*: targets for every strategy and
+    compiled programs for every (circuit, strategies, mapping, seed) cell,
+    all keyed by the *new* fingerprint.  The caches are populated before the
+    fingerprint swap, so the first post-update request is a cache hit
+    instead of a rebuild.  Wire form::
+
+        {"circuits": ["ghz_3"], "strategies": ["criterion2"],
+         "mapping": "hop_count", "seed": 17}
+    """
+
+    circuits: tuple[str, ...] = ()
+    strategies: tuple[str, ...] = ("criterion2",)
+    mapping: str = "hop_count"
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        try:
+            for strategy in self.strategies:
+                validate_strategy(strategy)
+            validate_mapping(self.mapping)
+            for circuit in self.circuits:
+                circuit_qubit_count(circuit)
+        except ValueError as error:
+            raise RequestError(str(error)) from error
+        if not self.strategies:
+            raise RequestError("prewarm needs at least one strategy")
+        if len(set(self.strategies)) != len(self.strategies):
+            raise RequestError(f"duplicate strategies in {list(self.strategies)}")
+        if len(set(self.circuits)) != len(self.circuits):
+            raise RequestError(f"duplicate circuits in {list(self.circuits)}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PrewarmSpec":
+        """Parse the JSON wire form, raising readable :class:`RequestError`."""
+        if not isinstance(data, Mapping):
+            raise RequestError(
+                f"prewarm must be an object, got {type(data).__name__}"
+            )
+        known = {"circuits", "strategies", "mapping", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RequestError(
+                f"unknown prewarm field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        kwargs = dict(data)
+        for name in ("circuits", "strategies"):
+            if name in kwargs:
+                values = kwargs[name]
+                if isinstance(values, str):
+                    values = [values]
+                if not isinstance(values, (list, tuple)) or not all(
+                    isinstance(v, str) for v in values
+                ):
+                    raise RequestError(
+                        f"prewarm {name} must be a list of names, got {values!r}"
+                    )
+                kwargs[name] = tuple(values)
+        if "mapping" in kwargs and not isinstance(kwargs["mapping"], str):
+            raise RequestError(
+                f"prewarm mapping must be a string, got {kwargs['mapping']!r}"
+            )
+        if "seed" in kwargs and not isinstance(kwargs["seed"], int):
+            raise RequestError(
+                f"prewarm seed must be an integer, got {kwargs['seed']!r}"
+            )
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise RequestError(str(error)) from error
+
+    def to_dict(self) -> dict:
+        """JSON wire form (round-trips through :meth:`from_dict`)."""
+        return {
+            "circuits": list(self.circuits),
+            "strategies": list(self.strategies),
+            "mapping": self.mapping,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
 class CalibrationUpdate:
     """One calibration-update op: drift a served device's calibrations.
 
@@ -208,6 +294,7 @@ class CalibrationUpdate:
     set_coherence_us: float | None = None
     deviation_scales: tuple[tuple[tuple[int, int], float], ...] = ()
     static_zz: tuple[tuple[tuple[int, int], float], ...] = ()
+    prewarm: PrewarmSpec | None = None
 
     def __post_init__(self) -> None:
         try:
@@ -273,6 +360,7 @@ class CalibrationUpdate:
             "set_coherence_us",
             "deviation_scales",
             "static_zz",
+            "prewarm",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -285,6 +373,8 @@ class CalibrationUpdate:
             raise RequestError(
                 f"topology must be a string, got {kwargs['topology']!r}"
             )
+        if kwargs.get("prewarm") is not None:
+            kwargs["prewarm"] = PrewarmSpec.from_dict(kwargs["prewarm"])
         for name in ("frequencies", "frequency_shifts"):
             if name in kwargs:
                 mapping = kwargs[name]

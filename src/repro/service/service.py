@@ -50,6 +50,7 @@ from repro.compiler.pipeline.dispatch import (
     DispatchContext,
 )
 from repro.compiler.pipeline.registry import REGISTRY
+from repro.compiler.pipeline.target import build_target
 from repro.device.device import Device
 from repro.fleet.spec import TopologySpec
 from repro.fleet.devices import device_fingerprint, make_device
@@ -171,6 +172,10 @@ class CompilationService:
         self._circuits: dict[str, object] = {}
         self._circuit_hashes: dict[str, str] = {}
         self._state_lock = threading.Lock()
+        # Serializes whole calibration updates (read -> mutate -> pre-warm ->
+        # swap) per service.  _state_lock stays request-path-cheap: it only
+        # guards the in-memory maps for the short read/swap sections.
+        self._calibration_lock = threading.Lock()
         self._queue: asyncio.Queue | None = None
         self._batcher: asyncio.Task | None = None
         self._groups: set[asyncio.Task] = set()
@@ -307,20 +312,35 @@ class CompilationService:
            device/target snapshots instead of silently reusing pre-drift
            state (see ``BatchDispatcher``).
 
-        Returns a summary (old/new fingerprint, evictions, epoch) that the
-        wire op reports to the client.
+        When the update carries a :class:`~repro.service.requests.PrewarmSpec`
+        the expensive rebuilds happen **off the request path**: targets (and
+        optionally compiled programs) for the *new* fingerprint are built
+        between steps 1 and 2, while traffic keeps being served against the
+        old calibration state, and only then does the swap in steps 2-3 make
+        the new fingerprint visible -- atomically, under the state lock.
+        The first post-update request then hits warm caches instead of
+        paying for a target build.
+
+        Returns a summary (old/new fingerprint, evictions, epoch, pre-warm
+        counts) that the wire op reports to the client.
         """
         key = update.device_key
-        # One read-modify-write under the state lock: concurrent calibrates
-        # for the same device serialize (neither update is lost), and a
-        # racing cold-miss compile cannot interleave between our read and
-        # our admit.  The work under the lock is small-device construction
-        # at worst; compiles only touch the lock for target/device lookups.
-        with self._state_lock:
-            hit = self._devices.get(key)
+        # Whole updates serialize on the calibration lock (neither of two
+        # concurrent updates for one device may be lost); the state lock is
+        # only held for the short read and swap sections, so the request
+        # path never waits behind a target rebuild.
+        with self._calibration_lock:
+            # Validate the pre-warm working set before mutating anything:
+            # a malformed prewarm rejects the whole update up front.
+            prewarm_requests = self._prewarm_requests(update)
+            with self._state_lock:
+                hit = self._devices.get(key)
             if hit is None:
                 # First sight of this device: build the base so the update
-                # also applies to future traffic for the same key.
+                # also applies to future traffic for the same key.  Not
+                # admitted here -- the drifted copy below is what lands in
+                # the LRU; a racing compile admitting the base meanwhile is
+                # fine, the swap overwrites it.
                 hit = self._build_device(update)
             device, old_fingerprint = hit
             # Drift a copy, not the live object: batches already dispatched
@@ -335,15 +355,22 @@ class CompilationService:
             if drifted.n_qubits:
                 drifted.distance(0, 0)  # warm the BFS matrix like _device_for
             new_fingerprint = device_fingerprint(drifted)
-            evicted = self.hot_targets.invalidate_fingerprint(old_fingerprint)
-            programs_evicted = (
-                self.programs.invalidate_fingerprint(old_fingerprint)
-                if self.programs is not None
-                else 0
-            )
-            self._admit_device_locked(key, (drifted, new_fingerprint))
+            prewarm_report = None
+            if update.prewarm is not None:
+                prewarm_report = self._prewarm_caches(
+                    update.prewarm, prewarm_requests, drifted, new_fingerprint
+                )
+            # The swap: from here on every lookup sees the new fingerprint.
+            with self._state_lock:
+                evicted = self.hot_targets.invalidate_fingerprint(old_fingerprint)
+                programs_evicted = (
+                    self.programs.invalidate_fingerprint(old_fingerprint)
+                    if self.programs is not None
+                    else 0
+                )
+                self._admit_device_locked(key, (drifted, new_fingerprint))
         self.metrics.record_calibration()
-        return {
+        report = {
             "topology": update.topology,
             "device_seed": update.device_seed,
             "old_fingerprint": old_fingerprint,
@@ -351,6 +378,83 @@ class CompilationService:
             "hot_entries_evicted": evicted,
             "program_entries_evicted": programs_evicted,
             "calibration_epoch": drifted.calibration_epoch,
+        }
+        if prewarm_report is not None:
+            report["prewarm"] = prewarm_report
+        return report
+
+    def _prewarm_requests(self, update: CalibrationUpdate) -> list[CompileRequest]:
+        """The compile requests a prewarm spec describes (validated early)."""
+        if update.prewarm is None or not update.prewarm.circuits:
+            return []
+        spec = update.prewarm
+        return [
+            CompileRequest(
+                circuit=circuit,
+                topology=update.topology,
+                device_seed=update.device_seed,
+                strategies=spec.strategies,
+                mapping=spec.mapping,
+                seed=spec.seed,
+                coherence_us=update.coherence_us,
+                gate_ns=update.gate_ns,
+            )
+            for circuit in spec.circuits
+        ]
+
+    def _prewarm_caches(
+        self,
+        spec,
+        requests: list[CompileRequest],
+        drifted: Device,
+        fingerprint: str,
+    ) -> dict:
+        """Rebuild the working set for a new fingerprint, off the request path.
+
+        ``drifted`` is private to the calibration update until the swap, so
+        target builds here touch no shared state; installation goes through
+        :meth:`TargetHotCache.put` (disk write + short locked LRU admit).
+        Program pre-compiles reuse the dispatcher with the same context key
+        shape as the compile path, so the worker pool they warm is exactly
+        the one post-swap traffic reuses.
+        """
+        started = time.perf_counter()
+        targets: dict[str, object] = {}
+        for strategy in spec.strategies:
+            target = build_target(drifted, strategy).complete()
+            target.cost_model()
+            targets[strategy] = target
+        with self._state_lock:
+            for strategy, target in targets.items():
+                self.hot_targets.put(drifted, strategy, target, fingerprint)
+        programs_warmed = 0
+        if requests and self.programs is not None:
+            generations = tuple(
+                REGISTRY.generation(strategy) for strategy in spec.strategies
+            )
+            context = DispatchContext(
+                drifted,
+                targets,
+                mapping=spec.mapping,
+                seed=spec.seed,
+                key=(fingerprint, generations, spec.strategies, spec.mapping, spec.seed),
+            )
+            circuits = [self._circuit_for(request.circuit) for request in requests]
+            batch = self.dispatcher.dispatch(circuits, context)
+            for request, compiled in zip(requests, batch):
+                program_key, document = self._program_entry(
+                    request, fingerprint, generations
+                )
+                results = {
+                    strategy: summarize_compiled(one)
+                    for strategy, one in compiled.items()
+                }
+                self.programs.put(program_key, results, document)
+                programs_warmed += 1
+        return {
+            "targets": len(targets),
+            "programs": programs_warmed,
+            "ms": (time.perf_counter() - started) * 1000.0,
         }
 
     # -- micro-batching -------------------------------------------------------
