@@ -20,6 +20,14 @@ times) is gated by ``check_perf.py``.  Run from the repository root::
 artifact -- CI uploads it so hot-path regressions are diagnosable from the
 run page without reproducing locally.
 
+Each cell is also compiled with ``optimize=True`` (the 2Q-block
+consolidation pass) and the document carries an ``optimizer`` block: mean
+2Q-depth and duration reductions plus ``depth_vs_lower_bound`` percentiles,
+gated by ``check_perf.py``.  Every optimized compile is proven against its
+unoptimized routing by :func:`repro.compiler.verify_consolidation` (the
+block-local equivalence check, valid at any width); on devices of at most
+10 qubits the dense unitary harness in ``tests/equivalence.py`` runs too.
+
 The file is named ``bench_*`` (not ``test_*``) on purpose: pytest does not
 collect it, CI runs it as a script and uploads the JSON artifact.
 """
@@ -38,12 +46,44 @@ from repro.compiler import (
     build_metric,
     sabre_layout,
     transpile,
+    verify_consolidation,
 )
 from repro.device import Device, DeviceParameters
 from repro.fleet import TopologySpec, build_circuit
 
 DEFAULT_CIRCUITS = ("qft_6", "cuccaro_8", "bv_9", "qaoa_0.33_8", "qft_12", "cuccaro_16")
 DEFAULT_MAPPINGS = ("hop_count", "basis_aware")
+
+#: Dense unitary-equivalence checks contract 2^n x 2^n matrices; wider
+#: devices rely on the block-local ``verify_consolidation`` proof alone.
+DENSE_CHECK_MAX_QUBITS = 10
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (q in [0, 100])."""
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def _dense_harness():
+    """The dense equivalence harness, imported from ``tests/equivalence.py``.
+
+    The benchmark runs as a script (``python benchmarks/bench_routing.py``),
+    so the repository root is not on ``sys.path``; add it before importing.
+    """
+    import sys
+
+    root = str(Path(__file__).resolve().parents[1])
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from tests.equivalence import assert_compiled_equivalent
+
+    return assert_compiled_equivalent
 
 #: Repetitions per routing-only measurement; the best (minimum) wall time is
 #: recorded -- routing is deterministic, so the minimum is the least-noisy
@@ -128,6 +168,10 @@ def bench(args: argparse.Namespace) -> dict:
     profile_cells: list[tuple] = []
     routing_reference_s = 0.0
     routing_vectorized_s = 0.0
+    depth_reductions: list[float] = []
+    duration_reductions: list[float] = []
+    depth_ratios: list[float] = []
+    dense_checked = 0
     for name in args.circuits:
         circuit = build_circuit(name)
         per_mapping: dict[str, dict] = {}
@@ -143,6 +187,33 @@ def bench(args: argparse.Namespace) -> dict:
             routing_reference_s += reference_s
             routing_vectorized_s += vectorized_s
             profile_cells.append((circuit, metrics[mapping], layout))
+            optimized = transpile(
+                circuit,
+                device,
+                strategy=args.strategy,
+                mapping=mapping,
+                seed=17,
+                optimize=True,
+            )
+            verify_consolidation(optimized.optimization)
+            dense = optimized.routing.circuit.n_qubits <= DENSE_CHECK_MAX_QUBITS
+            if dense:
+                _dense_harness()(circuit, optimized)
+                dense_checked += 1
+            base_layers = int(compiled.two_qubit_layer_count)
+            opt_layers = int(optimized.two_qubit_layer_count)
+            depth_reduction = (
+                1.0 - opt_layers / base_layers if base_layers else 0.0
+            )
+            duration_reduction = (
+                1.0 - float(optimized.total_duration) / float(compiled.total_duration)
+                if compiled.total_duration
+                else 0.0
+            )
+            ratio = float(optimized.depth_vs_lower_bound)
+            depth_reductions.append(depth_reduction)
+            duration_reductions.append(duration_reduction)
+            depth_ratios.append(ratio)
             per_mapping[mapping] = {
                 "swap_count": int(compiled.swap_count),
                 "swap_duration_ns": float(compiled.swap_duration_ns),
@@ -155,6 +226,19 @@ def bench(args: argparse.Namespace) -> dict:
                     "speedup": reference_s / vectorized_s
                     if vectorized_s
                     else float("inf"),
+                },
+                "optimizer": {
+                    "two_qubit_layers": opt_layers,
+                    "two_qubit_layers_base": base_layers,
+                    "depth_reduction": depth_reduction,
+                    "duration_ns": float(optimized.total_duration),
+                    "duration_reduction": duration_reduction,
+                    "fidelity": float(optimized.fidelity),
+                    "depth_lower_bound": int(optimized.depth_lower_bound),
+                    "depth_vs_lower_bound": ratio,
+                    "blocks_consolidated": optimized.optimization.blocks_consolidated,
+                    "blocks_dropped": optimized.optimization.blocks_dropped,
+                    "verified": "dense+blocks" if dense else "blocks",
                 },
             }
         row = {"circuit": name, "mappings": per_mapping}
@@ -182,6 +266,23 @@ def bench(args: argparse.Namespace) -> dict:
             "speedup": routing_reference_s / routing_vectorized_s
             if routing_vectorized_s
             else float("inf"),
+        },
+        "optimizer": {
+            "cells": len(depth_reductions),
+            "mean_depth_reduction": sum(depth_reductions) / len(depth_reductions)
+            if depth_reductions
+            else 0.0,
+            "mean_duration_reduction": sum(duration_reductions)
+            / len(duration_reductions)
+            if duration_reductions
+            else 0.0,
+            "depth_vs_lower_bound": {
+                "p50": _percentile(depth_ratios, 50.0),
+                "p90": _percentile(depth_ratios, 90.0),
+                "max": max(depth_ratios) if depth_ratios else float("nan"),
+            },
+            "dense_checked": dense_checked,
+            "all_verified": True,
         },
         "rows": rows,
     }
@@ -249,6 +350,16 @@ def main(argv: list[str] | None = None) -> dict:
         f"\nRouting-only suite total: reference {routing['reference_s'] * 1000:.1f}ms, "
         f"vectorized {routing['vectorized_s'] * 1000:.1f}ms "
         f"-> {routing['speedup']:.2f}x (best of {routing['reps']})"
+    )
+    optimizer = results["optimizer"]
+    ratios = optimizer["depth_vs_lower_bound"]
+    print(
+        f"Optimizer over {optimizer['cells']} cells: "
+        f"2Q depth -{optimizer['mean_depth_reduction'] * 100:.1f}%, "
+        f"duration -{optimizer['mean_duration_reduction'] * 100:.1f}%, "
+        f"depth/lower-bound p50 {ratios['p50']:.3f} p90 {ratios['p90']:.3f} "
+        f"max {ratios['max']:.3f} "
+        f"(all verified, {optimizer['dense_checked']} dense-checked)"
     )
     print(f"Wrote {path}")
     return results

@@ -29,7 +29,13 @@ Two benchmark kinds are understood, keyed by the files' ``benchmark`` field:
   routing-only speedup (vectorized engine over the scalar reference): both
   engines run on the *same* machine in the *same* process, so the ratio is
   machine-independent and must clear :data:`ROUTING_SPEEDUP_FLOOR`
-  (``REPRO_ROUTING_SPEEDUP_FLOOR`` overrides it).
+  (``REPRO_ROUTING_SPEEDUP_FLOOR`` overrides it).  The 2Q-block
+  consolidation optimizer rides on the same document: its suite-mean 2Q
+  depth reduction must clear :data:`OPTIMIZER_DEPTH_FLOOR`
+  (``REPRO_OPTIMIZER_DEPTH_FLOOR`` overrides), every optimized cell must
+  have passed the equivalence harness during the bench run, and no cell may
+  lose depth or fidelity to the optimizer -- all read from the current run
+  alone, since optimized and unoptimized compiles share one process.
 * ``cluster`` (``bench_cluster.py``) -- warm cluster vs single-process
   throughput plus the cluster's *functional* invariants: the overload phase
   must shed (with zero errors), the warm-store restart must serve from disk
@@ -107,6 +113,11 @@ CLUSTER_SINGLE_CPU_FLOOR = 0.3
 #: Both engines are timed in the same run, so the ratio does not depend on
 #: how fast the runner is.
 ROUTING_SPEEDUP_FLOOR = 3.0
+
+#: The optimizer acceptance criterion: the 2Q-block consolidation pass must
+#: cut mean 2Q basis-layer depth across the benchmark suite by at least this
+#: fraction.  Deterministic given the seeds, like the other routing metrics.
+OPTIMIZER_DEPTH_FLOOR = 0.05
 
 #: Default relative regression tolerance (15%).
 DEFAULT_TOLERANCE = 0.15
@@ -338,6 +349,61 @@ def routing_checks(baseline: dict, current: dict, tolerance: float) -> list[Chec
             tolerance=0.0,
         )
     )
+    # Optimizer gates read only the current run (the optimized and base
+    # compiles of each cell share one process and one device); a current
+    # document with no ``optimizer`` block came from a pre-optimizer bench
+    # script and fails loudly rather than skipping the gates.
+    optimizer = current.get("optimizer", {})
+    depth_floor = float(
+        os.environ.get("REPRO_OPTIMIZER_DEPTH_FLOOR", OPTIMIZER_DEPTH_FLOOR)
+    )
+    checks.append(
+        Check(
+            label="optimizer.mean_depth_reduction >= floor",
+            baseline=depth_floor,
+            current=float(optimizer.get("mean_depth_reduction", 0.0)),
+            higher_is_better=True,
+            tolerance=0.0,
+        )
+    )
+    checks.append(
+        Check(
+            label="optimizer: every compile passed the equivalence harness",
+            baseline=1.0,
+            current=1.0 if optimizer.get("all_verified", False) else 0.0,
+            higher_is_better=True,
+            tolerance=0.0,
+        )
+    )
+    # Per-cell never-worse invariants: consolidation must not deepen a
+    # circuit or cost it fidelity, on any cell.
+    deeper = []
+    lower_fidelity = []
+    for row in current["rows"]:
+        for mapping, cell in row["mappings"].items():
+            opt = cell.get("optimizer")
+            if opt is None:
+                deeper.append(f"{row['circuit']}/{mapping} (no optimizer data)")
+                continue
+            if int(opt["two_qubit_layers"]) > int(opt["two_qubit_layers_base"]):
+                deeper.append(f"{row['circuit']}/{mapping}")
+            if float(opt["fidelity"]) < float(cell["fidelity"]) - 1e-12:
+                lower_fidelity.append(f"{row['circuit']}/{mapping}")
+    for label, offenders in (
+        ("optimizer never deepens a cell", deeper),
+        ("optimizer never loses fidelity on a cell", lower_fidelity),
+    ):
+        if offenders:
+            print(f"      offending cells: {', '.join(offenders)}")
+        checks.append(
+            Check(
+                label=label,
+                baseline=1.0,
+                current=0.0 if offenders else 1.0,
+                higher_is_better=True,
+                tolerance=0.0,
+            )
+        )
     return checks
 
 

@@ -8,6 +8,14 @@ that turns a circuit plus per-gate durations into per-qubit busy intervals
 """
 
 from repro.circuits.circuit import Gate, QuantumCircuit
+from repro.circuits.dag import DAGCircuit, DAGNode
+from repro.circuits.equivalence import (
+    assert_circuits_equivalent,
+    circuits_equivalent,
+    phase_distance,
+    routed_equivalent,
+    unitaries_equivalent,
+)
 from repro.circuits.library import (
     bernstein_vazirani,
     cuccaro_adder,
@@ -22,6 +30,13 @@ from repro.circuits.scheduling import ScheduledCircuit, ScheduledOperation, sche
 __all__ = [
     "Gate",
     "QuantumCircuit",
+    "DAGCircuit",
+    "DAGNode",
+    "assert_circuits_equivalent",
+    "circuits_equivalent",
+    "phase_distance",
+    "routed_equivalent",
+    "unitaries_equivalent",
     "bernstein_vazirani",
     "cuccaro_adder",
     "ghz_circuit",

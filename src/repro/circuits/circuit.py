@@ -110,7 +110,32 @@ class Gate:
             return controlled_phase(self.params[0])
         if name == "rzz":
             return rzz(self.params[0])
+        if name == "unitary2q":
+            if len(self.params) != 32:
+                raise ValueError(
+                    "unitary2q stores a 4x4 complex matrix as 32 interleaved "
+                    f"real/imag floats, got {len(self.params)} params"
+                )
+            values = np.asarray(self.params, dtype=float)
+            return (values[0::2] + 1j * values[1::2]).reshape(4, 4)
         raise ValueError(f"no matrix known for gate {self.name!r}")
+
+    @staticmethod
+    def unitary2q(matrix: np.ndarray, qubits: tuple[int, int]) -> "Gate":
+        """Build an opaque two-qubit gate from an explicit 4x4 unitary.
+
+        The matrix is stored losslessly in ``params`` as 32 interleaved
+        real/imag floats (row-major), so the gate stays a frozen, hashable,
+        picklable dataclass; :meth:`matrix` rebuilds the exact array.
+        """
+        array = np.asarray(matrix, dtype=complex)
+        if array.shape != (4, 4):
+            raise ValueError(f"unitary2q needs a 4x4 matrix, got {array.shape}")
+        flat = array.reshape(-1)
+        params = tuple(
+            float(part) for entry in flat for part in (entry.real, entry.imag)
+        )
+        return Gate("unitary2q", (int(qubits[0]), int(qubits[1])), params)
 
     def with_qubits(self, *qubits: int) -> "Gate":
         """Copy of the gate acting on different qubits."""
@@ -262,6 +287,12 @@ class QuantumCircuit:
         new = QuantumCircuit(self.n_qubits, self.name)
         new.gates = list(self.gates)
         return new
+
+    def to_dag(self) -> "DAGCircuit":  # noqa: F821 -- forward ref, see circuits/dag.py
+        """The circuit as a qubit-wire dependency DAG (lossless round-trip)."""
+        from repro.circuits.dag import DAGCircuit
+
+        return DAGCircuit.from_circuit(self)
 
     def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
         """Append another circuit (same width) to this one, in place."""

@@ -1,0 +1,121 @@
+"""DAG form of the circuit IR: nodes are gates, edges are qubit wires.
+
+A :class:`DAGCircuit` is built from a :class:`~repro.circuits.circuit.QuantumCircuit`
+by walking the flat gate list once and connecting each gate to the previous
+gate on every qubit it touches (the "last writer" per wire).  Two invariants
+make the representation useful to the optimizer:
+
+* **Lossless round-trip** -- ``DAGCircuit.from_circuit(c).to_circuit()``
+  reproduces ``c``'s gate list *exactly*.  The original gate order is itself
+  a topological order of the DAG, and :meth:`to_circuit` schedules ready
+  nodes by their smallest original index, so independent gates keep the
+  seeded order they were generated in.
+* **Plain data** -- nodes, predecessor and successor lists are plain tuples
+  and dicts of ints, so a DAG pickles deterministically (process-pool
+  dispatch) and equality is structural.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Gate, QuantumCircuit
+
+
+@dataclass(frozen=True)
+class DAGNode:
+    """One gate in the DAG, tagged with its original list index."""
+
+    index: int
+    gate: Gate
+
+
+@dataclass
+class DAGCircuit:
+    """Qubit-wire dependency DAG over an ordered gate list.
+
+    Attributes:
+        n_qubits: circuit width.
+        name: circuit name (carried through the round-trip).
+        nodes: gates in original order, each tagged with its index.
+        predecessors: ``index -> sorted tuple`` of node indices that must run
+            before it (the previous gate on each of its qubits).
+        successors: transpose of ``predecessors``.
+    """
+
+    n_qubits: int
+    name: str = ""
+    nodes: list[DAGNode] = field(default_factory=list)
+    predecessors: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    successors: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        """Build the wire-dependency DAG from a flat circuit."""
+        dag = cls(n_qubits=circuit.n_qubits, name=circuit.name)
+        last_on_wire: dict[int, int] = {}
+        succ_lists: dict[int, list[int]] = {}
+        for index, gate in enumerate(circuit.gates):
+            preds: list[int] = []
+            for qubit in gate.qubits:
+                previous = last_on_wire.get(qubit)
+                if previous is not None and previous not in preds:
+                    preds.append(previous)
+                last_on_wire[qubit] = index
+            dag.nodes.append(DAGNode(index=index, gate=gate))
+            dag.predecessors[index] = tuple(sorted(preds))
+            succ_lists[index] = []
+            for pred in preds:
+                succ_lists[pred].append(index)
+        dag.successors = {index: tuple(succs) for index, succs in succ_lists.items()}
+        return dag
+
+    def to_circuit(self) -> QuantumCircuit:
+        """Rebuild the flat circuit: ready nodes emit in original-index order.
+
+        Since the original order is a valid topological order, the output gate
+        list is exactly the input gate list -- independent gates do not swap.
+        """
+        circuit = QuantumCircuit(self.n_qubits, self.name)
+        remaining = {node.index: len(self.predecessors[node.index]) for node in self.nodes}
+        gate_of = {node.index: node.gate for node in self.nodes}
+        ready = [index for index, count in remaining.items() if count == 0]
+        heapq.heapify(ready)
+        emitted = 0
+        while ready:
+            index = heapq.heappop(ready)
+            circuit.append(gate_of[index])
+            emitted += 1
+            for succ in self.successors[index]:
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    heapq.heappush(ready, succ)
+        if emitted != len(self.nodes):
+            raise ValueError("cycle in DAG: not all nodes were emitted")
+        return circuit
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def topological_order(self) -> list[DAGNode]:
+        """Nodes in emission order (original index order; see :meth:`to_circuit`)."""
+        return sorted(self.nodes, key=lambda node: node.index)
+
+    def front_layer(self) -> list[DAGNode]:
+        """Nodes with no predecessors (the executable frontier)."""
+        return [node for node in self.nodes if not self.predecessors[node.index]]
+
+    def two_qubit_nodes(self) -> list[DAGNode]:
+        """Nodes whose gate acts on two qubits, in original order."""
+        return [node for node in self.topological_order() if node.gate.is_two_qubit]
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        edges = sum(len(preds) for preds in self.predecessors.values())
+        return (
+            f"<DAGCircuit{label}: {self.n_qubits} qubits, "
+            f"{len(self.nodes)} nodes, {edges} wire edges>"
+        )

@@ -1,0 +1,205 @@
+"""Unitary-equivalence checks for small circuits (the optimizer's proof system).
+
+The block-consolidation optimizer rewrites routed circuits, so "correct
+output" is no longer "the same gate list" -- it is "the same unitary up to a
+global phase".  This module is the dense-contraction harness behind every
+such check: circuits of at most ``max_qubits`` (default 10) qubits are
+contracted to full ``2^n x 2^n`` unitaries and compared via the phase-blind
+fidelity ``|tr(U^dag V)| / dim``.
+
+Three levels of check:
+
+* :func:`unitaries_equivalent` -- two explicit matrices, up to global phase.
+* :func:`circuits_equivalent` / :func:`assert_circuits_equivalent` -- two
+  same-width circuits (e.g. the routed circuit before and after the
+  optimization pass).
+* :func:`routed_equivalent` -- a routed physical circuit against its logical
+  source circuit, accounting for the initial layout embedding and the net
+  wire permutation of the inserted SWAPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def phase_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """``1 - |tr(U^dag V)| / dim``: zero iff ``U = e^{i phi} V``.
+
+    Both matrices must be unitary and of equal dimension; the value is the
+    (one minus) phase-blind process overlap, so it is symmetric and basis
+    independent.
+    """
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    if u.shape != v.shape or u.ndim != 2 or u.shape[0] != u.shape[1]:
+        raise ValueError(f"incompatible shapes {u.shape} and {v.shape}")
+    dim = u.shape[0]
+    return float(1.0 - abs(np.trace(u.conj().T @ v)) / dim)
+
+
+def unitaries_equivalent(u: np.ndarray, v: np.ndarray, atol: float = 1e-7) -> bool:
+    """True iff the two unitaries agree up to a global phase."""
+    return phase_distance(u, v) <= atol
+
+
+def circuits_equivalent(
+    a: QuantumCircuit,
+    b: QuantumCircuit,
+    atol: float = 1e-7,
+    max_qubits: int = 10,
+) -> bool:
+    """True iff two same-width circuits implement the same unitary up to phase.
+
+    Contracts both circuits densely, so it refuses widths above
+    ``max_qubits`` (the harness is a proof system for tests and benches, not
+    a simulator).
+    """
+    if a.n_qubits != b.n_qubits:
+        raise ValueError(
+            f"circuit widths differ: {a.n_qubits} vs {b.n_qubits} qubits"
+        )
+    return unitaries_equivalent(
+        a.unitary(max_qubits=max_qubits), b.unitary(max_qubits=max_qubits), atol=atol
+    )
+
+
+def assert_circuits_equivalent(
+    a: QuantumCircuit,
+    b: QuantumCircuit,
+    atol: float = 1e-7,
+    max_qubits: int = 10,
+    context: str = "",
+) -> None:
+    """Raise ``AssertionError`` with the phase distance when inequivalent."""
+    if a.n_qubits != b.n_qubits:
+        raise AssertionError(
+            f"circuit widths differ: {a.n_qubits} vs {b.n_qubits} qubits"
+            + (f" ({context})" if context else "")
+        )
+    distance = phase_distance(
+        a.unitary(max_qubits=max_qubits), b.unitary(max_qubits=max_qubits)
+    )
+    if distance > atol:
+        raise AssertionError(
+            f"circuits are not unitary-equivalent: phase distance {distance:.3e} "
+            f"> {atol:.1e}" + (f" ({context})" if context else "")
+        )
+
+
+def embed_source(
+    source: QuantumCircuit, initial_layout: dict[int, int], n_physical: int
+) -> QuantumCircuit:
+    """The source circuit re-addressed onto physical wires via a layout."""
+    embedded = QuantumCircuit(n_physical, name=f"{source.name}_embedded")
+    for gate in source.gates:
+        embedded.append(
+            gate.with_qubits(*(initial_layout[q] for q in gate.qubits))
+        )
+    return embedded
+
+
+def _routing_swap_permutation(
+    source: QuantumCircuit,
+    routed: QuantumCircuit,
+    initial_layout: dict[int, int],
+    max_qubits: int,
+) -> np.ndarray:
+    """Unitary of the net wire permutation of the *routing-inserted* SWAPs.
+
+    A routed ``swap`` gate is ambiguous: it is either a source gate the user
+    wrote (QFT ends with logical swaps, for example) or a wire exchange the
+    router inserted.  Only the latter belong in ``Pi_net``, so this walks the
+    routed gate stream while replaying the source program through the evolving
+    layout: a routed gate matching the next pending source gate on its wires
+    is a source gate; any other ``swap`` is a routing insertion and updates
+    the layout.  Raises ``ValueError`` when the streams cannot be aligned.
+    """
+    phys_of = dict(initial_layout)
+    log_on = {p: q for q, p in initial_layout.items()}
+    # Per-logical-qubit queues of source gate indices, consumed in order.
+    order: dict[int, list[int]] = {q: [] for q in range(source.n_qubits)}
+    for index, gate in enumerate(source.gates):
+        for q in gate.qubits:
+            order[q].append(index)
+    pointer = {q: 0 for q in range(source.n_qubits)}
+
+    inserted = QuantumCircuit(routed.n_qubits, name="routing_swaps")
+    for gate in routed.gates:
+        logicals = [log_on.get(w) for w in gate.qubits]
+        pending = None
+        if all(q is not None for q in logicals):
+            indices = {
+                order[q][pointer[q]] for q in logicals if pointer[q] < len(order[q])
+            }
+            if len(indices) == 1 and len(logicals) == len(gate.qubits):
+                candidate = source.gates[next(iter(indices))]
+                expected = tuple(phys_of[q] for q in candidate.qubits)
+                if (
+                    candidate.name == gate.name
+                    and candidate.params == gate.params
+                    and expected == gate.qubits
+                ):
+                    pending = candidate
+        if pending is not None:
+            for q in pending.qubits:
+                pointer[q] += 1
+            continue
+        if gate.name != "swap":
+            raise ValueError(
+                f"cannot align routed gate {gate.name}{gate.qubits} with the "
+                "source program (is the layout the one routing used?)"
+            )
+        inserted.append(gate)
+        a, b = gate.qubits
+        la, lb = log_on.get(a), log_on.get(b)
+        log_on[a], log_on[b] = lb, la
+        if la is not None:
+            phys_of[la] = b
+        if lb is not None:
+            phys_of[lb] = a
+    leftovers = [q for q, p in pointer.items() if p < len(order[q])]
+    if leftovers:
+        raise ValueError(
+            f"routed circuit ended before source gates on qubits {leftovers} "
+            "were matched"
+        )
+    return inserted.unitary(max_qubits=max_qubits)
+
+
+def routed_equivalent(
+    source: QuantumCircuit,
+    routed: QuantumCircuit,
+    initial_layout: dict[int, int],
+    atol: float = 1e-7,
+    max_qubits: int = 10,
+) -> bool:
+    """Check a routed physical circuit against its logical source.
+
+    Routing embeds the source through ``initial_layout`` and interleaves SWAP
+    gates; commuting every SWAP to the end gives the exact identity
+
+    ``U_routed = Pi_net . U_source_embedded``
+
+    where ``Pi_net`` is the composition of the inserted SWAPs' wire
+    permutations.  This check requires the SWAPs to still be *literal*
+    ``swap`` gates, i.e. it applies to the router's output **before** block
+    consolidation (the optimizer's own before/after equivalence is checked
+    separately by :func:`circuits_equivalent`, and the two checks chain).
+    """
+    if any(g.name == "unitary2q" for g in routed.gates):
+        raise ValueError(
+            "routed_equivalent needs literal swap gates; run it on the "
+            "pre-optimization routed circuit (then chain with "
+            "circuits_equivalent for the optimized one)"
+        )
+    reference = _routing_swap_permutation(
+        source, routed, initial_layout, max_qubits
+    ) @ embed_source(source, initial_layout, routed.n_qubits).unitary(
+        max_qubits=max_qubits
+    )
+    return unitaries_equivalent(
+        routed.unitary(max_qubits=max_qubits), reference, atol=atol
+    )

@@ -44,12 +44,20 @@ from repro.compiler.basis_translation import (
     translate_circuit,
     translate_operations,
 )
+from repro.compiler.optimizer import (
+    BlockRecord,
+    OptimizationResult,
+    collect_blocks,
+    consolidate_blocks,
+    verify_consolidation,
+)
 from repro.compiler.transpile import CompiledCircuit, compare_strategies, transpile
 from repro.compiler.pipeline import (
     AnalysisPass,
     CompilerPass,
     LayoutPass,
     MetricsPass,
+    OptimizationPass,
     PassManager,
     PropertySet,
     RoutingPass,
@@ -91,10 +99,16 @@ __all__ = [
     "CompiledCircuit",
     "compare_strategies",
     "transpile",
+    "BlockRecord",
+    "OptimizationResult",
+    "collect_blocks",
+    "consolidate_blocks",
+    "verify_consolidation",
     "AnalysisPass",
     "CompilerPass",
     "LayoutPass",
     "MetricsPass",
+    "OptimizationPass",
     "PassManager",
     "PropertySet",
     "RoutingPass",

@@ -115,6 +115,11 @@ def target_coordinates(gate: Gate) -> Coords:
     if gate.name == "rzz":
         theta = abs(gate.params[0])
         return canonicalize_coordinates((theta / np.pi, 0.0, 0.0))
+    if gate.name == "unitary2q":
+        # Consolidated blocks carry their explicit 4x4; extract canonically.
+        from repro.weyl.cartan import cartan_coordinates
+
+        return canonicalize_coordinates(cartan_coordinates(gate.matrix()))
     raise ValueError(f"unknown two-qubit gate {gate.name!r}")
 
 
@@ -202,7 +207,11 @@ def translate_operations(
     ``None`` (the default) to derive them from the selections on demand --
     the two paths produce identical operations.
     """
-    lowered = lower_to_cnot(routed, keep=options.direct_targets | {"swap", "cx"})
+    # Consolidated unitary2q blocks have no CNOT lowering -- they decompose
+    # straight into the edge's basis at their coverage-set depth.
+    lowered = lower_to_cnot(
+        routed, keep=options.direct_targets | {"swap", "cx", "unitary2q"}
+    )
 
     merged = _merge_single_qubit_runs(lowered)
     absorbed = _mark_absorbed(merged) if options.absorb_single_qubit_gates else set()

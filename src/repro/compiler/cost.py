@@ -107,6 +107,11 @@ class EdgeCost:
         swap_log_infidelity: ``-log(fidelity)`` of a SWAP on this pair under
             the coherence model (both qubits busy for ``swap_duration``).
         cnot_log_infidelity: likewise for a CNOT.
+        basis_coordinates: canonical Weyl coordinates of the pair's selected
+            basis gate, or ``None`` on rows deserialized from a pre-optimizer
+            cache.  With them present the model can answer layer counts for
+            *arbitrary* targets (consolidated blocks), not just SWAP/CNOT --
+            see :meth:`CostModel.coverage_oracle`.
     """
 
     edge: Edge
@@ -117,6 +122,7 @@ class EdgeCost:
     cnot_duration: float
     swap_log_infidelity: float
     cnot_log_infidelity: float
+    basis_coordinates: Coords | None = None
 
     def as_dict(self) -> dict:
         """Plain-data row for serialization."""
@@ -129,11 +135,17 @@ class EdgeCost:
             "cnot_duration": self.cnot_duration,
             "swap_log_infidelity": self.swap_log_infidelity,
             "cnot_log_infidelity": self.cnot_log_infidelity,
+            "basis_coordinates": (
+                list(self.basis_coordinates)
+                if self.basis_coordinates is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "EdgeCost":
         """Rebuild a row from :meth:`as_dict` output."""
+        coordinates = data.get("basis_coordinates")
         return cls(
             edge=tuple(data["edge"]),
             swap_layers=int(data["swap_layers"]),
@@ -143,6 +155,11 @@ class EdgeCost:
             cnot_duration=float(data["cnot_duration"]),
             swap_log_infidelity=float(data["swap_log_infidelity"]),
             cnot_log_infidelity=float(data["cnot_log_infidelity"]),
+            basis_coordinates=(
+                tuple(float(c) for c in coordinates)
+                if coordinates is not None
+                else None
+            ),
         )
 
 
@@ -191,6 +208,7 @@ class CostModel:
                 # the pair's -log(fidelity) is 2 * t / T.
                 swap_log_infidelity=float(2.0 * swap_duration / coherence),
                 cnot_log_infidelity=float(2.0 * cnot_duration / coherence),
+                basis_coordinates=canonicalize_coordinates(selection.coordinates),
             )
         return cls(
             strategy=target.strategy,
@@ -239,6 +257,43 @@ class CostModel:
         return {
             edge: cost.swap_duration / mean for edge, cost in self.edge_costs.items()
         }
+
+    def coverage_oracle(
+        self, edge: Edge, max_layers: int = 4, decimals: int = 3
+    ):
+        """A per-edge :class:`~repro.synthesis.depth.CoverageSetOracle`.
+
+        Sharpens the model from "SWAP and CNOT layer counts" to "minimum
+        layers for *any* canonical coordinates on this edge" -- the query the
+        block-consolidation optimizer asks.  Oracles are memoised per
+        ``(edge, max_layers, decimals)`` and route through
+        :func:`cached_minimum_layers`, so their answers are identical to
+        basis translation's.  Returns ``None`` when the row carries no basis
+        coordinates (a model deserialized from a pre-optimizer cache); the
+        caller falls back to the live selection.
+        """
+        cost = self.edge_cost(edge)
+        if cost.basis_coordinates is None:
+            return None
+        oracles = getattr(self, "_coverage_oracles", None)
+        if oracles is None:
+            oracles = {}
+            self._coverage_oracles = oracles
+        key = (cost.edge, int(max_layers), int(decimals))
+        oracle = oracles.get(key)
+        if oracle is None:
+            from repro.synthesis.depth import CoverageSetOracle
+
+            oracle = CoverageSetOracle(
+                basis=cost.basis_coordinates,
+                max_layers=max_layers,
+                decimals=decimals,
+                layers_fn=lambda target, basis, layers: cached_minimum_layers(
+                    target, basis, max_layers=layers, decimals=decimals
+                ),
+            )
+            oracles[key] = oracle
+        return oracle
 
     def matches_options(self, strategy: str, options) -> bool:
         """True when translation under ``options`` can reuse this model.

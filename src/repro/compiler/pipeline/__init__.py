@@ -43,6 +43,7 @@ from repro.compiler.pipeline.passes import (
     LayoutPass,
     MetricsPass,
     MissingPropertyError,
+    OptimizationPass,
     PropertySet,
     RoutingPass,
     SchedulePass,
@@ -85,6 +86,7 @@ __all__ = [
     "LayoutPass",
     "MetricsPass",
     "MissingPropertyError",
+    "OptimizationPass",
     "PropertySet",
     "RoutingPass",
     "SchedulePass",

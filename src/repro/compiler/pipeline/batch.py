@@ -114,6 +114,7 @@ def transpile_batch(
     executor: str = "thread",
     targets: Mapping[str, Target] | None = None,
     mapping: str = DEFAULT_MAPPING,
+    optimize: bool = False,
 ) -> list[dict[str, CompiledCircuit]]:
     """Compile many circuits under many strategies with shared targets.
 
@@ -138,6 +139,10 @@ def transpile_batch(
     :class:`~repro.compiler.cost.CostModel`, which resolves every target
     edge even in serial runs).
 
+    ``optimize=True`` runs the block-consolidation optimizer on every routed
+    circuit before translation (``docs/optimizer.md``); the default
+    ``False`` keeps batch output byte-identical to the pre-optimizer seed.
+
     Example::
 
         results = transpile_batch(
@@ -157,6 +162,7 @@ def transpile_batch(
         resolve_targets(device, strategies, targets),
         mapping=mapping,
         seed=seed,
+        optimize=optimize,
     )
     with BatchDispatcher(executor=executor, max_workers=max_workers) as dispatcher:
         return dispatcher.dispatch(circuits, context)

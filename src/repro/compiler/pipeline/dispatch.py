@@ -53,6 +53,7 @@ def compile_with_targets(
     mapping: str = DEFAULT_MAPPING,
     cost_models: Mapping[str, object] | None = None,
     metrics: Mapping[str, object] | None = None,
+    optimize: bool = False,
 ) -> dict[str, CompiledCircuit]:
     """Compile one circuit against several pre-built targets.
 
@@ -75,6 +76,11 @@ def compile_with_targets(
     objects -- a cost-aware metric's all-pairs distance matrix depends only
     on (device, cost model), so batch callers build each one once instead of
     once per circuit.
+
+    ``optimize=True`` consolidates same-edge 2Q runs of each routed circuit
+    into single basis blocks before translation (the batch equivalent of the
+    PassManager's ``OptimizationPass``; see ``docs/optimizer.md``); the
+    default ``False`` stays byte-identical to the pre-optimizer hot path.
     """
     spec = get_mapping_spec(mapping)
     results: dict[str, CompiledCircuit] = {}
@@ -117,8 +123,17 @@ def compile_with_targets(
     for strategy, target in targets.items():
         routing = routings[strategy]
         options = target.translation_options()
+        physical = routing.circuit
+        optimization = None
+        if optimize:
+            from repro.compiler.optimizer import consolidate_blocks
+
+            optimization = consolidate_blocks(
+                physical, target.basis_gate, options, cost_model=models[strategy]
+            )
+            physical = optimization.circuit
         operations = translate_operations(
-            routing.circuit, target.basis_gate, options, cost_model=models[strategy]
+            physical, target.basis_gate, options, cost_model=models[strategy]
         )
         schedule = schedule_operations(operations, target.n_qubits)
         results[strategy] = CompiledCircuit(
@@ -128,6 +143,7 @@ def compile_with_targets(
             operations=operations,
             schedule=schedule,
             device=device,
+            optimization=optimization,
         )
     return results
 
@@ -152,12 +168,14 @@ class DispatchContext:
         mapping: str = DEFAULT_MAPPING,
         seed: int = 17,
         key: Hashable | None = None,
+        optimize: bool = False,
     ):
         self.device = device
         self.targets = targets
         self.mapping = mapping
         self.seed = seed
         self.key = key
+        self.optimize = optimize
         self._spec = get_mapping_spec(mapping)
         self._cost_models: dict | None = None
         self._metrics: dict | None = None
@@ -213,6 +231,7 @@ class DispatchContext:
             mapping=self.mapping,
             cost_models=cost_models,
             metrics=metrics,
+            optimize=self.optimize,
         )
 
     def worker_initargs(self) -> tuple:
@@ -224,6 +243,7 @@ class DispatchContext:
             self.seed,
             self.mapping,
             self.shared_snapshot_spec(),
+            self.optimize,
         )
 
     def shared_snapshot_spec(self) -> dict | None:
@@ -270,6 +290,7 @@ def _init_process_worker(
     seed: int,
     mapping: str,
     shared_spec: dict | None = None,
+    optimize: bool = False,
 ) -> None:
     shared = sharedmem.attach(shared_spec)
     device = pickle.loads(device_bytes)
@@ -284,6 +305,7 @@ def _init_process_worker(
     }
     _WORKER_CONTEXT["seed"] = seed
     _WORKER_CONTEXT["mapping"] = mapping
+    _WORKER_CONTEXT["optimize"] = optimize
     spec = get_mapping_spec(mapping)
     if spec.requires_cost_model:
         # Derive each strategy's cost model once per worker, not once per
@@ -319,6 +341,7 @@ def _compile_in_process_worker(circuit: QuantumCircuit) -> dict[str, CompiledCir
         mapping=_WORKER_CONTEXT["mapping"],
         cost_models=_WORKER_CONTEXT["cost_models"],
         metrics=_WORKER_CONTEXT["metrics"],
+        optimize=_WORKER_CONTEXT.get("optimize", False),
     )
     for compiled in results.values():
         # The parent re-attaches its own device; shipping the worker's copy

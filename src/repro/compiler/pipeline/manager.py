@@ -25,6 +25,7 @@ from repro.compiler.pipeline.passes import (
     CompilerPass,
     LayoutPass,
     MetricsPass,
+    OptimizationPass,
     PropertySet,
     RoutingPass,
     SchedulePass,
@@ -85,6 +86,7 @@ class PassManager:
         options: TranslationOptions | None = None,
         metrics: bool = True,
         mapping: str = DEFAULT_MAPPING,
+        optimize: bool = False,
     ) -> "PassManager":
         """The paper's pipeline: layout -> routing -> translation -> schedule.
 
@@ -94,7 +96,11 @@ class PassManager:
         ``CompiledCircuit`` (its properties compute the same numbers lazily).
         ``mapping`` selects the registered layout/routing metric --
         ``"hop_count"`` (legacy default) or ``"basis_aware"`` (route onto the
-        strategy's cheap edges; see ``docs/mapping.md``).
+        strategy's cheap edges; see ``docs/mapping.md``).  ``optimize=True``
+        inserts the block-consolidation :class:`OptimizationPass` between
+        routing and translation (``docs/optimizer.md``); the default
+        ``False`` keeps the pipeline byte-identical to the pre-optimizer
+        seed.
         """
         validate_strategy(strategy)
         validate_mapping(mapping)
@@ -103,6 +109,10 @@ class PassManager:
                 layout=layout, iterations=layout_iterations, seed=seed, mapping=mapping
             ),
             RoutingPass(seed=seed, mapping=mapping),
+        ]
+        if optimize:
+            passes.append(OptimizationPass(options))
+        passes += [
             TranslationPass(options),
             SchedulePass(),
         ]
@@ -165,5 +175,6 @@ class PassManager:
                 operations=properties["operations"],
                 schedule=properties["schedule"],
                 device=owner,
+                optimization=properties.get("optimization"),
             )
         return properties

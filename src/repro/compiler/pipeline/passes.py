@@ -21,6 +21,8 @@ Standard keys::
                     built); TranslationPass reuses its per-edge layer counts
     layout          dict logical -> physical qubit
     routing         RoutingResult
+    optimization    OptimizationResult written by OptimizationPass (when the
+                    optimizer is enabled; see docs/optimizer.md)
     operations      list[TranslatedOperation] after basis translation
     schedule        ScheduledCircuit
     metrics         summary dict written by MetricsPass
@@ -229,6 +231,44 @@ class RoutingPass(CompilerPass):
         return routing.circuit
 
 
+class OptimizationPass(CompilerPass):
+    """Consolidate same-edge 2Q runs into single basis-targeted blocks.
+
+    Runs between :class:`RoutingPass` and :class:`TranslationPass`: the
+    routed circuit's DAG is scanned for maximal runs of two-qubit gates on
+    one physical edge (absorbing interleaved 1Q gates), each run is
+    multiplied into a 4x4 unitary, canonicalized to Weyl coordinates, and
+    replaced by one opaque ``unitary2q`` gate whenever the edge's
+    coverage-set depth oracle says the block is no deeper than gate-by-gate
+    translation (identity blocks are deleted).  The full per-block ledger --
+    including the circuit-wide coverage-set lower bound behind
+    ``CompiledCircuit.depth_vs_lower_bound`` -- is published under
+    ``optimization``.  See ``docs/optimizer.md``.
+    """
+
+    requires = ("routing", "target")
+    provides = ("optimization",)
+
+    def __init__(self, options: TranslationOptions | None = None):
+        self.options = options
+
+    def run(self, circuit, properties: PropertySet):
+        from repro.compiler.optimizer import consolidate_blocks
+
+        target = properties["target"]
+        options = self.options if self.options is not None else target.translation_options()
+        cost_model = properties.get("cost_model")
+        if cost_model is not None and not cost_model.matches_options(
+            target.strategy, options
+        ):
+            cost_model = None
+        result = consolidate_blocks(
+            circuit, target.basis_gate, options, cost_model=cost_model
+        )
+        properties["optimization"] = result
+        return result.circuit
+
+
 class TranslationPass(CompilerPass):
     """Replace every two-qubit gate with its per-edge basis decomposition.
 
@@ -293,16 +333,27 @@ class MetricsPass(AnalysisPass):
         coherence = (
             device.coherence_time_ns if device is not None else target.coherence_time_ns
         )
-        properties["metrics"] = {
+        two_qubit_layers = sum(op.layers for op in operations if op.kind == "2q")
+        metrics = {
             "swap_count": float(routing.swap_count),
-            "two_qubit_layers": float(
-                sum(op.layers for op in operations if op.kind == "2q")
-            ),
+            "two_qubit_layers": float(two_qubit_layers),
             "duration_ns": float(schedule.total_duration),
             "fidelity": float(
                 circuit_coherence_fidelity(schedule.qubit_busy_spans(), coherence)
             ),
         }
+        optimization = properties.get("optimization")
+        if optimization is not None:
+            # Mirrors CompiledCircuit.summary(): optimizer keys only appear
+            # when the OptimizationPass ran, keeping unoptimized metrics
+            # byte-identical to the pre-optimizer pipeline.
+            from repro.compiler.optimizer import depth_ratio
+
+            metrics["depth_lower_bound"] = float(optimization.depth_lower_bound)
+            metrics["depth_vs_lower_bound"] = float(
+                depth_ratio(int(two_qubit_layers), optimization.depth_lower_bound)
+            )
+        properties["metrics"] = metrics
 
 
 def _device_or_target(properties: PropertySet, consumer: str):

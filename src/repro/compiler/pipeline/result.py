@@ -22,6 +22,11 @@ class CompiledCircuit:
         schedule: the ASAP schedule of those operations.
         device: the device (or :class:`~repro.compiler.pipeline.target.Target`)
             the circuit was compiled for; only ``coherence_time_ns`` is read.
+        optimization: the block-consolidation
+            :class:`~repro.compiler.optimizer.OptimizationResult` when the
+            pipeline ran with ``optimize=True``; ``None`` (the default, and
+            the unoptimized pipeline's value) keeps results byte-identical to
+            the pre-optimizer seed.
     """
 
     name: str
@@ -30,6 +35,7 @@ class CompiledCircuit:
     operations: list[TranslatedOperation]
     schedule: ScheduledCircuit
     device: object
+    optimization: object | None = None
 
     # -- headline metrics -----------------------------------------------------
 
@@ -79,11 +85,37 @@ class CompiledCircuit:
         """Coherence-limited fidelity at the device's coherence time."""
         return self.coherence_limited_fidelity()
 
+    @property
+    def depth_lower_bound(self) -> int | None:
+        """Coverage-set lower bound on 2Q basis layers (optimized runs only)."""
+        if self.optimization is None:
+            return None
+        return self.optimization.depth_lower_bound
+
+    @property
+    def depth_vs_lower_bound(self) -> float | None:
+        """``two_qubit_layer_count / depth_lower_bound`` (``None`` when the
+        optimizer did not run; 1.0 means the compile sits on the bound)."""
+        if self.optimization is None:
+            return None
+        from repro.compiler.optimizer import depth_ratio
+
+        return depth_ratio(self.two_qubit_layer_count, self.optimization.depth_lower_bound)
+
     def summary(self) -> dict[str, float]:
-        """Headline numbers for reports and benchmarks."""
-        return {
+        """Headline numbers for reports and benchmarks.
+
+        The optimizer keys appear only when the pipeline ran with
+        ``optimize=True``, so unoptimized summaries stay byte-identical to
+        the pre-optimizer seed.
+        """
+        summary = {
             "swap_count": float(self.swap_count),
             "two_qubit_layers": float(self.two_qubit_layer_count),
             "duration_ns": float(self.total_duration),
             "fidelity": float(self.fidelity),
         }
+        if self.optimization is not None:
+            summary["depth_lower_bound"] = float(self.depth_lower_bound)
+            summary["depth_vs_lower_bound"] = float(self.depth_vs_lower_bound)
+        return summary

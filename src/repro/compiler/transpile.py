@@ -35,6 +35,7 @@ def transpile(
     layout_iterations: int = 1,
     seed: int = 17,
     mapping: str = DEFAULT_MAPPING,
+    optimize: bool = False,
 ) -> CompiledCircuit:
     """Compile a logical circuit onto the device for a basis-gate strategy.
 
@@ -47,6 +48,9 @@ def transpile(
     ``mapping`` selects the layout/routing metric: ``"hop_count"`` (default,
     byte-identical to the seed pipeline) or ``"basis_aware"`` (SWAPs routed
     onto the strategy's cheap edges; see ``docs/mapping.md``).
+    ``optimize=True`` consolidates same-edge 2Q runs into single basis blocks
+    between routing and translation (``docs/optimizer.md``); the default
+    ``False`` is a true no-op and stays byte-identical to the seed pipeline.
     """
     manager = PassManager.default(
         strategy,
@@ -56,6 +60,7 @@ def transpile(
         options=options,
         metrics=False,  # CompiledCircuit computes its numbers lazily on access
         mapping=mapping,
+        optimize=optimize,
     )
     return manager.run(circuit, device=device)
 
@@ -66,6 +71,7 @@ def compare_strategies(
     strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
     seed: int = 17,
     mapping: str = DEFAULT_MAPPING,
+    optimize: bool = False,
 ) -> dict[str, CompiledCircuit]:
     """Compile one circuit under several strategies with a shared layout.
 
@@ -77,4 +83,6 @@ def compare_strategies(
     routing.  This is exactly a one-circuit serial
     :func:`~repro.compiler.pipeline.batch.transpile_batch`.
     """
-    return transpile_batch([circuit], device, strategies, seed=seed, mapping=mapping)[0]
+    return transpile_batch(
+        [circuit], device, strategies, seed=seed, mapping=mapping, optimize=optimize
+    )[0]

@@ -44,8 +44,11 @@ from repro.fleet.devices import device_fingerprint
 
 #: On-disk format version; bump when the stored layout changes incompatibly.
 #: v2 added the per-edge ``cost_model`` payload next to the target (older
-#: entries are treated as misses and rebuilt on first use).
-CACHE_FORMAT_VERSION = 2
+#: entries are treated as misses and rebuilt on first use).  v3 added
+#: ``basis_coordinates`` to every cost-model row (the block-consolidation
+#: optimizer's coverage-set oracle needs them, so rows without them must be
+#: rebuilt rather than served).
+CACHE_FORMAT_VERSION = 3
 
 
 def target_cache_key(device, strategy: str, fingerprint: str | None = None) -> str:

@@ -40,9 +40,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.fleet.cache import entry_lock
+from repro.synthesis.depth import DEPTH_ORACLE_VERSION
 
 #: On-disk format version; bump when the stored layout changes incompatibly.
-PROGRAM_CACHE_FORMAT_VERSION = 1
+#: v2: keys and documents carry the optimizer flag and depth-oracle version,
+#: so pre-optimizer entries are structurally unservable.
+PROGRAM_CACHE_FORMAT_VERSION = 2
 
 #: The layers a response can be served from, as reported in
 #: ``CompileResponse.program_source``.
@@ -73,14 +76,28 @@ def program_cache_key(
     mapping: str,
     seed: int,
     generations: tuple[int, ...],
+    optimize: bool = False,
+    depth_oracle_version: int = DEPTH_ORACLE_VERSION,
 ) -> str:
     """The content-addressed key for one compiled program.
 
     Leads with the device fingerprint so ``invalidate_fingerprint`` can use
-    the same prefix scan as the target hot cache.
+    the same prefix scan as the target hot cache.  The optimizer flag and
+    the coverage-set depth-oracle version are part of the addressed content:
+    flipping ``optimize`` or revving the oracle re-keys every program, so
+    stale entries can never be served (they become unreachable, exactly like
+    a drifted fingerprint).
     """
     blob = json.dumps(
-        [circuit_hash, list(strategies), mapping, int(seed), list(generations)],
+        [
+            circuit_hash,
+            list(strategies),
+            mapping,
+            int(seed),
+            list(generations),
+            bool(optimize),
+            int(depth_oracle_version),
+        ],
         separators=(",", ":"),
     )
     digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]

@@ -42,6 +42,9 @@ class CompileRequest:
         seed: layout/routing seed.
         coherence_us: per-qubit coherence time of the device.
         gate_ns: single-qubit gate duration of the device.
+        optimize: run the block-consolidation optimizer between routing and
+            translation (``docs/optimizer.md``); ``False`` (the default)
+            keeps responses byte-identical to the pre-optimizer service.
     """
 
     circuit: str
@@ -52,6 +55,7 @@ class CompileRequest:
     seed: int = 17
     coherence_us: float = DEFAULT_COHERENCE_US
     gate_ns: float = DEFAULT_GATE_NS
+    optimize: bool = False
 
     def __post_init__(self) -> None:
         try:
@@ -87,10 +91,11 @@ class CompileRequest:
         """Micro-batching key: requests with equal keys compile together.
 
         Everything a :class:`~repro.compiler.pipeline.dispatch.DispatchContext`
-        is parameterized by -- device, strategy set, mapping and seed -- so
-        coalesced requests are exactly the ones one dispatch can serve.
+        is parameterized by -- device, strategy set, mapping, seed and the
+        optimizer flag -- so coalesced requests are exactly the ones one
+        dispatch can serve.
         """
-        return (self.device_key, self.strategies, self.mapping, self.seed)
+        return (self.device_key, self.strategies, self.mapping, self.seed, self.optimize)
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CompileRequest":
@@ -112,6 +117,7 @@ class CompileRequest:
             "seed",
             "coherence_us",
             "gate_ns",
+            "optimize",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -150,6 +156,10 @@ class CompileRequest:
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     raise RequestError(f"{name} must be a number, got {value!r}")
                 kwargs[name] = float(value)
+        if "optimize" in kwargs and not isinstance(kwargs["optimize"], bool):
+            raise RequestError(
+                f"optimize must be a boolean, got {kwargs['optimize']!r}"
+            )
         try:
             return cls(**kwargs)
         except TypeError as error:
@@ -166,6 +176,7 @@ class CompileRequest:
             "seed": self.seed,
             "coherence_us": self.coherence_us,
             "gate_ns": self.gate_ns,
+            "optimize": self.optimize,
         }
 
 
@@ -476,11 +487,20 @@ class CompileResponse:
 
 
 def summarize_compiled(compiled) -> dict:
-    """Headline metrics of one :class:`CompiledCircuit` for the wire."""
-    return {
+    """Headline metrics of one :class:`CompiledCircuit` for the wire.
+
+    The depth-oracle keys appear only for optimized compilations, keeping
+    ``optimize=False`` responses byte-identical to the pre-optimizer wire
+    format.
+    """
+    summary = {
         "fidelity": float(compiled.fidelity),
         "duration_ns": float(compiled.total_duration),
         "swap_count": int(compiled.swap_count),
         "swap_duration_ns": float(compiled.swap_duration_ns),
         "two_qubit_layers": int(compiled.two_qubit_layer_count),
     }
+    if getattr(compiled, "optimization", None) is not None:
+        summary["depth_lower_bound"] = int(compiled.depth_lower_bound)
+        summary["depth_vs_lower_bound"] = float(compiled.depth_vs_lower_bound)
+    return summary

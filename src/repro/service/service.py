@@ -70,6 +70,7 @@ from repro.service.requests import (
     RequestError,
     summarize_compiled,
 )
+from repro.synthesis.depth import DEPTH_ORACLE_VERSION
 
 
 @dataclass(frozen=True)
@@ -432,12 +433,22 @@ class CompilationService:
             generations = tuple(
                 REGISTRY.generation(strategy) for strategy in spec.strategies
             )
+            # Prewarm always compiles unoptimized (optimize=False), matching
+            # the batch-key shape of default traffic so the warmed pool is
+            # reusable by the first post-update requests.
             context = DispatchContext(
                 drifted,
                 targets,
                 mapping=spec.mapping,
                 seed=spec.seed,
-                key=(fingerprint, generations, spec.strategies, spec.mapping, spec.seed),
+                key=(
+                    fingerprint,
+                    generations,
+                    spec.strategies,
+                    spec.mapping,
+                    spec.seed,
+                    False,
+                ),
             )
             circuits = [self._circuit_for(request.circuit) for request in requests]
             batch = self.dispatcher.dispatch(circuits, context)
@@ -603,6 +614,7 @@ class CompilationService:
             request.mapping,
             request.seed,
             generations,
+            optimize=request.optimize,
         )
         document = {
             "circuit_hash": circuit_hash,
@@ -611,6 +623,8 @@ class CompilationService:
             "mapping": request.mapping,
             "seed": int(request.seed),
             "generations": list(generations),
+            "optimize": bool(request.optimize),
+            "depth_oracle_version": DEPTH_ORACLE_VERSION,
         }
         return key, document
 
@@ -710,6 +724,7 @@ class CompilationService:
                 mapping=request.mapping,
                 seed=request.seed,
                 key=(fingerprint, generations) + key[1:],
+                optimize=request.optimize,
             )
             circuits = [
                 self._circuit_for(group[i].request.circuit) for i in pending_indices

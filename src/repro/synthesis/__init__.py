@@ -17,6 +17,8 @@ Implements Sections V and VII of the paper:
 """
 
 from repro.synthesis.depth import (
+    DEPTH_ORACLE_VERSION,
+    CoverageSetOracle,
     TwoLayerOracle,
     can_synthesize_cnot_in_2_layers,
     can_synthesize_swap_in_1_layer,
@@ -41,6 +43,8 @@ from repro.synthesis.analytic import (
 from repro.synthesis.library import DecompositionLibrary, GateDecomposition
 
 __all__ = [
+    "DEPTH_ORACLE_VERSION",
+    "CoverageSetOracle",
     "TwoLayerOracle",
     "can_synthesize_cnot_in_2_layers",
     "can_synthesize_swap_in_1_layer",

@@ -482,6 +482,73 @@ class TwoLayerOracle:
 
 _DEFAULT_ORACLE = TwoLayerOracle()
 
+#: Version of the depth-oracle semantics.  Participates in the service's
+#: ``program_cache_key`` blob: compiled programs embed layer counts derived
+#: from this oracle, so changing its rules must make every cached program
+#: structurally unservable.  Bump on any change to :func:`minimum_layers`,
+#: the tetrahedral regions, or :class:`CoverageSetOracle`.
+DEPTH_ORACLE_VERSION = 1
+
+
+@dataclass
+class CoverageSetOracle:
+    """Per-edge coverage-set depth oracle over one basis gate.
+
+    The monodromy-polytope view (Peterson et al.): ``k`` layers of a basis
+    gate ``B`` cover a region ("coverage set") of the Weyl chamber, and the
+    minimum synthesis depth of a target is the first ``k`` whose set contains
+    the target's canonical coordinates.  This class is that function for a
+    *fixed* basis -- the shape the block-consolidation optimizer needs, one
+    oracle per physical edge -- with a per-basis memo on rounded coordinates
+    so repeat blocks (QFT's ladder of ``cp`` angles, mirrored adder halves)
+    are answered from the memo.
+
+    ``layers_fn`` is the underlying two-coordinate depth query; it defaults
+    to :func:`minimum_layers` (exact geometric tests for identity / basis /
+    SWAP / CNOT targets, numerical two-layer oracle otherwise) and is
+    pluggable so the compiler can route it through its shared process-wide
+    memo (``repro.compiler.cost.cached_minimum_layers``).
+    """
+
+    basis: Coords
+    max_layers: int = 4
+    decimals: int = 6
+    layers_fn: "callable" = None  # type: ignore[assignment]
+    _memo: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.basis = canonicalize_coordinates(self.basis)
+        if self.layers_fn is None:
+            self.layers_fn = lambda target, basis, max_layers: minimum_layers(
+                target, basis, max_layers=max_layers
+            )
+
+    def minimum_layers(self, target: Coords) -> int:
+        """Depth of the first coverage set containing ``target`` (capped)."""
+        canonical = canonicalize_coordinates(target)
+        key = tuple(round(c, self.decimals) for c in canonical)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        layers = int(self.layers_fn(canonical, self.basis, self.max_layers))
+        self._memo[key] = layers
+        return layers
+
+    def swap_layers(self) -> int:
+        """Layers to cover SWAP (matches the Section V geometric answer)."""
+        return self.minimum_layers(WEYL_POINTS["SWAP"])
+
+    def cnot_layers(self) -> int:
+        """Layers to cover CNOT (matches the Section V geometric answer)."""
+        return self.minimum_layers(WEYL_POINTS["CNOT"])
+
+    def coverage_profile(self) -> dict[str, int]:
+        """Depth of every named Weyl point -- the basis gate's coverage card."""
+        return {
+            name: self.minimum_layers(coords)
+            for name, coords in sorted(WEYL_POINTS.items())
+        }
+
 
 def minimum_layers(
     target: Coords,

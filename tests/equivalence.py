@@ -1,0 +1,58 @@
+"""Shared unitary-equivalence harness for tests and benchmarks.
+
+Thin re-export of :mod:`repro.circuits.equivalence` plus one helper that
+chains the two checks every optimized compile must satisfy:
+
+1. the routed circuit implements the source circuit (through the layout
+   embedding and the routing-inserted SWAP permutation), and
+2. the optimizer's consolidated circuit implements the routed circuit.
+
+Deliberately *not* named ``test_*`` so pytest does not collect it as a test
+module -- it is a library both ``tests/test_dag.py`` and
+``benchmarks/bench_routing.py`` import.  All checks contract dense
+``2^n x 2^n`` unitaries, so they refuse circuits wider than ``max_qubits``
+(default 10); :func:`verify_consolidation` (re-exported from the optimizer)
+is the width-independent block-local complement the benchmarks use on
+devices too wide to contract.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.equivalence import (  # noqa: F401  (re-exported API)
+    assert_circuits_equivalent,
+    circuits_equivalent,
+    embed_source,
+    phase_distance,
+    routed_equivalent,
+    unitaries_equivalent,
+)
+from repro.compiler.optimizer import verify_consolidation  # noqa: F401
+
+
+def assert_compiled_equivalent(source, compiled, atol=1e-7, max_qubits=10):
+    """Assert a pipeline result implements its source circuit.
+
+    ``compiled`` is a :class:`~repro.compiler.pipeline.result.CompiledCircuit`
+    (optimized or not).  The routed circuit is checked against ``source``
+    through the routing identity; when the block-consolidation optimizer ran,
+    its output circuit is additionally checked against the routed circuit, so
+    the two checks chain into compiled-vs-source equivalence.
+    """
+    routing = compiled.routing
+    if not routed_equivalent(
+        source, routing.circuit, routing.initial_layout, atol=atol, max_qubits=max_qubits
+    ):
+        raise AssertionError(
+            f"routed circuit for {source.name!r} is not unitary-equivalent "
+            "to its source"
+        )
+    optimization = getattr(compiled, "optimization", None)
+    if optimization is not None:
+        verify_consolidation(optimization)
+        assert_circuits_equivalent(
+            routing.circuit,
+            optimization.circuit,
+            atol=atol,
+            max_qubits=max_qubits,
+            context=f"optimizer output for {source.name!r}",
+        )

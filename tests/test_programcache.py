@@ -26,6 +26,8 @@ from repro.service import (
     circuit_content_hash,
     program_cache_key,
 )
+from repro.service.programcache import PROGRAM_CACHE_FORMAT_VERSION
+from repro.synthesis import DEPTH_ORACLE_VERSION
 
 
 def run(coro):
@@ -70,6 +72,8 @@ class TestContentAddressing:
             ("mapping", "basis_aware"),
             ("seed", 18),
             ("generations", (1,)),
+            ("optimize", True),
+            ("depth_oracle_version", DEPTH_ORACLE_VERSION + 1),
         ]:
             assert program_cache_key(**{**base, field: changed}) != reference
         # Deterministic, and prefixed by the fingerprint for prefix eviction.
@@ -283,3 +287,78 @@ class TestProgramStaleness:
             assert response.results == drifted.results
         assert after.program_source == "program-disk"
         assert repeat.program_source == "program-mem"
+
+
+class TestOptimizerStaleness:
+    """The optimizer flag and depth-oracle version are addressed content:
+    flipping either re-keys programs, so pre-flip entries cannot be served."""
+
+    def test_format_version_bumped_for_optimizer(self):
+        # v2 carries the optimize flag + depth-oracle version in documents.
+        assert PROGRAM_CACHE_FORMAT_VERSION == 2
+
+    def test_pre_optimizer_disk_entries_are_unservable(self, tmp_path):
+        """A v1-format entry (pre-optimizer seed) at the right path is a miss."""
+        store = ProgramStore(tmp_path)
+        results = {"criterion2": {"fidelity": 0.9}}
+        document = {"fingerprint": "fp0"}
+        path = store.store("fp0-pabc", results, document)
+        assert store.load("fp0-pabc", document) == results
+        stale = json.loads(path.read_text())
+        stale["format_version"] = 1
+        path.write_text(json.dumps(stale))
+        assert store.load("fp0-pabc", document) is None
+
+    def test_optimize_flag_partitions_the_cache(self, tmp_path):
+        """optimize=True and optimize=False are distinct cache entries, each
+        warm for its own repeats, and only optimized results carry the
+        depth-oracle keys."""
+
+        async def go():
+            plain = dict(REQUEST)
+            optimized = dict(REQUEST, optimize=True)
+            async with CompilationService(
+                ServiceConfig(cache_dir=str(tmp_path))
+            ) as service:
+                base = await service.compile(plain)
+                flipped = await service.compile(optimized)
+                warm_base = await service.compile(plain)
+                warm_flipped = await service.compile(optimized)
+            return base, flipped, warm_base, warm_flipped
+
+        base, flipped, warm_base, warm_flipped = run(go())
+        # Flipping the switch never serves the other variant's entry.
+        assert base.program_source == "compiled"
+        assert flipped.program_source == "compiled"
+        assert warm_base.program_source == "program-mem"
+        assert warm_flipped.program_source == "program-mem"
+        for response in (base, warm_base):
+            for summary in response.results.values():
+                assert "depth_vs_lower_bound" not in summary
+        for response in (flipped, warm_flipped):
+            for summary in response.results.values():
+                assert summary["depth_vs_lower_bound"] >= 1.0
+                assert summary["depth_lower_bound"] >= 0
+        assert warm_base.results == base.results
+        assert warm_flipped.results == flipped.results
+
+    def test_reregistering_a_strategy_rekeys_programs(self, tmp_path):
+        """A strategy generation bump makes prior entries unreachable."""
+        from repro.compiler.pipeline.registry import REGISTRY
+
+        async def go():
+            async with CompilationService(
+                ServiceConfig(cache_dir=str(tmp_path))
+            ) as service:
+                first = await service.compile(dict(REQUEST))
+                warm = await service.compile(dict(REQUEST))
+                REGISTRY.register(REGISTRY.spec("criterion2"), overwrite=True)
+                rekeyed = await service.compile(dict(REQUEST))
+            return first, warm, rekeyed
+
+        first, warm, rekeyed = run(go())
+        assert warm.program_source == "program-mem"
+        # Same request, same fingerprint -- but the generation in the key
+        # changed, so the old program is structurally unservable.
+        assert rekeyed.program_source == "compiled"
+        assert rekeyed.fingerprint == first.fingerprint
